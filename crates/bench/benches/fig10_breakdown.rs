@@ -1,0 +1,21 @@
+//! Fig. 10 bench: breakdown and area/power reporting.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use edgebert::experiments::fig10;
+use edgebert_hw::report::AreaPowerReport;
+use edgebert_hw::AcceleratorConfig;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    println!("{}", fig10::render(&fig10::run()));
+
+    let mut g = c.benchmark_group("fig10");
+    g.bench_function("breakdown_driver", |b| b.iter(|| black_box(fig10::run())));
+    g.bench_function("area_power_report", |b| {
+        b.iter(|| black_box(AreaPowerReport::at_config(&AcceleratorConfig::energy_optimal())))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,20 @@
+//! Fig. 11 bench: the embedding power-on comparison.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use edgebert::experiments::fig11;
+use edgebert_hw::memory::{sentence_embedding_bits, BootComparison};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    println!("{}", fig11::render(&fig11::run()));
+
+    let mut g = c.benchmark_group("fig11");
+    g.bench_function("boot_comparison", |b| {
+        let bits = sentence_embedding_bits(128, 128, 0.4);
+        b.iter(|| black_box(BootComparison::standard(1.73, bits)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,22 @@
+//! Fig. 7 bench: multi-sentence DVFS waveform simulation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use edgebert::experiments::fig7;
+use edgebert_bench::bench_artifacts;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let art = bench_artifacts();
+    let engine = art.engine_at(50e-3, 0, true);
+    println!("{}", fig7::render(&fig7::run(art, &engine, 3)));
+
+    let mut g = c.benchmark_group("fig7");
+    g.sample_size(20);
+    g.bench_function("three_sentence_trace", |b| {
+        b.iter(|| black_box(fig7::run(art, &engine, 3)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

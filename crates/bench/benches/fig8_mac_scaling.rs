@@ -1,0 +1,29 @@
+//! Fig. 8 bench: the MAC-vector-size design-space sweep.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use edgebert::experiments::fig8;
+use edgebert_bench::bench_artifact_suite;
+use edgebert_hw::{AcceleratorConfig, AcceleratorSim, WorkloadParams};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let arts = bench_artifact_suite();
+    println!("{}", fig8::render(&fig8::run(arts)));
+
+    let mut g = c.benchmark_group("fig8");
+    g.sample_size(20);
+    for n in fig8::MAC_SIZES {
+        g.bench_with_input(BenchmarkId::new("simulate_12_layers", n), &n, |b, &n| {
+            let sim = AcceleratorSim::new(AcceleratorConfig::with_mac_vector_size(n));
+            let wl = sim.layer_workload(&WorkloadParams::albert_base());
+            b.iter(|| black_box(sim.run_layers_nominal(&wl, 12)))
+        });
+    }
+    g.bench_function("full_sweep_driver", |b| {
+        b.iter(|| black_box(fig8::run(arts)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Fig. 9 bench: per-sentence latency-aware inference.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use edgebert::engine::InferenceMode;
+use edgebert::experiments::fig9;
+use edgebert_bench::bench_artifact_suite;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let arts = bench_artifact_suite();
+    println!("{}", fig9::render(&fig9::run(arts)));
+
+    let art = &arts[0];
+    let engine = art.engine_at(50e-3, 0, true);
+    let tokens = &art.dev.examples()[0].tokens;
+    let mut g = c.benchmark_group("fig9");
+    g.sample_size(20);
+    g.bench_function("sentence_base", |b| {
+        b.iter(|| black_box(engine.run(tokens, InferenceMode::Base)))
+    });
+    g.bench_function("sentence_conventional_ee", |b| {
+        b.iter(|| black_box(engine.run(tokens, InferenceMode::ConventionalEe)))
+    });
+    g.bench_function("sentence_latency_aware", |b| {
+        b.iter(|| black_box(engine.run(tokens, InferenceMode::LatencyAware)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

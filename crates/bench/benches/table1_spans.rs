@@ -1,0 +1,26 @@
+//! Table 1 bench: span-mask construction and the Table 1 driver.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use edgebert::experiments::table1;
+use edgebert_bench::bench_artifact_suite;
+use edgebert_nn::AdaptiveSpan;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let arts = bench_artifact_suite();
+    println!("{}", table1::render(&table1::run(arts)));
+
+    let mut g = c.benchmark_group("table1");
+    g.sample_size(20);
+    g.bench_function("experiment_driver", |b| {
+        b.iter(|| black_box(table1::run(arts)))
+    });
+    let span = AdaptiveSpan::new(20.0, 32.0, 128);
+    g.bench_function("span_mask_matrix_128", |b| {
+        b.iter(|| black_box(span.mask_matrix(128)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

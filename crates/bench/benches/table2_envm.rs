@@ -1,0 +1,33 @@
+//! Table 2 bench: eNVM fault-injection campaign throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use edgebert::experiments::table2;
+use edgebert_bench::bench_artifact_suite;
+use edgebert_envm::{CellTech, FaultInjector, StoredEmbedding};
+use edgebert_tensor::Rng;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let arts = bench_artifact_suite();
+    println!("{}", table2::render(&table2::run(arts, 10, 12, 0x7AB2)));
+
+    let mut g = c.benchmark_group("table2");
+    g.sample_size(10);
+    let art = &arts[0];
+    let stored = StoredEmbedding::encode(&art.model.embedding.table.value, 4);
+    g.bench_function("inject_mlc3_trial", |b| {
+        let injector = FaultInjector::new(CellTech::Mlc3);
+        let mut rng = Rng::seed_from(1);
+        b.iter(|| {
+            let mut img = stored.clone();
+            black_box(injector.inject_storage(&mut img, &mut rng))
+        })
+    });
+    g.bench_function("decode_stored_embedding", |b| {
+        b.iter(|| black_box(stored.decode()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

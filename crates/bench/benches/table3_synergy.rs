@@ -1,0 +1,26 @@
+//! Table 3 bench: entropy-threshold calibration sweeps.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use edgebert::calibrate::{calibrate_conventional, calibrate_latency_aware};
+use edgebert::experiments::table3;
+use edgebert_bench::bench_artifact_suite;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let arts = bench_artifact_suite();
+    println!("{}", table3::render(&table3::run(arts)));
+
+    let art = &arts[0];
+    let mut g = c.benchmark_group("table3");
+    g.sample_size(20);
+    g.bench_function("calibrate_conventional_1pct", |b| {
+        b.iter(|| black_box(calibrate_conventional(&art.cache, 0.01)))
+    });
+    g.bench_function("calibrate_latency_aware_1pct", |b| {
+        b.iter(|| black_box(calibrate_latency_aware(&art.cache, &art.lut, 0.01)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Table 4 bench: LDO transition and DVFS decision latency.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use edgebert::experiments::table4;
+use edgebert_hw::{AcceleratorConfig, DvfsController, Ldo};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    println!("{}", table4::render(&table4::run()));
+
+    let mut g = c.benchmark_group("table4");
+    g.bench_function("ldo_full_swing_transition", |b| {
+        b.iter(|| {
+            let mut ldo = Ldo::new(0.80);
+            black_box(ldo.transition(0.50))
+        })
+    });
+    let ctl = DvfsController::new(AcceleratorConfig::energy_optimal());
+    g.bench_function("dvfs_decision", |b| {
+        b.iter(|| black_box(ctl.decide(black_box(25_000_000), black_box(50e-3))))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,312 @@
+//! Entropy-threshold calibration (paper §5.1, Table 3 methodology).
+//!
+//! "We set a fixed accuracy degradation threshold of 1%, 2%, or 5%
+//! (relative to the inference accuracy of the full ALBERT model) and
+//! increased the entropy threshold until the accuracy dropped to the
+//! desired threshold."
+//!
+//! Two calibrations exist: conventional EE exits on true entropies alone;
+//! latency-aware inference (LAI) additionally *stops* at the predictor's
+//! forecast layer, so its accuracy at a given threshold differs and it
+//! ends up needing a lower threshold for the same accuracy target.
+
+use crate::predictor::{EntropyDataset, PredictorLut};
+use edgebert_model::AlbertModel;
+use edgebert_tensor::stats::argmax;
+use edgebert_tasks::Dataset;
+use serde::{Deserialize, Serialize};
+
+/// A calibrated operating point.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Calibration {
+    /// The accuracy-drop target this point was calibrated for (e.g. 0.01).
+    pub accuracy_drop_target: f32,
+    /// The calibrated entropy threshold.
+    pub entropy_threshold: f32,
+    /// Accuracy achieved at this threshold.
+    pub accuracy: f32,
+    /// Mean exit layer (actual layers computed).
+    pub avg_exit_layer: f32,
+    /// Mean predicted exit layer (LAI only; equals `avg_exit_layer` for
+    /// conventional EE).
+    pub avg_predicted_layer: f32,
+}
+
+/// Precomputed per-sentence layerwise outputs so threshold sweeps don't
+/// re-run the model.
+#[derive(Debug, Clone)]
+pub struct SweepCache {
+    /// Per sentence: entropies at every layer.
+    pub entropies: Vec<Vec<f32>>,
+    /// Per sentence: predicted class at every layer.
+    pub predictions: Vec<Vec<usize>>,
+    /// Gold labels.
+    pub labels: Vec<usize>,
+    /// Number of logical layers.
+    pub num_layers: usize,
+    /// Number of output classes (bounds the entropy range).
+    pub num_classes: usize,
+}
+
+impl SweepCache {
+    /// Runs the model once over the dataset.
+    pub fn build(model: &AlbertModel, data: &Dataset) -> Self {
+        let mut entropies = Vec::with_capacity(data.len());
+        let mut predictions = Vec::with_capacity(data.len());
+        for ex in data {
+            let out = model.forward_layers(&ex.tokens);
+            predictions.push(out.logits.iter().map(|lg| argmax(lg)).collect());
+            entropies.push(out.entropies);
+        }
+        Self {
+            entropies,
+            predictions,
+            labels: data.labels(),
+            num_layers: model.num_layers(),
+            num_classes: model.config.num_classes,
+        }
+    }
+
+    /// The entropy dataset view (for predictor training).
+    pub fn entropy_dataset(&self) -> EntropyDataset {
+        EntropyDataset { trajectories: self.entropies.clone() }
+    }
+
+    /// Accuracy of the full-depth model.
+    pub fn full_accuracy(&self) -> f32 {
+        if self.labels.is_empty() {
+            return 0.0;
+        }
+        let last = self.num_layers - 1;
+        let hits = self
+            .predictions
+            .iter()
+            .zip(&self.labels)
+            .filter(|(p, &l)| p[last] == l)
+            .count();
+        hits as f32 / self.labels.len() as f32
+    }
+
+    /// Simulates conventional EE at threshold `et`:
+    /// `(accuracy, avg_exit_layer)`.
+    pub fn conventional_ee(&self, et: f32) -> (f32, f32) {
+        let mut hits = 0usize;
+        let mut exit_sum = 0usize;
+        for (i, traj) in self.entropies.iter().enumerate() {
+            let mut exit = self.num_layers;
+            for (l, &h) in traj.iter().enumerate() {
+                if h < et {
+                    exit = l + 1;
+                    break;
+                }
+            }
+            exit_sum += exit;
+            if self.predictions[i][exit - 1] == self.labels[i] {
+                hits += 1;
+            }
+        }
+        let n = self.labels.len().max(1) as f32;
+        (hits as f32 / n, exit_sum as f32 / n)
+    }
+
+    /// Simulates latency-aware inference at threshold `et` with a
+    /// predictor LUT: exit early when the true entropy crosses `et`, but
+    /// stop unconditionally at the forecast layer (Algorithm 2).
+    /// Returns `(accuracy, avg_actual_exit, avg_predicted_exit)`.
+    pub fn latency_aware(&self, et: f32, lut: &PredictorLut) -> (f32, f32, f32) {
+        let mut hits = 0usize;
+        let mut actual_sum = 0usize;
+        let mut predicted_sum = 0usize;
+        for (i, traj) in self.entropies.iter().enumerate() {
+            // Layer 1 check first (Algorithm 2).
+            let exit = if traj[0] < et {
+                predicted_sum += 1;
+                1
+            } else {
+                let predicted = lut.predict_exit_layer(traj[0], et).max(2);
+                predicted_sum += predicted;
+                let mut exit = predicted.min(self.num_layers);
+                for l in 2..=predicted.min(self.num_layers) {
+                    if traj[l - 1] < et {
+                        exit = l;
+                        break;
+                    }
+                }
+                exit
+            };
+            actual_sum += exit;
+            if self.predictions[i][exit - 1] == self.labels[i] {
+                hits += 1;
+            }
+        }
+        let n = self.labels.len().max(1) as f32;
+        (
+            hits as f32 / n,
+            actual_sum as f32 / n,
+            predicted_sum as f32 / n,
+        )
+    }
+}
+
+/// The threshold grid swept during calibration.
+fn threshold_grid(max_entropy: f32) -> Vec<f32> {
+    (1..=120).map(|i| i as f32 * max_entropy / 120.0).collect()
+}
+
+/// Calibrates conventional EE: the largest threshold whose accuracy stays
+/// within `drop` of the full model.
+pub fn calibrate_conventional(cache: &SweepCache, drop: f32) -> Calibration {
+    let baseline = cache.full_accuracy();
+    let floor = baseline - drop;
+    let max_h = (cache.num_classes as f32).ln() * 1.02;
+    let mut best = Calibration {
+        accuracy_drop_target: drop,
+        entropy_threshold: 0.0,
+        accuracy: baseline,
+        avg_exit_layer: cache.num_layers as f32,
+        avg_predicted_layer: cache.num_layers as f32,
+    };
+    for et in threshold_grid(max_h) {
+        let (acc, avg_exit) = cache.conventional_ee(et);
+        if acc + 1e-6 >= floor {
+            best = Calibration {
+                accuracy_drop_target: drop,
+                entropy_threshold: et,
+                accuracy: acc,
+                avg_exit_layer: avg_exit,
+                avg_predicted_layer: avg_exit,
+            };
+        }
+    }
+    best
+}
+
+/// Calibrates latency-aware inference with a given predictor LUT.
+pub fn calibrate_latency_aware(cache: &SweepCache, lut: &PredictorLut, drop: f32) -> Calibration {
+    let baseline = cache.full_accuracy();
+    let floor = baseline - drop;
+    let max_h = (cache.num_classes as f32).ln() * 1.02;
+    let mut best = Calibration {
+        accuracy_drop_target: drop,
+        entropy_threshold: 0.0,
+        accuracy: baseline,
+        avg_exit_layer: cache.num_layers as f32,
+        avg_predicted_layer: cache.num_layers as f32,
+    };
+    for et in threshold_grid(max_h) {
+        let (acc, avg_actual, avg_pred) = cache.latency_aware(et, lut);
+        if acc + 1e-6 >= floor {
+            best = Calibration {
+                accuracy_drop_target: drop,
+                entropy_threshold: et,
+                accuracy: acc,
+                avg_exit_layer: avg_actual,
+                avg_predicted_layer: avg_pred,
+            };
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predictor::EntropyPredictor;
+    use edgebert_tensor::Rng;
+
+    /// Hand-built cache: predictions correct from a sentence-specific
+    /// "ready layer" onwards, entropies decay past the threshold at that
+    /// layer.
+    fn synthetic_cache(n: usize, layers: usize, seed: u64) -> SweepCache {
+        let mut rng = Rng::seed_from(seed);
+        let mut entropies = Vec::new();
+        let mut predictions = Vec::new();
+        let mut labels = Vec::new();
+        for _ in 0..n {
+            let ready = 1 + rng.below(layers);
+            let label = rng.below(2);
+            let mut traj = Vec::new();
+            let mut preds = Vec::new();
+            for l in 0..layers {
+                if l + 1 >= ready {
+                    traj.push(0.05 + 0.01 * (l as f32));
+                    preds.push(label);
+                } else {
+                    traj.push(0.6 + 0.4 * rng.uniform());
+                    preds.push(1 - label); // wrong before ready
+                }
+            }
+            entropies.push(traj);
+            predictions.push(preds);
+            labels.push(label);
+        }
+        SweepCache { entropies, predictions, labels, num_layers: layers, num_classes: 2 }
+    }
+
+    #[test]
+    fn conventional_sweep_tradeoff_is_monotone() {
+        let cache = synthetic_cache(200, 12, 1);
+        let c1 = calibrate_conventional(&cache, 0.01);
+        let c5 = calibrate_conventional(&cache, 0.05);
+        // Looser accuracy budget ⇒ higher threshold ⇒ earlier exits.
+        assert!(c5.entropy_threshold >= c1.entropy_threshold);
+        assert!(c5.avg_exit_layer <= c1.avg_exit_layer);
+        // Accuracy constraint honoured.
+        assert!(c1.accuracy >= cache.full_accuracy() - 0.01 - 1e-5);
+        assert!(c5.accuracy >= cache.full_accuracy() - 0.05 - 1e-5);
+    }
+
+    #[test]
+    fn latency_aware_needs_lower_threshold_for_same_drop() {
+        // The paper's observation: "the entropy threshold for entropy
+        // prediction was lower than the entropy threshold for conventional
+        // EE" at the same accuracy target.
+        let cache = synthetic_cache(300, 12, 2);
+        let pred = EntropyPredictor::train(&cache.entropy_dataset(), 300, 3);
+        let lut = pred.to_lut(64, 1.1);
+        let conv = calibrate_conventional(&cache, 0.02);
+        let lai = calibrate_latency_aware(&cache, &lut, 0.02);
+        assert!(
+            lai.entropy_threshold <= conv.entropy_threshold + 1e-6,
+            "LAI {} vs conventional {}",
+            lai.entropy_threshold,
+            conv.entropy_threshold
+        );
+        // Predicted exit comes later than actual (conservative forecasts).
+        assert!(lai.avg_predicted_layer + 1e-3 >= lai.avg_exit_layer);
+    }
+
+    #[test]
+    fn zero_drop_keeps_baseline_accuracy() {
+        let cache = synthetic_cache(150, 8, 4);
+        let c = calibrate_conventional(&cache, 0.0);
+        assert!(c.accuracy + 1e-6 >= cache.full_accuracy());
+    }
+
+    #[test]
+    fn full_accuracy_counts_last_layer() {
+        let cache = synthetic_cache(50, 6, 5);
+        // By construction every sentence is correct at the last layer.
+        assert_eq!(cache.full_accuracy(), 1.0);
+    }
+
+    #[test]
+    fn lai_respects_forced_stop_at_predicted_layer() {
+        // A LUT that always forecasts layer 2 forces exit at 2 even when
+        // the true entropy stays high.
+        let cache = synthetic_cache(50, 6, 6);
+        let constant_lut = {
+            // Train on trajectories that always exit at 2 so the LUT
+            // forecasts 2 everywhere.
+            let data = crate::predictor::EntropyDataset {
+                trajectories: (0..64)
+                    .map(|_| vec![0.9, 0.01, 0.01, 0.01, 0.01, 0.01])
+                    .collect(),
+            };
+            EntropyPredictor::train(&data, 200, 7).to_lut(32, 1.1)
+        };
+        let (_, avg_actual, avg_pred) = cache.latency_aware(0.3, &constant_lut);
+        assert!(avg_pred <= 2.6, "avg predicted {avg_pred}");
+        assert!(avg_actual <= avg_pred + 1e-6);
+    }
+}

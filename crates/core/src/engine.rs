@@ -1,0 +1,462 @@
+//! The per-sentence inference engine: Algorithms 1 and 2 with full
+//! hardware cost accounting.
+//!
+//! Three modes are modelled, matching the paper's evaluation bars:
+//!
+//! * **Base** — conventional 12-layer inference at nominal V/F
+//!   (Fig. 1a);
+//! * **Conventional EE** — Algorithm 1: exit when the off-ramp entropy
+//!   falls below `E_T`, always at nominal V/F because the exit layer is
+//!   unknown in advance (Fig. 1b);
+//! * **Latency-aware (LAI)** — Algorithm 2: compute layer 1 at nominal,
+//!   use the predictor LUT to forecast the exit layer, scale V/F so the
+//!   remaining layers finish exactly at the latency target, keep checking
+//!   the true entropy on the way, and stop unconditionally at the
+//!   forecast layer (Fig. 1c).
+
+use crate::predictor::PredictorLut;
+use edgebert_hw::{
+    AcceleratorConfig, AcceleratorSim, DvfsController, MobileGpu, WorkloadParams,
+};
+use edgebert_hw::workload::EncoderWorkload;
+use edgebert_model::AlbertModel;
+use edgebert_envm::{CellTech, ReramArray};
+use edgebert_hw::memory::sentence_embedding_bits;
+use edgebert_tensor::stats::argmax;
+use edgebert_tasks::Dataset;
+use serde::{Deserialize, Serialize};
+
+/// Which inference scheme to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum InferenceMode {
+    /// Full-depth inference at nominal V/F.
+    Base,
+    /// Conventional early exit (Algorithm 1) at nominal V/F.
+    ConventionalEe,
+    /// EdgeBERT latency-aware inference (Algorithm 2) with DVFS.
+    LatencyAware,
+}
+
+/// Per-sentence outcome.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SentenceResult {
+    /// Scheme used.
+    pub mode: InferenceMode,
+    /// Layer at which inference stopped (1-based).
+    pub exit_layer: usize,
+    /// Predictor forecast (LAI only).
+    pub predicted_layer: Option<usize>,
+    /// Predicted class at the exit layer.
+    pub prediction: usize,
+    /// End-to-end latency, seconds (embedding read + compute +
+    /// regulator/clock transitions).
+    pub latency_s: f64,
+    /// Energy, joules.
+    pub energy_j: f64,
+    /// Supply voltage used for layers after the DVFS decision.
+    pub voltage: f32,
+    /// Clock frequency used after the DVFS decision, Hz.
+    pub freq_hz: f64,
+    /// Whether the sentence met the latency target (always true for the
+    /// unbounded Base/EE modes).
+    pub deadline_met: bool,
+}
+
+/// Aggregate statistics over a dataset.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AggregateResult {
+    /// Classification accuracy.
+    pub accuracy: f32,
+    /// Mean exit layer.
+    pub avg_exit_layer: f32,
+    /// Mean predicted exit layer (LAI; equals exit layer otherwise).
+    pub avg_predicted_layer: f32,
+    /// Mean per-sentence energy, joules.
+    pub avg_energy_j: f64,
+    /// Mean per-sentence latency, seconds.
+    pub avg_latency_s: f64,
+    /// Mean post-decision supply voltage, volts.
+    pub avg_voltage: f32,
+    /// Mean post-decision clock frequency, Hz.
+    pub avg_freq_hz: f64,
+    /// Fraction of sentences that missed the latency target.
+    pub deadline_miss_rate: f32,
+}
+
+/// The engine: software model + predictor LUT + hardware simulator.
+#[derive(Debug, Clone)]
+pub struct EdgeBertEngine<'a> {
+    model: &'a AlbertModel,
+    lut: &'a PredictorLut,
+    sim: AcceleratorSim,
+    dvfs: DvfsController,
+    layer: EncoderWorkload,
+    layer_cycles: u64,
+    rram: ReramArray,
+    embed_bits: usize,
+    /// Per-sentence latency target, seconds.
+    pub latency_target_s: f64,
+    /// Entropy threshold for conventional EE.
+    pub et_conventional: f32,
+    /// Entropy threshold for LAI (typically lower; §5.1).
+    pub et_latency_aware: f32,
+}
+
+impl<'a> EdgeBertEngine<'a> {
+    /// Builds an engine.
+    ///
+    /// `workload` carries the hardware shapes (usually
+    /// [`WorkloadParams::albert_base`] plus the task's optimizations);
+    /// the software `model` supplies the entropy/exit behaviour.
+    pub fn new(
+        model: &'a AlbertModel,
+        lut: &'a PredictorLut,
+        accel: AcceleratorConfig,
+        workload: &WorkloadParams,
+        latency_target_s: f64,
+        et_conventional: f32,
+        et_latency_aware: f32,
+    ) -> Self {
+        let sim = AcceleratorSim::new(accel);
+        let layer = sim.layer_workload(workload);
+        let layer_cycles = layer.cycles();
+        let embed_bits = sentence_embedding_bits(workload.seq_len, 128, 0.4);
+        Self {
+            model,
+            lut,
+            dvfs: DvfsController::new(accel),
+            sim,
+            layer,
+            layer_cycles,
+            rram: ReramArray::new(CellTech::Mlc2, 2.0),
+            embed_bits,
+            latency_target_s,
+            et_conventional,
+            et_latency_aware,
+        }
+    }
+
+    /// Cycles of one encoder layer on this hardware configuration.
+    pub fn layer_cycles(&self) -> u64 {
+        self.layer_cycles
+    }
+
+    /// The underlying accelerator simulator.
+    pub fn simulator(&self) -> &AcceleratorSim {
+        &self.sim
+    }
+
+    fn embedding_read_cost(&self) -> (f64, f64) {
+        (
+            self.rram.read_latency_ns(self.embed_bits) * 1e-9,
+            self.rram.read_energy_pj(self.embed_bits) * 1e-12,
+        )
+    }
+
+    /// Runs a sentence in the requested mode.
+    pub fn run(&self, tokens: &[u32], mode: InferenceMode) -> SentenceResult {
+        match mode {
+            InferenceMode::Base => self.run_base(tokens),
+            InferenceMode::ConventionalEe => self.run_conventional_ee(tokens),
+            InferenceMode::LatencyAware => self.run_latency_aware(tokens),
+        }
+    }
+
+    /// Conventional full-depth inference at nominal V/F.
+    pub fn run_base(&self, tokens: &[u32]) -> SentenceResult {
+        let out = self.model.forward_layers(tokens);
+        let layers = self.model.num_layers();
+        let cost = self.sim.run_layers_nominal(&self.layer, layers);
+        let (el, ee) = self.embedding_read_cost();
+        SentenceResult {
+            mode: InferenceMode::Base,
+            exit_layer: layers,
+            predicted_layer: None,
+            prediction: argmax(&out.logits[layers - 1]),
+            latency_s: cost.seconds + el,
+            energy_j: cost.energy_j + ee,
+            voltage: self.sim.config().vdd_nominal,
+            freq_hz: self.sim.config().freq_max_hz,
+            deadline_met: true,
+        }
+    }
+
+    /// Algorithm 1: conventional early exit at nominal V/F.
+    pub fn run_conventional_ee(&self, tokens: &[u32]) -> SentenceResult {
+        let (exit, logits, _) = self.model.infer_early_exit(tokens, self.et_conventional);
+        let cost = self.sim.run_layers_nominal(&self.layer, exit);
+        let (el, ee) = self.embedding_read_cost();
+        SentenceResult {
+            mode: InferenceMode::ConventionalEe,
+            exit_layer: exit,
+            predicted_layer: None,
+            prediction: argmax(&logits),
+            latency_s: cost.seconds + el,
+            energy_j: cost.energy_j + ee,
+            voltage: self.sim.config().vdd_nominal,
+            freq_hz: self.sim.config().freq_max_hz,
+            deadline_met: true,
+        }
+    }
+
+    /// Algorithm 2: EdgeBERT latency-aware inference.
+    pub fn run_latency_aware(&self, tokens: &[u32]) -> SentenceResult {
+        let et = self.et_latency_aware;
+        let out = self.model.forward_layers(tokens);
+        let num_layers = self.model.num_layers();
+        let cfg = self.sim.config();
+
+        // Wake: standby 0.5 V -> nominal; then layer 1 at nominal V/F.
+        let ldo = edgebert_hw::Ldo::new(cfg.vdd_standby);
+        let wake_s = ldo.transition_time_ns(cfg.vdd_standby, cfg.vdd_nominal) * 1e-9 + 100e-9;
+        let (embed_lat, embed_energy) = self.embedding_read_cost();
+        let layer1 = self.sim.run_layers_nominal(&self.layer, 1);
+
+        let mut latency = wake_s + embed_lat + layer1.seconds;
+        let mut energy = embed_energy + layer1.energy_j;
+
+        let h1 = out.entropies[0];
+        if h1 < et {
+            return SentenceResult {
+                mode: InferenceMode::LatencyAware,
+                exit_layer: 1,
+                predicted_layer: Some(1),
+                prediction: argmax(&out.logits[0]),
+                latency_s: latency,
+                energy_j: energy,
+                voltage: cfg.vdd_nominal,
+                freq_hz: cfg.freq_max_hz,
+                deadline_met: latency <= self.latency_target_s,
+            };
+        }
+
+        // Forecast and scale V/F for the remaining layers.
+        let predicted = self.lut.predict_exit_layer(h1, et).clamp(2, num_layers);
+        let remaining_cycles = self.layer_cycles * (predicted as u64 - 1);
+        let transition_s = 100e-9; // LDO settle + ADPLL relock (Fig. 7)
+        let remaining_budget = self.latency_target_s - latency - transition_s;
+        let decision = self.dvfs.decide(remaining_cycles, remaining_budget);
+
+        // Run layers 2..=predicted, exiting early if the true entropy
+        // crosses the threshold; forced stop at the forecast layer.
+        let mut exit = predicted;
+        for l in 2..=predicted {
+            if out.entropies[l - 1] < et {
+                exit = l;
+                break;
+            }
+        }
+        let segment =
+            self.sim
+                .run_layers(&self.layer, exit - 1, decision.voltage, decision.freq_hz);
+        latency += transition_s + segment.seconds;
+        energy += segment.energy_j;
+
+        SentenceResult {
+            mode: InferenceMode::LatencyAware,
+            exit_layer: exit,
+            predicted_layer: Some(predicted),
+            prediction: argmax(&out.logits[exit - 1]),
+            latency_s: latency,
+            energy_j: energy,
+            voltage: decision.voltage,
+            freq_hz: decision.freq_hz,
+            deadline_met: decision.feasible && latency <= self.latency_target_s * 1.0001,
+        }
+    }
+
+    /// Runs a whole dataset and aggregates.
+    pub fn evaluate(&self, data: &Dataset, mode: InferenceMode) -> AggregateResult {
+        let mut hits = 0usize;
+        let mut exit_sum = 0.0f32;
+        let mut pred_sum = 0.0f32;
+        let mut energy = 0.0f64;
+        let mut latency = 0.0f64;
+        let mut volts = 0.0f32;
+        let mut freq = 0.0f64;
+        let mut misses = 0usize;
+        for ex in data {
+            let r = self.run(&ex.tokens, mode);
+            if r.prediction == ex.label {
+                hits += 1;
+            }
+            exit_sum += r.exit_layer as f32;
+            pred_sum += r.predicted_layer.unwrap_or(r.exit_layer) as f32;
+            energy += r.energy_j;
+            latency += r.latency_s;
+            volts += r.voltage;
+            freq += r.freq_hz;
+            if !r.deadline_met {
+                misses += 1;
+            }
+        }
+        let n = data.len().max(1) as f64;
+        AggregateResult {
+            accuracy: hits as f32 / n as f32,
+            avg_exit_layer: exit_sum / n as f32,
+            avg_predicted_layer: pred_sum / n as f32,
+            avg_energy_j: energy / n,
+            avg_latency_s: latency / n,
+            avg_voltage: volts / n as f32,
+            avg_freq_hz: freq / n,
+            deadline_miss_rate: misses as f32 / n as f32,
+        }
+    }
+
+    /// The mGPU baseline cost for comparison rows, with the model's AAS
+    /// FLOP scale applied when `aas` is set.
+    pub fn mgpu_cost(&self, layers: usize, aas_flop_scale: f64) -> (f64, f64) {
+        let gpu = MobileGpu::tegra_x2();
+        (
+            gpu.inference_latency_s(layers, aas_flop_scale),
+            gpu.inference_energy_j(layers, aas_flop_scale),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::calibrate::SweepCache;
+    use crate::predictor::EntropyPredictor;
+    use edgebert_model::{AlbertConfig, AlbertModel};
+    use edgebert_tensor::Rng;
+    use edgebert_tasks::{Task, TaskGenerator, VocabLayout};
+
+    struct Fixture {
+        model: AlbertModel,
+        lut: PredictorLut,
+        data: Dataset,
+    }
+
+    fn fixture() -> Fixture {
+        let layout = VocabLayout::standard();
+        let cfg = AlbertConfig::tiny(layout.vocab_size(), 2);
+        let mut rng = Rng::seed_from(10);
+        let model = AlbertModel::pretrained(cfg, &layout, &mut rng);
+        let gen = TaskGenerator::standard(Task::Sst2, cfg.max_seq_len);
+        let data = gen.generate(24, 5);
+        let cache = SweepCache::build(&model, &data);
+        let pred = EntropyPredictor::train(&cache.entropy_dataset(), 60, 3);
+        let lut = pred.to_lut(32, 1.1);
+        Fixture { model, lut, data }
+    }
+
+    fn engine<'a>(f: &'a Fixture, target_s: f64, et: f32) -> EdgeBertEngine<'a> {
+        EdgeBertEngine::new(
+            &f.model,
+            &f.lut,
+            AcceleratorConfig::energy_optimal(),
+            &WorkloadParams::albert_base(),
+            target_s,
+            et,
+            et,
+        )
+    }
+
+    #[test]
+    fn base_runs_all_layers_at_nominal() {
+        let f = fixture();
+        let eng = engine(&f, 50e-3, 0.2);
+        let r = eng.run_base(&f.data.examples()[0].tokens);
+        assert_eq!(r.exit_layer, 4);
+        assert_eq!(r.voltage, 0.8);
+        assert!(r.deadline_met);
+        assert!(r.energy_j > 0.0);
+    }
+
+    #[test]
+    fn ee_exits_at_or_before_base() {
+        let f = fixture();
+        let eng = engine(&f, 50e-3, 10.0); // huge threshold: exit at 1
+        for ex in f.data.iter().take(5) {
+            let r = eng.run_conventional_ee(&ex.tokens);
+            assert_eq!(r.exit_layer, 1);
+            let b = eng.run_base(&ex.tokens);
+            assert!(r.energy_j < b.energy_j);
+            assert!(r.latency_s < b.latency_s);
+        }
+    }
+
+    #[test]
+    fn latency_aware_scales_voltage_down_with_loose_target() {
+        let f = fixture();
+        // Loose 200 ms target: remaining layers can run slow.
+        let eng = engine(&f, 200e-3, 0.0); // et=0: never exits early
+        let r = eng.run_latency_aware(&f.data.examples()[0].tokens);
+        assert!(r.voltage < 0.8, "voltage {}", r.voltage);
+        assert!(r.deadline_met);
+        assert!(r.latency_s <= 200e-3 * 1.001);
+    }
+
+    #[test]
+    fn latency_aware_beats_ee_energy_at_same_exit() {
+        let f = fixture();
+        let eng = engine(&f, 100e-3, 0.0);
+        for ex in f.data.iter().take(6) {
+            let lai = eng.run_latency_aware(&ex.tokens);
+            let ee = eng.run_conventional_ee(&ex.tokens);
+            if lai.exit_layer == ee.exit_layer && lai.voltage < 0.8 {
+                assert!(
+                    lai.energy_j < ee.energy_j,
+                    "LAI {} vs EE {}",
+                    lai.energy_j,
+                    ee.energy_j
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn impossible_target_is_flagged() {
+        let f = fixture();
+        // 1 µs target: infeasible even at nominal.
+        let eng = engine(&f, 1e-6, 0.0);
+        let r = eng.run_latency_aware(&f.data.examples()[0].tokens);
+        assert!(!r.deadline_met);
+        assert_eq!(r.voltage, 0.8); // falls back to max performance
+    }
+
+    #[test]
+    fn immediate_exit_at_layer_one() {
+        let f = fixture();
+        let eng = engine(&f, 50e-3, 100.0);
+        let r = eng.run_latency_aware(&f.data.examples()[0].tokens);
+        assert_eq!(r.exit_layer, 1);
+        assert_eq!(r.predicted_layer, Some(1));
+    }
+
+    #[test]
+    fn evaluate_aggregates_consistently() {
+        let f = fixture();
+        let eng = engine(&f, 100e-3, 0.3);
+        let agg = eng.evaluate(&f.data, InferenceMode::LatencyAware);
+        assert!(agg.avg_exit_layer >= 1.0 && agg.avg_exit_layer <= 4.0);
+        assert!(agg.avg_predicted_layer + 1e-4 >= agg.avg_exit_layer);
+        assert!(agg.avg_energy_j > 0.0);
+        assert!((0.0..=1.0).contains(&agg.accuracy));
+        assert!((0.0..=1.0).contains(&agg.deadline_miss_rate));
+    }
+
+    #[test]
+    fn energy_ordering_base_ee_lai() {
+        // The paper's headline: Base > EE > LAI in per-sentence energy
+        // (with a meaningfully loose latency target).
+        let f = fixture();
+        let eng = engine(&f, 150e-3, 0.5);
+        let base = eng.evaluate(&f.data, InferenceMode::Base);
+        let ee = eng.evaluate(&f.data, InferenceMode::ConventionalEe);
+        let lai = eng.evaluate(&f.data, InferenceMode::LatencyAware);
+        assert!(ee.avg_energy_j <= base.avg_energy_j);
+        assert!(lai.avg_energy_j <= ee.avg_energy_j * 1.05);
+    }
+
+    #[test]
+    fn mgpu_baseline_is_orders_of_magnitude_hungrier() {
+        let f = fixture();
+        let eng = engine(&f, 50e-3, 0.3);
+        let base = eng.evaluate(&f.data, InferenceMode::Base);
+        let (_, gpu_energy) = eng.mgpu_cost(12, 1.0);
+        assert!(gpu_energy / base.avg_energy_j > 10.0);
+    }
+}

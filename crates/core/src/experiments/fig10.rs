@@ -1,0 +1,112 @@
+//! Fig. 10: latency/energy breakdown across the PU and SFU datapaths, and
+//! the area/power breakdown of the energy-optimal accelerator.
+
+use crate::report::TextTable;
+use edgebert_hw::ops::OpKind;
+use edgebert_hw::report::AreaPowerReport;
+use edgebert_hw::{AcceleratorConfig, AcceleratorSim, WorkloadParams};
+use serde::{Deserialize, Serialize};
+
+/// One datapath's share of latency and energy.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BreakdownRow {
+    /// Datapath label (Fig. 10a naming).
+    pub name: String,
+    /// Fraction of total cycles.
+    pub latency_frac: f64,
+    /// Fraction of total datapath energy.
+    pub energy_frac: f64,
+}
+
+/// The full figure: datapath breakdown + block area/power.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig10 {
+    /// Fig. 10a rows.
+    pub breakdown: Vec<BreakdownRow>,
+    /// Fig. 10b rows: `(block, area mm², power mW)`.
+    pub blocks: Vec<(String, f64, f64)>,
+    /// Total area, mm².
+    pub total_area_mm2: f64,
+    /// Total power, mW.
+    pub total_power_mw: f64,
+}
+
+/// Runs the breakdown at the energy-optimal design point.
+pub fn run() -> Fig10 {
+    let cfg = AcceleratorConfig::energy_optimal();
+    let sim = AcceleratorSim::new(cfg);
+    let wl = sim.layer_workload(&WorkloadParams::albert_base());
+    let cost = sim.run_layers_nominal(&wl, 12);
+    let breakdown = OpKind::all()
+        .iter()
+        .map(|&k| BreakdownRow {
+            name: k.label().to_string(),
+            latency_frac: cost.latency_fraction(k),
+            energy_frac: cost.energy_fraction(k),
+        })
+        .collect();
+    let report = AreaPowerReport::at_config(&cfg);
+    Fig10 {
+        breakdown,
+        blocks: report
+            .blocks()
+            .iter()
+            .map(|b| (b.name.clone(), b.area_mm2, b.power_mw))
+            .collect(),
+        total_area_mm2: report.total_area_mm2(),
+        total_power_mw: report.total_power_mw(),
+    }
+}
+
+/// Renders both panels.
+pub fn render(f: &Fig10) -> String {
+    let mut out = String::from("Fig. 10a: latency and energy breakdown (n = 16, 12 layers)\n");
+    let mut t = TextTable::new(&["Datapath", "Latency %", "Energy %"]);
+    for r in &f.breakdown {
+        t.row_owned(vec![
+            r.name.clone(),
+            format!("{:.2}", r.latency_frac * 100.0),
+            format!("{:.3}", r.energy_frac * 100.0),
+        ]);
+    }
+    out.push_str(&t.render());
+    out.push('\n');
+    out.push_str("Fig. 10b: area and power breakdown @ 0.8 V / 1 GHz\n");
+    let mut b = TextTable::new(&["Block", "Area (mm²)", "Power (mW)"]);
+    for (name, area, power) in &f.blocks {
+        b.row_owned(vec![name.clone(), format!("{area:.2}"), format!("{power:.2}")]);
+    }
+    b.row_owned(vec![
+        "Total".into(),
+        format!("{:.2}", f.total_area_mm2),
+        format!("{:.1}", f.total_power_mw),
+    ]);
+    out.push_str(&b.render());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn breakdown_matches_paper_shape() {
+        let f = run();
+        let mac = f
+            .breakdown
+            .iter()
+            .find(|r| r.name == "MACs")
+            .expect("MAC row present");
+        // Fig. 10a: MACs 90.7% latency, 98.8% energy.
+        assert!((0.85..0.95).contains(&mac.latency_frac), "{}", mac.latency_frac);
+        assert!(mac.energy_frac > 0.93, "{}", mac.energy_frac);
+        // Fig. 10b totals.
+        assert!((f.total_area_mm2 - 1.39).abs() < 0.01);
+        assert!((f.total_power_mw - 85.9).abs() < 0.1);
+        // Render mentions every block.
+        let text = render(&f);
+        for (name, _, _) in &f.blocks {
+            assert!(text.contains(name.as_str()));
+        }
+    }
+}

@@ -1,0 +1,85 @@
+//! Fig. 11: the cost of making the embeddings available after power-on —
+//! ReRAM-resident (EdgeBERT) vs DRAM reload + SRAM staging
+//! (conventional).
+
+use crate::report::{energy, time, TextTable};
+use edgebert_hw::memory::{sentence_embedding_bits, BootComparison};
+use serde::{Deserialize, Serialize};
+
+/// The comparison result.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig11 {
+    /// Embedding table size, MB (the paper's compact 1.73 MB baseline).
+    pub table_mb: f64,
+    /// EdgeBERT latency, seconds.
+    pub edgebert_latency_s: f64,
+    /// EdgeBERT energy, joules.
+    pub edgebert_energy_j: f64,
+    /// Conventional latency, seconds.
+    pub conventional_latency_s: f64,
+    /// Conventional energy, joules.
+    pub conventional_energy_j: f64,
+    /// Latency advantage (conventional / EdgeBERT).
+    pub latency_advantage: f64,
+    /// Energy advantage.
+    pub energy_advantage: f64,
+}
+
+/// Runs the comparison with the paper's storage configuration.
+pub fn run() -> Fig11 {
+    let table_mb = 1.73;
+    let bits = sentence_embedding_bits(128, 128, 0.4);
+    let cmp = BootComparison::standard(table_mb, bits);
+    Fig11 {
+        table_mb,
+        edgebert_latency_s: cmp.edgebert.latency_s,
+        edgebert_energy_j: cmp.edgebert.energy_j,
+        conventional_latency_s: cmp.conventional.latency_s,
+        conventional_energy_j: cmp.conventional.energy_j,
+        latency_advantage: cmp.latency_advantage(),
+        energy_advantage: cmp.energy_advantage(),
+    }
+}
+
+/// Renders the comparison.
+pub fn render(f: &Fig11) -> String {
+    let mut out = format!(
+        "Fig. 11: embedding availability after power-on ({:.2} MB table)\n",
+        f.table_mb
+    );
+    let mut t = TextTable::new(&["Path", "Latency", "Energy"]);
+    t.row_owned(vec![
+        "EdgeBERT (ReRAM-resident)".into(),
+        time(f.edgebert_latency_s),
+        energy(f.edgebert_energy_j),
+    ]);
+    t.row_owned(vec![
+        "Conventional (DRAM→SRAM)".into(),
+        time(f.conventional_latency_s),
+        energy(f.conventional_energy_j),
+    ]);
+    out.push_str(&t.render());
+    out.push_str(&format!(
+        "advantage: ~{:.0}x latency, ~{:.0}x energy\n",
+        f.latency_advantage, f.energy_advantage
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn advantages_are_in_paper_regime() {
+        let f = run();
+        // Paper: ~50x latency, ~66,000x energy. Shape check: both large,
+        // energy advantage orders of magnitude beyond latency advantage.
+        assert!(f.latency_advantage > 30.0, "{}", f.latency_advantage);
+        assert!(f.energy_advantage > 5_000.0, "{}", f.energy_advantage);
+        assert!(f.energy_advantage > f.latency_advantage * 50.0);
+        let text = render(&f);
+        assert!(text.contains("EdgeBERT"));
+        assert!(text.contains("Conventional"));
+    }
+}

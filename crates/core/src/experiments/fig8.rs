@@ -1,0 +1,145 @@
+//! Fig. 8: design-space exploration — per-sentence latency and energy as
+//! the PU MAC vector size scales, against the TX2 mobile GPU.
+//!
+//! Three accelerator variants per point: unoptimized (Base), with
+//! adaptive attention span predication (+AAS), and with AAS plus
+//! compressed sparse execution (+AAS+Sparse). Full 12-layer inference at
+//! nominal V/F, as in the paper's figure.
+
+use crate::pipeline::TaskArtifacts;
+use crate::report::{energy, time, TextTable};
+use edgebert_hw::{AcceleratorConfig, AcceleratorSim, MobileGpu, WorkloadParams};
+use serde::{Deserialize, Serialize};
+
+/// One (task, n, variant) point.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig8Point {
+    /// Task name.
+    pub task: String,
+    /// MAC vector size.
+    pub n: usize,
+    /// Variant label: "base", "aas", or "aas+sparse".
+    pub variant: String,
+    /// Per-sentence latency, seconds.
+    pub latency_s: f64,
+    /// Per-sentence energy, joules.
+    pub energy_j: f64,
+}
+
+/// The sweep plus the mGPU reference points.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig8 {
+    /// Accelerator sweep points.
+    pub points: Vec<Fig8Point>,
+    /// Per-task `(task, latency_s, energy_j)` of the mGPU without AAS.
+    pub mgpu_base: Vec<(String, f64, f64)>,
+    /// Per-task mGPU with AAS applied.
+    pub mgpu_aas: Vec<(String, f64, f64)>,
+}
+
+/// The MAC vector sizes of the paper's sweep.
+pub const MAC_SIZES: [usize; 5] = [2, 4, 8, 16, 32];
+
+fn task_workloads(art: &TaskArtifacts) -> [(&'static str, WorkloadParams); 3] {
+    let base = art.hardware_workload(false);
+    let mut aas = art.hardware_workload(true);
+    aas.sparse_enabled = false; // AAS only
+    let full = art.hardware_workload(true);
+    [("base", base), ("aas", aas), ("aas+sparse", full)]
+}
+
+/// AAS FLOP-scale factor for the mGPU (compute shrinks with the active
+/// heads and spans; the GPU cannot exploit sparsity).
+fn aas_flop_scale(art: &TaskArtifacts) -> f64 {
+    let base = art.hardware_workload(false);
+    let aas = art.hardware_workload(true);
+    let cfg = AcceleratorConfig::energy_optimal();
+    let sim = AcceleratorSim::new(cfg);
+    let c_base = sim.layer_workload(&base).cycles() as f64;
+    let c_aas = sim.layer_workload(&aas).cycles() as f64;
+    (c_aas / c_base).clamp(0.5, 1.0)
+}
+
+/// Runs the sweep for a set of tasks.
+pub fn run(artifacts: &[TaskArtifacts]) -> Fig8 {
+    let mut points = Vec::new();
+    let mut mgpu_base = Vec::new();
+    let mut mgpu_aas = Vec::new();
+    let gpu = MobileGpu::tegra_x2();
+    for art in artifacts {
+        for n in MAC_SIZES {
+            let cfg = AcceleratorConfig::with_mac_vector_size(n);
+            let sim = AcceleratorSim::new(cfg);
+            for (label, wl) in task_workloads(art) {
+                let layer = sim.layer_workload(&wl);
+                let cost = sim.run_layers_nominal(&layer, 12);
+                points.push(Fig8Point {
+                    task: art.task.to_string(),
+                    n,
+                    variant: label.to_string(),
+                    latency_s: cost.seconds,
+                    energy_j: cost.energy_j,
+                });
+            }
+        }
+        let scale = aas_flop_scale(art);
+        mgpu_base.push((
+            art.task.to_string(),
+            gpu.inference_latency_s(12, 1.0),
+            gpu.inference_energy_j(12, 1.0),
+        ));
+        mgpu_aas.push((
+            art.task.to_string(),
+            gpu.inference_latency_s(12, scale),
+            gpu.inference_energy_j(12, scale),
+        ));
+    }
+    Fig8 { points, mgpu_base, mgpu_aas }
+}
+
+/// The energy-optimal MAC size for a task under the full optimizations.
+pub fn energy_optimal_n(f: &Fig8, task: &str) -> usize {
+    f.points
+        .iter()
+        .filter(|p| p.task == task && p.variant == "aas+sparse")
+        .min_by(|a, b| a.energy_j.partial_cmp(&b.energy_j).expect("no NaN energies"))
+        .map(|p| p.n)
+        .unwrap_or(16)
+}
+
+/// Renders the sweep.
+pub fn render(f: &Fig8) -> String {
+    let mut out = String::from(
+        "Fig. 8: latency & energy per sentence vs MAC vector size (full 12-layer inference)\n",
+    );
+    let mut table = TextTable::new(&["Task", "n", "Variant", "Latency", "Energy"]);
+    for p in &f.points {
+        table.row_owned(vec![
+            p.task.clone(),
+            p.n.to_string(),
+            p.variant.clone(),
+            time(p.latency_s),
+            energy(p.energy_j),
+        ]);
+    }
+    out.push_str(&table.render());
+    out.push('\n');
+    let mut gpu = TextTable::new(&["Task", "mGPU latency", "mGPU energy", "+AAS latency", "+AAS energy"]);
+    for ((task, lat, en), (_, lat_a, en_a)) in f.mgpu_base.iter().zip(f.mgpu_aas.iter()) {
+        gpu.row_owned(vec![
+            task.clone(),
+            time(*lat),
+            energy(*en),
+            time(*lat_a),
+            energy(*en_a),
+        ]);
+    }
+    out.push_str(&gpu.render());
+    for (task, _, _) in &f.mgpu_base {
+        out.push_str(&format!(
+            "energy-optimal n for {task}: {}\n",
+            energy_optimal_n(f, task)
+        ));
+    }
+    out
+}

@@ -1,0 +1,139 @@
+//! Fig. 9: DVFS-driven latency-aware inference — average supply voltage,
+//! clock frequency, and per-sentence energy at 50/75/100 ms targets,
+//! against the Base and conventional-EE baselines.
+
+use crate::engine::InferenceMode;
+use crate::pipeline::TaskArtifacts;
+use crate::report::{energy, TextTable};
+use serde::{Deserialize, Serialize};
+
+/// One (task, target, scheme) bar.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig9Bar {
+    /// Task name.
+    pub task: String,
+    /// Latency target, seconds (0 for the unbounded baselines).
+    pub target_s: f64,
+    /// Scheme label: "base", "ee", "lai", "lai+aas+sparse".
+    pub scheme: String,
+    /// Mean per-sentence energy, joules.
+    pub energy_j: f64,
+    /// Mean post-decision supply voltage, volts.
+    pub avg_voltage: f32,
+    /// Mean post-decision clock frequency, Hz.
+    pub avg_freq_hz: f64,
+    /// Accuracy at this operating point.
+    pub accuracy: f32,
+    /// Deadline miss rate.
+    pub miss_rate: f32,
+}
+
+/// The full figure.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig9 {
+    /// All bars.
+    pub bars: Vec<Fig9Bar>,
+}
+
+/// Latency targets of the paper's figure.
+pub const TARGETS_S: [f64; 3] = [50e-3, 75e-3, 100e-3];
+
+/// Runs the study for a set of tasks at the 1 %-drop calibration.
+pub fn run(artifacts: &[TaskArtifacts]) -> Fig9 {
+    let mut bars = Vec::new();
+    for art in artifacts {
+        // Unbounded baselines on the unoptimized workload.
+        let eng = art.engine_at(TARGETS_S[2], 0, false);
+        for (label, mode) in
+            [("base", InferenceMode::Base), ("ee", InferenceMode::ConventionalEe)]
+        {
+            let agg = eng.evaluate(&art.dev, mode);
+            bars.push(Fig9Bar {
+                task: art.task.to_string(),
+                target_s: 0.0,
+                scheme: label.to_string(),
+                energy_j: agg.avg_energy_j,
+                avg_voltage: agg.avg_voltage,
+                avg_freq_hz: agg.avg_freq_hz,
+                accuracy: agg.accuracy,
+                miss_rate: agg.deadline_miss_rate,
+            });
+        }
+        // Latency-aware inference at each target, with and without the
+        // AAS + sparse hardware optimizations.
+        for &target in &TARGETS_S {
+            for (label, optimized) in [("lai", false), ("lai+aas+sparse", true)] {
+                let eng = art.engine_at(target, 0, optimized);
+                let agg = eng.evaluate(&art.dev, InferenceMode::LatencyAware);
+                bars.push(Fig9Bar {
+                    task: art.task.to_string(),
+                    target_s: target,
+                    scheme: label.to_string(),
+                    energy_j: agg.avg_energy_j,
+                    avg_voltage: agg.avg_voltage,
+                    avg_freq_hz: agg.avg_freq_hz,
+                    accuracy: agg.accuracy,
+                    miss_rate: agg.deadline_miss_rate,
+                });
+            }
+        }
+    }
+    Fig9 { bars }
+}
+
+/// Energy-savings ratio of the best LAI bar against a baseline scheme.
+pub fn savings_vs(f: &Fig9, task: &str, baseline: &str) -> f64 {
+    let base = f
+        .bars
+        .iter()
+        .find(|b| b.task == task && b.scheme == baseline)
+        .map(|b| b.energy_j)
+        .unwrap_or(f64::NAN);
+    let best = f
+        .bars
+        .iter()
+        .filter(|b| b.task == task && b.scheme == "lai+aas+sparse")
+        .map(|b| b.energy_j)
+        .fold(f64::INFINITY, f64::min);
+    base / best
+}
+
+/// Renders the figure data.
+pub fn render(f: &Fig9) -> String {
+    let mut out = String::from(
+        "Fig. 9: latency-aware inference — V/F scaling and per-sentence energy\n",
+    );
+    let mut table = TextTable::new(&[
+        "Task", "Scheme", "Target", "Avg V", "Avg F (MHz)", "Energy", "Acc", "Miss",
+    ]);
+    for b in &f.bars {
+        table.row_owned(vec![
+            b.task.clone(),
+            b.scheme.clone(),
+            if b.target_s == 0.0 {
+                "-".into()
+            } else {
+                format!("{:.0} ms", b.target_s * 1e3)
+            },
+            format!("{:.3}", b.avg_voltage),
+            format!("{:.0}", b.avg_freq_hz / 1e6),
+            energy(b.energy_j),
+            format!("{:.2}", b.accuracy),
+            format!("{:.2}", b.miss_rate),
+        ]);
+    }
+    out.push_str(&table.render());
+    let tasks: Vec<String> = {
+        let mut t: Vec<String> = f.bars.iter().map(|b| b.task.clone()).collect();
+        t.dedup();
+        t
+    };
+    for task in tasks {
+        out.push_str(&format!(
+            "{task}: best LAI saves {:.1}x vs Base, {:.1}x vs EE\n",
+            savings_vs(f, &task, "base"),
+            savings_vs(f, &task, "ee"),
+        ));
+    }
+    out
+}

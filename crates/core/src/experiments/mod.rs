@@ -1,0 +1,27 @@
+//! Experiment drivers: one module per table/figure of the paper's
+//! evaluation section.
+//!
+//! | Module | Reproduces | Paper reference |
+//! |---|---|---|
+//! | [`table1`] | learned attention spans per head | Table 1 |
+//! | [`table2`] | eNVM fault-injection accuracy | Table 2 |
+//! | [`table3`] | synergy of optimizations + exit layers | Table 3 |
+//! | [`table4`] | LDO/ADPLL component specs | Table 4 |
+//! | [`fig7`]   | DVFS voltage waveform across sentences | Fig. 7 |
+//! | [`fig8`]   | latency/energy vs MAC vector size | Fig. 8 |
+//! | [`fig9`]   | latency-aware inference energy | Fig. 9 |
+//! | [`fig10`]  | latency/energy/area/power breakdowns | Fig. 10 |
+//! | [`fig11`]  | embedding power-on cost | Fig. 11 |
+//!
+//! Every driver returns structured rows plus a `render()`ed text table so
+//! the `repro` binary can regenerate the complete evaluation.
+
+pub mod fig10;
+pub mod fig11;
+pub mod fig7;
+pub mod fig8;
+pub mod fig9;
+pub mod table1;
+pub mod table2;
+pub mod table3;
+pub mod table4;

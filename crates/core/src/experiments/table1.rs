@@ -1,0 +1,83 @@
+//! Table 1: learned attention spans of every head.
+//!
+//! The paper's headline observation: more than half of ALBERT's twelve
+//! heads learn a zero span and can be switched off entirely, with
+//! negligible accuracy change. We report our model's learned spans next
+//! to the paper's, plus the accuracy delta against the dense teacher.
+
+use crate::pipeline::TaskArtifacts;
+use crate::report::TextTable;
+use serde::{Deserialize, Serialize};
+
+/// One task's row.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Table1Row {
+    /// Task name.
+    pub task: String,
+    /// Learned span per head (this reproduction).
+    pub spans: Vec<f32>,
+    /// Mean learned span.
+    pub avg_span: f32,
+    /// Heads fully off.
+    pub heads_off: usize,
+    /// Accuracy delta (student − teacher), percentage points.
+    pub acc_diff_pp: f32,
+    /// The paper's spans for reference.
+    pub paper_spans: Vec<f32>,
+    /// The paper's average span.
+    pub paper_avg_span: f32,
+}
+
+/// The full table.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Table1 {
+    /// One row per task.
+    pub rows: Vec<Table1Row>,
+}
+
+/// Builds the row for one task from its artifacts.
+pub fn run_task(art: &TaskArtifacts) -> Table1Row {
+    let spans = art.summary.head_spans.clone();
+    Table1Row {
+        task: art.task.to_string(),
+        avg_span: art.summary.avg_span,
+        heads_off: art.summary.heads_off,
+        acc_diff_pp: (art.summary.student_accuracy - art.summary.teacher_accuracy) * 100.0,
+        spans,
+        paper_spans: art.task.paper_head_spans().to_vec(),
+        paper_avg_span: art.task.paper_avg_attention_span(),
+    }
+}
+
+/// Assembles the table from per-task artifacts.
+pub fn run(artifacts: &[TaskArtifacts]) -> Table1 {
+    Table1 { rows: artifacts.iter().map(run_task).collect() }
+}
+
+/// Renders the table.
+pub fn render(t: &Table1) -> String {
+    let mut out = String::from(
+        "Table 1: learned attention span per head (reproduction vs paper)\n",
+    );
+    let mut table = TextTable::new(&[
+        "Task", "Spans (ours)", "Avg", "Heads off", "Acc diff (pp)", "Paper avg",
+    ]);
+    for r in &t.rows {
+        let spans = r
+            .spans
+            .iter()
+            .map(|s| format!("{s:.0}"))
+            .collect::<Vec<_>>()
+            .join(",");
+        table.row_owned(vec![
+            r.task.clone(),
+            spans,
+            format!("{:.1}", r.avg_span),
+            format!("{}/{}", r.heads_off, r.spans.len()),
+            format!("{:+.2}", r.acc_diff_pp),
+            format!("{:.1}", r.paper_avg_span),
+        ]);
+    }
+    out.push_str(&table.render());
+    out
+}

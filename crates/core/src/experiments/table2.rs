@@ -1,0 +1,127 @@
+//! Table 2: fault-injection study of eNVM embedding storage.
+//!
+//! For each cell technology the campaign (a) encodes the model's pruned,
+//! FP8-quantized embedding table into the bitmask+payload layout, (b)
+//! injects cell faults into the stored image over many Monte-Carlo
+//! trials, (c) decodes and swaps the faulted table into the model, and
+//! (d) measures end-task accuracy. Mean and worst-case accuracies per
+//! technology reproduce the paper's finding: SLC/MLC2 are safe, MLC3 is
+//! not — so the accelerator stores payloads in MLC2 and the bitmask in
+//! SLC.
+
+use crate::pipeline::TaskArtifacts;
+use crate::report::TextTable;
+use edgebert_envm::{CampaignResult, CellTech, FaultInjector, StoredEmbedding};
+use edgebert_tensor::Rng;
+use serde::{Deserialize, Serialize};
+
+/// One (task, technology) campaign outcome.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Table2Cell {
+    /// Task name.
+    pub task: String,
+    /// Cell technology.
+    pub tech: String,
+    /// Mean accuracy over trials (percent).
+    pub mean_acc: f32,
+    /// Worst-case accuracy (percent).
+    pub min_acc: f32,
+    /// Mean faulted cells per trial.
+    pub mean_faults: f32,
+}
+
+/// The full study.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Table2 {
+    /// Campaign outcomes (4 tasks x 3 technologies).
+    pub cells: Vec<Table2Cell>,
+    /// Area density rows (mm²/MB), Table 2 bottom.
+    pub area_density: Vec<(String, f64)>,
+    /// Read latency rows (ns).
+    pub read_latency: Vec<(String, f64)>,
+}
+
+/// Runs the campaign for one task across all three technologies.
+///
+/// `eval_size` caps how many dev sentences each trial is scored on (the
+/// full dev set when larger). Trials whose stored image is bit-identical
+/// to the pristine one (common for SLC/MLC2, whose fault rates are
+/// minuscule) reuse the pristine accuracy instead of re-running the
+/// model.
+pub fn run_task(art: &TaskArtifacts, trials: usize, eval_size: usize, seed: u64) -> Vec<Table2Cell> {
+    let mut rng = Rng::seed_from(seed);
+    let pristine = StoredEmbedding::encode(&art.model.embedding.table.value, 4);
+    let eval_set = edgebert_tasks::Dataset::new(
+        art.task,
+        art.dev.examples()[..eval_size.min(art.dev.len())].to_vec(),
+    );
+    let mut baseline_model = art.model.clone();
+    baseline_model.embedding.set_table(pristine.decode());
+    let pristine_acc = baseline_model.evaluate_accuracy(&eval_set) * 100.0;
+
+    let mut out = Vec::new();
+    for tech in CellTech::all() {
+        let injector = FaultInjector::new(tech);
+        let mut eval_model = art.model.clone();
+        let result = CampaignResult::run(&pristine, &injector, trials, &mut rng, |stored| {
+            if stored.payload_bytes() == pristine.payload_bytes()
+                && stored.mask_bytes() == pristine.mask_bytes()
+            {
+                return pristine_acc;
+            }
+            eval_model.embedding.set_table(stored.decode());
+            eval_model.evaluate_accuracy(&eval_set) * 100.0
+        });
+        out.push(Table2Cell {
+            task: art.task.to_string(),
+            tech: tech.to_string(),
+            mean_acc: result.mean,
+            min_acc: result.min,
+            mean_faults: result.mean_faults,
+        });
+    }
+    out
+}
+
+/// Runs the full study.
+pub fn run(artifacts: &[TaskArtifacts], trials: usize, eval_size: usize, seed: u64) -> Table2 {
+    let mut cells = Vec::new();
+    for (i, art) in artifacts.iter().enumerate() {
+        cells.extend(run_task(art, trials, eval_size, seed + i as u64));
+    }
+    Table2 {
+        cells,
+        area_density: CellTech::all()
+            .iter()
+            .map(|t| (t.to_string(), t.area_mm2_per_mb()))
+            .collect(),
+        read_latency: CellTech::all()
+            .iter()
+            .map(|t| (t.to_string(), t.read_latency_ns()))
+            .collect(),
+    }
+}
+
+/// Renders the table.
+pub fn render(t: &Table2) -> String {
+    let mut out =
+        String::from("Table 2: fault injection on eNVM embedding storage (accuracy %)\n");
+    let mut table = TextTable::new(&["Task", "Tech", "Mean", "Min", "Faults/trial"]);
+    for c in &t.cells {
+        table.row_owned(vec![
+            c.task.clone(),
+            c.tech.clone(),
+            format!("{:.2}", c.mean_acc),
+            format!("{:.2}", c.min_acc),
+            format!("{:.1}", c.mean_faults),
+        ]);
+    }
+    out.push_str(&table.render());
+    out.push('\n');
+    let mut chars = TextTable::new(&["Tech", "Area (mm²/MB)", "Read latency (ns)"]);
+    for ((tech, area), (_, lat)) in t.area_density.iter().zip(t.read_latency.iter()) {
+        chars.row_owned(vec![tech.clone(), format!("{area:.2}"), format!("{lat:.2}")]);
+    }
+    out.push_str(&chars.render());
+    out
+}

@@ -1,0 +1,98 @@
+//! Table 3: synergy of the optimizations — sparsity, spans, and the
+//! entropy-threshold / exit-layer trade-off for conventional EE vs
+//! latency-aware inference at 1/2/5 % accuracy-drop targets.
+
+use crate::pipeline::TaskArtifacts;
+use crate::report::TextTable;
+use serde::{Deserialize, Serialize};
+
+/// One (task, accuracy-drop) row.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Table3Row {
+    /// Task name.
+    pub task: String,
+    /// Embedding sparsity achieved (percent).
+    pub embedding_sparsity_pct: f32,
+    /// Encoder sparsity achieved (percent).
+    pub encoder_sparsity_pct: f32,
+    /// Mean learned attention span.
+    pub avg_span: f32,
+    /// Accuracy-drop target (percentage points).
+    pub drop_pct: f32,
+    /// Conventional EE: calibrated entropy threshold.
+    pub conv_threshold: f32,
+    /// Conventional EE: average exit layer.
+    pub conv_avg_exit: f32,
+    /// LAI: calibrated entropy threshold.
+    pub lai_threshold: f32,
+    /// LAI: average predicted exit layer.
+    pub lai_avg_predicted: f32,
+    /// LAI: average actual exit layer.
+    pub lai_avg_actual: f32,
+}
+
+/// The full table.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Table3 {
+    /// Rows (4 tasks x 3 drop targets).
+    pub rows: Vec<Table3Row>,
+}
+
+/// Builds the three rows for one task.
+pub fn run_task(art: &TaskArtifacts) -> Vec<Table3Row> {
+    let drops = [1.0f32, 2.0, 5.0];
+    (0..3)
+        .map(|i| Table3Row {
+            task: art.task.to_string(),
+            embedding_sparsity_pct: art.summary.embedding_sparsity * 100.0,
+            encoder_sparsity_pct: art.summary.encoder_sparsity * 100.0,
+            avg_span: art.summary.avg_span,
+            drop_pct: drops[i],
+            conv_threshold: art.calib_conv[i].entropy_threshold,
+            conv_avg_exit: art.calib_conv[i].avg_exit_layer,
+            lai_threshold: art.calib_lai[i].entropy_threshold,
+            lai_avg_predicted: art.calib_lai[i].avg_predicted_layer,
+            lai_avg_actual: art.calib_lai[i].avg_exit_layer,
+        })
+        .collect()
+}
+
+/// Assembles the table from per-task artifacts.
+pub fn run(artifacts: &[TaskArtifacts]) -> Table3 {
+    Table3 { rows: artifacts.iter().flat_map(run_task).collect() }
+}
+
+/// Renders the table.
+pub fn render(t: &Table3) -> String {
+    let mut out = String::from(
+        "Table 3: optimization synergy — conventional EE vs EdgeBERT latency-aware inference\n",
+    );
+    let mut table = TextTable::new(&[
+        "Task",
+        "Emb spars %",
+        "Enc spars %",
+        "Avg span",
+        "Drop %",
+        "EE: E_T",
+        "EE: avg exit",
+        "LAI: E_T",
+        "LAI: predicted",
+        "LAI: actual",
+    ]);
+    for r in &t.rows {
+        table.row_owned(vec![
+            r.task.clone(),
+            format!("{:.0}", r.embedding_sparsity_pct),
+            format!("{:.0}", r.encoder_sparsity_pct),
+            format!("{:.1}", r.avg_span),
+            format!("{:.0}", r.drop_pct),
+            format!("{:.3}", r.conv_threshold),
+            format!("{:.2}", r.conv_avg_exit),
+            format!("{:.3}", r.lai_threshold),
+            format!("{:.2}", r.lai_avg_predicted),
+            format!("{:.2}", r.lai_avg_actual),
+        ]);
+    }
+    out.push_str(&table.render());
+    out
+}

@@ -1,0 +1,72 @@
+//! Table 4: performance specs of the DVFS components (LDO and ADPLL).
+
+use crate::report::TextTable;
+use edgebert_hw::adpll::Adpll;
+use edgebert_hw::ldo::LdoSpec;
+use serde::{Deserialize, Serialize};
+
+/// The spec rows.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Table4 {
+    /// LDO slew, ns per 50 mV.
+    pub ldo_response_ns_per_50mv: f64,
+    /// LDO peak current efficiency (fraction).
+    pub ldo_peak_current_efficiency: f64,
+    /// LDO maximum load, mA.
+    pub ldo_max_load_ma: f64,
+    /// ADPLL power at 1 GHz, mW.
+    pub adpll_power_mw_at_1ghz: f64,
+}
+
+/// Reads the specs from the component models.
+pub fn run() -> Table4 {
+    let ldo = LdoSpec::default();
+    let pll = Adpll::new(1.0e9);
+    Table4 {
+        ldo_response_ns_per_50mv: ldo.response_ns_per_50mv,
+        ldo_peak_current_efficiency: ldo.peak_current_efficiency,
+        ldo_max_load_ma: ldo.max_load_ma,
+        adpll_power_mw_at_1ghz: pll.power_mw(),
+    }
+}
+
+/// Renders the table.
+pub fn render(t: &Table4) -> String {
+    let mut out = String::from("Table 4: LDO and ADPLL performance specs\n");
+    let mut table = TextTable::new(&["Spec", "Value"]);
+    table.row_owned(vec![
+        "LDO response time".into(),
+        format!("{:.1} ns / 50 mV", t.ldo_response_ns_per_50mv),
+    ]);
+    table.row_owned(vec![
+        "LDO peak current efficiency".into(),
+        format!("{:.1} % @ Iload,max", t.ldo_peak_current_efficiency * 100.0),
+    ]);
+    table.row_owned(vec![
+        "LDO Iload,max".into(),
+        format!("{:.0} mA", t.ldo_max_load_ma),
+    ]);
+    table.row_owned(vec![
+        "ADPLL power".into(),
+        format!("{:.2} mW @ 1 GHz", t.adpll_power_mw_at_1ghz),
+    ]);
+    out.push_str(&table.render());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_paper_values() {
+        let t = run();
+        assert_eq!(t.ldo_response_ns_per_50mv, 3.8);
+        assert_eq!(t.ldo_peak_current_efficiency, 0.992);
+        assert_eq!(t.ldo_max_load_ma, 200.0);
+        assert!((t.adpll_power_mw_at_1ghz - 2.46).abs() < 1e-9);
+        let text = render(&t);
+        assert!(text.contains("3.8 ns"));
+        assert!(text.contains("2.46 mW"));
+    }
+}

@@ -1,0 +1,149 @@
+//! Plain-text table rendering shared by the experiment drivers.
+
+/// A simple fixed-width text table builder.
+///
+/// # Example
+///
+/// ```
+/// use edgebert::report::TextTable;
+///
+/// let mut t = TextTable::new(&["task", "accuracy"]);
+/// t.row(&["SST-2", "92.2"]);
+/// let s = t.render();
+/// assert!(s.contains("SST-2"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct TextTable {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with column headers.
+    pub fn new(headers: &[&str]) -> Self {
+        Self { headers: headers.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+    }
+
+    /// Appends a row (padded/truncated to the header width).
+    pub fn row(&mut self, cells: &[&str]) {
+        let mut r: Vec<String> = cells.iter().map(|s| s.to_string()).collect();
+        r.resize(self.headers.len(), String::new());
+        self.rows.push(r);
+    }
+
+    /// Appends a row of already-owned strings.
+    pub fn row_owned(&mut self, cells: Vec<String>) {
+        let mut r = cells;
+        r.resize(self.headers.len(), String::new());
+        self.rows.push(r);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders with aligned columns.
+    pub fn render(&self) -> String {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for r in &self.rows {
+            for c in 0..cols {
+                widths[c] = widths[c].max(r[c].len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for (c, cell) in cells.iter().enumerate() {
+                line.push_str(&format!("{:<width$}  ", cell, width = widths[c]));
+            }
+            line.trim_end().to_string()
+        };
+        out.push_str(&fmt_row(&self.headers, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * cols));
+        out.push('\n');
+        for r in &self.rows {
+            out.push_str(&fmt_row(r, &widths));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Formats a float with the given decimals.
+pub fn f(v: f64, decimals: usize) -> String {
+    format!("{v:.decimals$}")
+}
+
+/// Formats joules as the most readable SI unit.
+pub fn energy(j: f64) -> String {
+    if j >= 1.0 {
+        format!("{j:.2} J")
+    } else if j >= 1e-3 {
+        format!("{:.2} mJ", j * 1e3)
+    } else if j >= 1e-6 {
+        format!("{:.2} µJ", j * 1e6)
+    } else if j >= 1e-9 {
+        format!("{:.2} nJ", j * 1e9)
+    } else {
+        format!("{:.2} pJ", j * 1e12)
+    }
+}
+
+/// Formats seconds as the most readable SI unit.
+pub fn time(s: f64) -> String {
+    if s >= 1.0 {
+        format!("{s:.2} s")
+    } else if s >= 1e-3 {
+        format!("{:.2} ms", s * 1e3)
+    } else if s >= 1e-6 {
+        format!("{:.2} µs", s * 1e6)
+    } else {
+        format!("{:.2} ns", s * 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = TextTable::new(&["a", "long-header"]);
+        t.row(&["x", "1"]);
+        t.row(&["longer-cell", "2"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("long-header"));
+        assert!(lines[3].starts_with("longer-cell"));
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn short_rows_are_padded() {
+        let mut t = TextTable::new(&["a", "b", "c"]);
+        t.row(&["only-one"]);
+        assert!(t.render().contains("only-one"));
+    }
+
+    #[test]
+    fn unit_formatting() {
+        assert_eq!(energy(2.5), "2.50 J");
+        assert_eq!(energy(2.5e-3), "2.50 mJ");
+        assert_eq!(energy(2.5e-6), "2.50 µJ");
+        assert_eq!(energy(2.5e-9), "2.50 nJ");
+        assert_eq!(energy(2.5e-13), "0.25 pJ");
+        assert_eq!(time(0.05), "50.00 ms");
+        assert_eq!(time(3.8e-9), "3.80 ns");
+        assert_eq!(f(1.23456, 2), "1.23");
+    }
+}

@@ -1,0 +1,326 @@
+//! Monte-Carlo fault injection over stored bit images (Ares-style).
+//!
+//! Faults are injected at *cell* granularity: each cell holds
+//! `bits_per_cell` adjacent bits of the byte stream, and a faulty cell
+//! reads back at an adjacent level (±1), the dominant error mode of
+//! multi-level ReRAM. The injector perturbs the raw bytes of a
+//! [`StoredEmbedding`]; the caller then decodes and evaluates task
+//! accuracy, exactly like the paper's Table 2 campaign.
+
+use crate::cells::CellTech;
+use crate::storage::StoredEmbedding;
+use edgebert_tensor::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Configurable fault injector.
+///
+/// # Example
+///
+/// ```
+/// use edgebert_envm::{CellTech, FaultInjector};
+/// use edgebert_tensor::Rng;
+///
+/// let injector = FaultInjector::new(CellTech::Mlc3).with_error_rate(0.5);
+/// let mut bytes = vec![0u8; 64];
+/// let mut rng = Rng::seed_from(0);
+/// let faults = injector.inject_bytes(&mut bytes, &mut rng);
+/// assert!(faults > 0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FaultInjector {
+    tech: CellTech,
+    error_rate: f64,
+}
+
+impl FaultInjector {
+    /// Creates an injector using the technology's default error rate.
+    pub fn new(tech: CellTech) -> Self {
+        Self { tech, error_rate: tech.level_error_rate() }
+    }
+
+    /// Overrides the per-cell error rate (for sensitivity sweeps).
+    pub fn with_error_rate(mut self, rate: f64) -> Self {
+        self.error_rate = rate.clamp(0.0, 1.0);
+        self
+    }
+
+    /// The cell technology faults are modelled for.
+    pub fn tech(&self) -> CellTech {
+        self.tech
+    }
+
+    /// The per-cell error rate in use.
+    pub fn error_rate(&self) -> f64 {
+        self.error_rate
+    }
+
+    /// Injects adjacent-level faults into a byte stream interpreted as a
+    /// sequence of `bits_per_cell`-bit cells (LSB-first within each byte,
+    /// cells never straddle bytes' logical bit order). Returns the number
+    /// of faulted cells.
+    pub fn inject_bytes(&self, bytes: &mut [u8], rng: &mut Rng) -> usize {
+        let k = self.tech.bits_per_cell() as usize;
+        let total_bits = bytes.len() * 8;
+        let total_cells = total_bits.div_ceil(k);
+        let mut faults = 0usize;
+
+        // For low error rates, sampling the number of faulty cells from a
+        // binomial via per-cell Bernoulli would be O(cells); instead draw
+        // the expected count then place faults uniformly. For high rates
+        // (sweeps), fall back to per-cell trials.
+        if self.error_rate < 0.01 {
+            let expected = self.error_rate * total_cells as f64;
+            // Poisson approximation to the binomial.
+            let n_faults = sample_poisson(expected, rng);
+            for _ in 0..n_faults {
+                let cell = rng.below(total_cells.max(1));
+                self.fault_cell(bytes, cell, rng);
+                faults += 1;
+            }
+        } else {
+            for cell in 0..total_cells {
+                if rng.chance(self.error_rate) {
+                    self.fault_cell(bytes, cell, rng);
+                    faults += 1;
+                }
+            }
+        }
+        faults
+    }
+
+    /// Applies an adjacent-level shift to cell index `cell`.
+    fn fault_cell(&self, bytes: &mut [u8], cell: usize, rng: &mut Rng) {
+        let k = self.tech.bits_per_cell() as usize;
+        let bit_start = cell * k;
+        let levels = 1u32 << k;
+        // Gather the (up to k) bits of this cell.
+        let mut value = 0u32;
+        let mut width = 0usize;
+        for i in 0..k {
+            let bit = bit_start + i;
+            if bit >= bytes.len() * 8 {
+                break;
+            }
+            let b = (bytes[bit / 8] >> (bit % 8)) & 1;
+            value |= (b as u32) << i;
+            width += 1;
+        }
+        if width == 0 {
+            return;
+        }
+        // Shift to an adjacent level, clamped to the valid range.
+        let shifted = if value == 0 {
+            1
+        } else if value == levels - 1 {
+            value - 1
+        } else if rng.chance(0.5) {
+            value + 1
+        } else {
+            value - 1
+        };
+        // Scatter back.
+        for (i, _) in (0..width).enumerate() {
+            let bit = bit_start + i;
+            let mask = 1u8 << (bit % 8);
+            if (shifted >> i) & 1 == 1 {
+                bytes[bit / 8] |= mask;
+            } else {
+                bytes[bit / 8] &= !mask;
+            }
+        }
+    }
+
+    /// Injects faults into a stored embedding: payload cells use this
+    /// injector's technology; the bitmask is protected in SLC and uses the
+    /// SLC error rate, per the paper's layout.
+    pub fn inject_storage(&self, storage: &mut StoredEmbedding, rng: &mut Rng) -> usize {
+        let payload_faults = self.inject_bytes(storage.payload_bytes_mut(), rng);
+        let mask_injector = FaultInjector::new(CellTech::Slc);
+        let mask_faults = mask_injector.inject_bytes(storage.mask_bytes_mut(), rng);
+        payload_faults + mask_faults
+    }
+}
+
+/// Sample from a Poisson distribution (Knuth's method for small lambda,
+/// normal approximation above 50).
+fn sample_poisson(lambda: f64, rng: &mut Rng) -> usize {
+    if lambda <= 0.0 {
+        return 0;
+    }
+    if lambda > 50.0 {
+        let g = rng.gaussian() as f64;
+        return (lambda + lambda.sqrt() * g).round().max(0.0) as usize;
+    }
+    let l = (-lambda).exp();
+    let mut k = 0usize;
+    let mut p = 1.0f64;
+    loop {
+        p *= rng.uniform() as f64;
+        if p <= l {
+            return k;
+        }
+        k += 1;
+        if k > 10_000 {
+            return k; // safety valve
+        }
+    }
+}
+
+/// Aggregate result of a fault-injection campaign (one Table 2 cell).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CampaignResult {
+    /// Mean metric (e.g. accuracy) across trials.
+    pub mean: f32,
+    /// Worst-case metric across trials.
+    pub min: f32,
+    /// Number of trials run.
+    pub trials: usize,
+    /// Mean number of faulted cells per trial.
+    pub mean_faults: f32,
+}
+
+impl CampaignResult {
+    /// Runs `trials` Monte-Carlo trials: each trial clones the pristine
+    /// storage, injects faults, and scores it with `evaluate`.
+    pub fn run(
+        pristine: &StoredEmbedding,
+        injector: &FaultInjector,
+        trials: usize,
+        rng: &mut Rng,
+        mut evaluate: impl FnMut(&StoredEmbedding) -> f32,
+    ) -> CampaignResult {
+        let mut sum = 0.0f32;
+        let mut min = f32::INFINITY;
+        let mut fault_sum = 0usize;
+        for _ in 0..trials {
+            let mut trial = pristine.clone();
+            let mut trial_rng = rng.fork();
+            fault_sum += injector.inject_storage(&mut trial, &mut trial_rng);
+            let score = evaluate(&trial);
+            sum += score;
+            min = min.min(score);
+        }
+        CampaignResult {
+            mean: sum / trials.max(1) as f32,
+            min: if trials == 0 { 0.0 } else { min },
+            trials,
+            mean_faults: fault_sum as f32 / trials.max(1) as f32,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use edgebert_tensor::{Matrix, Rng};
+
+    #[test]
+    fn zero_error_rate_is_noop() {
+        let injector = FaultInjector::new(CellTech::Mlc2).with_error_rate(0.0);
+        let mut bytes = vec![0xA5u8; 128];
+        let orig = bytes.clone();
+        let mut rng = Rng::seed_from(1);
+        assert_eq!(injector.inject_bytes(&mut bytes, &mut rng), 0);
+        assert_eq!(bytes, orig);
+    }
+
+    #[test]
+    fn full_error_rate_faults_every_cell() {
+        let injector = FaultInjector::new(CellTech::Slc).with_error_rate(1.0);
+        let mut bytes = vec![0u8; 4];
+        let mut rng = Rng::seed_from(2);
+        let faults = injector.inject_bytes(&mut bytes, &mut rng);
+        assert_eq!(faults, 32);
+        // SLC level shift from 0 is always to 1: all bits set.
+        assert_eq!(bytes, vec![0xFFu8; 4]);
+    }
+
+    #[test]
+    fn fault_count_scales_with_rate() {
+        let mut rng = Rng::seed_from(3);
+        let mut low_total = 0usize;
+        let mut high_total = 0usize;
+        for _ in 0..20 {
+            let mut b1 = vec![0u8; 4096];
+            let mut b2 = vec![0u8; 4096];
+            low_total += FaultInjector::new(CellTech::Mlc2)
+                .with_error_rate(1e-3)
+                .inject_bytes(&mut b1, &mut rng);
+            high_total += FaultInjector::new(CellTech::Mlc2)
+                .with_error_rate(1e-2)
+                .inject_bytes(&mut b2, &mut rng);
+        }
+        assert!(high_total > low_total * 5, "low {low_total} high {high_total}");
+    }
+
+    #[test]
+    fn adjacent_level_shift_is_small() {
+        // An MLC3 fault changes a 3-bit group by exactly ±1 level.
+        let injector = FaultInjector::new(CellTech::Mlc3).with_error_rate(1.0);
+        let mut rng = Rng::seed_from(4);
+        let mut bytes = vec![0b0010_1010u8, 0b0000_0101]; // cells: 010,101,00|101(...)
+        let before = bytes.clone();
+        injector.inject_bytes(&mut bytes, &mut rng);
+        // Decode cells of 3 bits across the 16-bit stream and compare.
+        let get_cells = |bs: &[u8]| -> Vec<u32> {
+            let mut cells = Vec::new();
+            let total_bits = bs.len() * 8;
+            let mut bit = 0usize;
+            while bit < total_bits {
+                let mut v = 0u32;
+                for i in 0..3 {
+                    if bit + i < total_bits {
+                        v |= ((bs[(bit + i) / 8] >> ((bit + i) % 8)) as u32 & 1) << i;
+                    }
+                }
+                cells.push(v);
+                bit += 3;
+            }
+            cells
+        };
+        for (a, b) in get_cells(&before).iter().zip(get_cells(&bytes).iter()) {
+            let d = (*a as i32 - *b as i32).abs();
+            assert!(d == 1 || (d == 0 && *a == *b), "level moved by {d}");
+        }
+    }
+
+    #[test]
+    fn campaign_statistics() {
+        let mut rng = Rng::seed_from(5);
+        let table = rng.sparse_gaussian(32, 32, 0.5);
+        let stored = StoredEmbedding::encode(&table, 4);
+        let injector = FaultInjector::new(CellTech::Mlc3).with_error_rate(0.05);
+        let reference = stored.decode();
+        let result = CampaignResult::run(&stored, &injector, 20, &mut rng, |s| {
+            // Score = negative RMSE against the pristine decode.
+            let d = s.decode();
+            -edgebert_tensor::stats::rmse(d.as_slice(), reference.as_slice())
+        });
+        assert_eq!(result.trials, 20);
+        assert!(result.mean_faults > 0.0);
+        assert!(result.min <= result.mean);
+        assert!(result.mean < 0.0, "faults must perturb the payload");
+    }
+
+    #[test]
+    fn campaign_trials_are_independent_of_each_other() {
+        // The pristine image must not accumulate faults across trials.
+        let mut rng = Rng::seed_from(6);
+        let table = Matrix::filled(8, 8, 1.0);
+        let stored = StoredEmbedding::encode(&table, 4);
+        let injector = FaultInjector::new(CellTech::Mlc3).with_error_rate(0.3);
+        let _ = CampaignResult::run(&stored, &injector, 10, &mut rng, |_| 0.0);
+        // `stored` is untouched.
+        assert_eq!(stored.decode(), table);
+    }
+
+    #[test]
+    fn poisson_sampler_mean() {
+        let mut rng = Rng::seed_from(7);
+        let lambda = 4.0;
+        let n = 3000;
+        let total: usize = (0..n).map(|_| sample_poisson(lambda, &mut rng)).sum();
+        let mean = total as f64 / n as f64;
+        assert!((mean - lambda).abs() < 0.2, "mean {mean}");
+    }
+}

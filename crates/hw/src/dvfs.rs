@@ -1,0 +1,184 @@
+//! The sentence-level DVFS controller (paper §5.2 / §7.4.3).
+//!
+//! After the early-exit predictor forecasts the exit layer, the
+//! controller knows the remaining work `N_cycles` and the remaining time
+//! budget. It sets:
+//!
+//! ```text
+//! Freq_opt = N_cycles / (T - T_elapsed)
+//! VDD_opt  = lowest grid voltage with f_max(VDD) ≥ Freq_opt
+//! ```
+//!
+//! If even the peak frequency cannot meet the target the controller runs
+//! at nominal V/F and flags the violation.
+
+use crate::config::AcceleratorConfig;
+use crate::vf::VfTable;
+use serde::{Deserialize, Serialize};
+
+/// Outcome of a DVFS decision.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DvfsDecision {
+    /// Selected supply voltage, volts.
+    pub voltage: f32,
+    /// Selected clock frequency, Hz.
+    pub freq_hz: f64,
+    /// Whether the latency target is achievable.
+    pub feasible: bool,
+}
+
+/// The DVFS finite-state controller.
+///
+/// # Example
+///
+/// ```
+/// use edgebert_hw::{AcceleratorConfig, DvfsController};
+///
+/// let ctl = DvfsController::new(AcceleratorConfig::energy_optimal());
+/// // 10M cycles in 50 ms needs only 0.2 GHz: deep voltage scaling.
+/// let d = ctl.decide(10_000_000, 50e-3);
+/// assert!(d.feasible);
+/// assert!(d.voltage <= 0.525);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DvfsController {
+    cfg: AcceleratorConfig,
+    vf: VfTable,
+}
+
+impl DvfsController {
+    /// Creates a controller with the configuration's V/F table.
+    pub fn new(cfg: AcceleratorConfig) -> Self {
+        let vf = VfTable::from_config(&cfg);
+        Self { cfg, vf }
+    }
+
+    /// The V/F table (stored as a LUT in the SFU auxiliary buffer).
+    pub fn vf_table(&self) -> &VfTable {
+        &self.vf
+    }
+
+    /// Decides the V/F point for `remaining_cycles` of work within
+    /// `remaining_seconds`. A non-positive budget forces nominal V/F with
+    /// `feasible = false`.
+    pub fn decide(&self, remaining_cycles: u64, remaining_seconds: f64) -> DvfsDecision {
+        let nominal = DvfsDecision {
+            voltage: self.cfg.vdd_nominal,
+            freq_hz: self.cfg.freq_max_hz,
+            feasible: false,
+        };
+        if remaining_seconds <= 0.0 {
+            return nominal;
+        }
+        if remaining_cycles == 0 {
+            return DvfsDecision {
+                voltage: self.cfg.vdd_min,
+                freq_hz: self.vf.freq_at_voltage(self.cfg.vdd_min),
+                feasible: true,
+            };
+        }
+        let freq_req = remaining_cycles as f64 / remaining_seconds;
+        match self.vf.min_voltage_for_freq(freq_req) {
+            // Clamp to the grid voltage's fmax: the lookup tolerates ppm-
+            // level f32 grid rounding, and the clock must never outrun the
+            // supply.
+            Some(v) => DvfsDecision {
+                voltage: v,
+                freq_hz: freq_req.min(self.vf.freq_at_voltage(v)),
+                feasible: true,
+            },
+            None => nominal,
+        }
+    }
+
+    /// Convenience: the decision for running `remaining_cycles` at
+    /// maximum performance (nominal V/F).
+    pub fn nominal(&self) -> DvfsDecision {
+        DvfsDecision {
+            voltage: self.cfg.vdd_nominal,
+            freq_hz: self.cfg.freq_max_hz,
+            feasible: true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn controller() -> DvfsController {
+        DvfsController::new(AcceleratorConfig::energy_optimal())
+    }
+
+    #[test]
+    fn loose_target_bottoms_out_at_vmin() {
+        let ctl = controller();
+        // 1M cycles in 100 ms = 10 MHz: far below fmax(0.5 V).
+        let d = ctl.decide(1_000_000, 100e-3);
+        assert!(d.feasible);
+        assert_eq!(d.voltage, 0.50);
+        assert!((d.freq_hz - 1e7).abs() < 1.0);
+    }
+
+    #[test]
+    fn tight_target_needs_nominal() {
+        let ctl = controller();
+        // 0.99 GHz requirement: only nominal voltage suffices.
+        let d = ctl.decide(990_000_000, 1.0);
+        assert!(d.feasible);
+        assert_eq!(d.voltage, 0.80);
+    }
+
+    #[test]
+    fn infeasible_target_flags_violation() {
+        let ctl = controller();
+        let d = ctl.decide(2_000_000_000, 1.0); // needs 2 GHz
+        assert!(!d.feasible);
+        assert_eq!(d.voltage, 0.80);
+        assert_eq!(d.freq_hz, 1.0e9);
+    }
+
+    #[test]
+    fn deadline_is_always_met_when_feasible() {
+        let ctl = controller();
+        for &(cycles, secs) in
+            &[(5_000_000u64, 12e-3f64), (40_000_000, 50e-3), (430_000_000, 500e-3)]
+        {
+            let d = ctl.decide(cycles, secs);
+            assert!(d.feasible);
+            let finish = cycles as f64 / d.freq_hz;
+            assert!(finish <= secs * 1.0001, "{finish} > {secs}");
+            // Voltage supports the chosen frequency.
+            assert!(ctl.vf_table().freq_at_voltage(d.voltage) + 1.0 >= d.freq_hz);
+        }
+    }
+
+    #[test]
+    fn lower_demand_never_increases_voltage() {
+        let ctl = controller();
+        let mut last_v = f32::INFINITY;
+        for layers in (1..=12).rev() {
+            let cycles = 3_600_000u64 * layers;
+            let d = ctl.decide(cycles, 50e-3);
+            assert!(d.voltage <= last_v + 1e-6);
+            last_v = d.voltage;
+        }
+    }
+
+    #[test]
+    fn zero_work_rests_at_floor() {
+        let ctl = controller();
+        let d = ctl.decide(0, 10e-3);
+        assert!(d.feasible);
+        assert_eq!(d.voltage, 0.50);
+    }
+
+    #[test]
+    fn expired_budget_is_infeasible() {
+        let ctl = controller();
+        let d = ctl.decide(1000, 0.0);
+        assert!(!d.feasible);
+        let d = ctl.decide(1000, -1.0);
+        assert!(!d.feasible);
+    }
+}

@@ -1,0 +1,42 @@
+//! Cycle/energy model of the EdgeBERT 12 nm accelerator system.
+//!
+//! This crate is the silicon-side substrate of the reproduction: an
+//! analytic (op-level) model of the accelerator in the paper's Fig. 6 —
+//! a processing unit (PU) with `n²` FP8 vector MACs and bitmask
+//! encode/decode, a special function unit (SFU) with softmax/span-mask,
+//! layer-norm, element-wise add and early-exit assessment datapaths, a
+//! fast-switching LDO and fast-locking ADPLL for per-sentence DVFS, SRAM
+//! working buffers, and a 2 MB ReRAM buffer for the task-shared embedding
+//! weights.
+//!
+//! Cycle counts follow deterministically from the published
+//! microarchitecture (an `n x n x n` MAC tile takes `n` cycles; decoders
+//! process one `n`-vector per cycle; the SFU makes the three passes of
+//! Algorithm 3). Energy coefficients are anchored at the published design
+//! point — 85.9 mW / 1.39 mm² at 0.8 V, 1 GHz, `n = 16` (Fig. 10) — and
+//! scale as `E ∝ C·V²` per component.
+//!
+//! The crate also carries the comparison baselines used by the paper's
+//! evaluation: an analytic Nvidia Jetson TX2 mobile-GPU model (Fig. 8)
+//! and an LPDDR4 DRAM + SRAM path for the embedding power-on study
+//! (Fig. 11).
+
+pub mod adpll;
+pub mod config;
+pub mod dvfs;
+pub mod ldo;
+pub mod memory;
+pub mod mgpu;
+pub mod ops;
+pub mod report;
+pub mod sim;
+pub mod vf;
+pub mod workload;
+
+pub use config::AcceleratorConfig;
+pub use dvfs::{DvfsController, DvfsDecision};
+pub use ldo::Ldo;
+pub use mgpu::MobileGpu;
+pub use sim::{AcceleratorSim, InferenceCost};
+pub use vf::VfTable;
+pub use workload::{EncoderWorkload, WorkloadParams};

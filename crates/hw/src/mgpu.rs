@@ -1,0 +1,82 @@
+//! Analytic Nvidia Jetson TX2 mobile-GPU baseline (paper Fig. 8).
+//!
+//! The paper measured CUDA implementations on a TX2; we anchor an
+//! analytic model to the reported per-sentence latencies (~113–129 ms for
+//! full 12-layer inference) and a board-level GPU power representative of
+//! small-batch Transformer inference on that part. Adaptive attention
+//! span is the only model optimization that transfers to the GPU (the
+//! paper applies AAS to the mGPU as well); bitmask sparse execution does
+//! not help dense GPU kernels.
+
+use serde::{Deserialize, Serialize};
+
+/// The TX2-class mobile GPU model.
+///
+/// # Example
+///
+/// ```
+/// use edgebert_hw::MobileGpu;
+///
+/// let gpu = MobileGpu::tegra_x2();
+/// let full = gpu.inference_latency_s(12, 1.0);
+/// assert!(full > 0.1 && full < 0.2);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MobileGpu {
+    /// Latency of one full 12-layer ALBERT inference, seconds.
+    pub full_inference_s: f64,
+    /// Average board GPU power during inference, watts.
+    pub power_w: f64,
+    /// Fixed per-sentence overhead (kernel launch, host sync), seconds.
+    pub overhead_s: f64,
+}
+
+impl MobileGpu {
+    /// The Jetson TX2 anchor point.
+    pub fn tegra_x2() -> Self {
+        Self { full_inference_s: 0.122, power_w: 1.8, overhead_s: 0.004 }
+    }
+
+    /// Latency for `layers` encoder layers with a FLOP scale factor
+    /// (`flop_scale = 1/1.22` models MNLI's AAS reduction, for example).
+    pub fn inference_latency_s(&self, layers: usize, flop_scale: f64) -> f64 {
+        let per_layer = (self.full_inference_s - self.overhead_s) / 12.0;
+        self.overhead_s + per_layer * layers as f64 * flop_scale
+    }
+
+    /// Energy for `layers` encoder layers, joules.
+    pub fn inference_energy_j(&self, layers: usize, flop_scale: f64) -> f64 {
+        self.inference_latency_s(layers, flop_scale) * self.power_w
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn anchor_near_reported_range() {
+        let gpu = MobileGpu::tegra_x2();
+        let l = gpu.inference_latency_s(12, 1.0);
+        assert!((0.110..0.135).contains(&l), "latency {l}");
+        let e = gpu.inference_energy_j(12, 1.0);
+        assert!((0.15..0.30).contains(&e), "energy {e}");
+    }
+
+    #[test]
+    fn aas_scales_compute_only() {
+        let gpu = MobileGpu::tegra_x2();
+        let base = gpu.inference_latency_s(12, 1.0);
+        let aas = gpu.inference_latency_s(12, 1.0 / 1.22);
+        assert!(aas < base);
+        // Overhead is not scaled.
+        assert!(aas > base / 1.22);
+    }
+
+    #[test]
+    fn fewer_layers_cost_less() {
+        let gpu = MobileGpu::tegra_x2();
+        assert!(gpu.inference_latency_s(4, 1.0) < gpu.inference_latency_s(12, 1.0));
+        assert!(gpu.inference_energy_j(1, 1.0) < gpu.inference_energy_j(2, 1.0));
+    }
+}

@@ -1,0 +1,125 @@
+//! Area and power reporting (paper Fig. 10b).
+
+use crate::config::AcceleratorConfig;
+use serde::{Deserialize, Serialize};
+
+/// One block's area/power row.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BlockReport {
+    /// Block name as in Fig. 10b.
+    pub name: String,
+    /// Silicon area, mm².
+    pub area_mm2: f64,
+    /// Power at 0.8 V / 1 GHz, milliwatts.
+    pub power_mw: f64,
+}
+
+/// The accelerator's area/power breakdown.
+///
+/// Anchored at the published n=16 design point (Fig. 10b: 1.39 mm²,
+/// 85.9 mW total). PU datapath area/power scale with the MAC count (n²);
+/// SRAM power scales with streaming bandwidth (n); SFU, ReRAM, and ADPLL
+/// are independent of n.
+///
+/// # Example
+///
+/// ```
+/// use edgebert_hw::{AcceleratorConfig, report::AreaPowerReport};
+///
+/// let r = AreaPowerReport::at_config(&AcceleratorConfig::energy_optimal());
+/// assert!((r.total_area_mm2() - 1.39).abs() < 0.01);
+/// assert!((r.total_power_mw() - 85.9).abs() < 0.1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AreaPowerReport {
+    blocks: Vec<BlockReport>,
+}
+
+impl AreaPowerReport {
+    /// Builds the report for a configuration.
+    pub fn at_config(cfg: &AcceleratorConfig) -> Self {
+        let n = cfg.mac_vector_size as f64;
+        let pu_scale = (n * n) / 256.0;
+        let bw_scale = n / 16.0;
+        let blocks = vec![
+            BlockReport {
+                name: "PU Datapaths".into(),
+                area_mm2: 0.52 * pu_scale,
+                power_mw: 36.9 * pu_scale,
+            },
+            BlockReport {
+                name: "SFU Datapaths".into(),
+                area_mm2: 0.21,
+                power_mw: 9.44,
+            },
+            BlockReport {
+                name: "SRAM Buffers".into(),
+                area_mm2: 0.50,
+                power_mw: 33.6 * bw_scale,
+            },
+            BlockReport {
+                name: "ReRAM Buffers".into(),
+                area_mm2: 0.15,
+                power_mw: 3.48,
+            },
+            BlockReport {
+                name: "ADPLL".into(),
+                area_mm2: 0.01,
+                power_mw: 2.46,
+            },
+        ];
+        Self { blocks }
+    }
+
+    /// The block rows.
+    pub fn blocks(&self) -> &[BlockReport] {
+        &self.blocks
+    }
+
+    /// Total area, mm².
+    pub fn total_area_mm2(&self) -> f64 {
+        self.blocks.iter().map(|b| b.area_mm2).sum()
+    }
+
+    /// Total power, mW.
+    pub fn total_power_mw(&self) -> f64 {
+        self.blocks.iter().map(|b| b.power_mw).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn n16_matches_fig10b() {
+        let r = AreaPowerReport::at_config(&AcceleratorConfig::energy_optimal());
+        assert!((r.total_area_mm2() - 1.39).abs() < 1e-9);
+        assert!((r.total_power_mw() - 85.88).abs() < 0.01);
+        let pu = &r.blocks()[0];
+        assert!((pu.area_mm2 - 0.52).abs() < 1e-9);
+        assert!((pu.power_mw - 36.9).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pu_scales_quadratically_sram_linearly() {
+        let r32 = AreaPowerReport::at_config(&AcceleratorConfig::with_mac_vector_size(32));
+        let pu = &r32.blocks()[0];
+        assert!((pu.area_mm2 - 0.52 * 4.0).abs() < 1e-9);
+        let sram = &r32.blocks()[2];
+        assert!((sram.power_mw - 33.6 * 2.0).abs() < 1e-9);
+        // SFU unchanged.
+        assert!((r32.blocks()[1].power_mw - 9.44).abs() < 1e-9);
+    }
+
+    #[test]
+    fn every_block_is_nonempty() {
+        let r = AreaPowerReport::at_config(&AcceleratorConfig::energy_optimal());
+        assert_eq!(r.blocks().len(), 5);
+        for b in r.blocks() {
+            assert!(!b.name.is_empty());
+            assert!(b.area_mm2 > 0.0);
+            assert!(b.power_mw > 0.0);
+        }
+    }
+}

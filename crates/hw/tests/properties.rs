@@ -1,0 +1,96 @@
+//! Property-based tests for the hardware model.
+
+use edgebert_hw::workload::EncoderWorkload;
+use edgebert_hw::{AcceleratorConfig, AcceleratorSim, Ldo, VfTable, WorkloadParams};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn ldo_transitions_settle_within_spec(from_step in 0usize..13, to_step in 0usize..13) {
+        let from = 0.5 + from_step as f32 * 0.025;
+        let to = 0.5 + to_step as f32 * 0.025;
+        let mut ldo = Ldo::new(from);
+        let trace = ldo.transition(to);
+        // Fig. 7 bound: every DVFS transition settles within 100 ns.
+        prop_assert!(trace.last().unwrap().t_ns <= 100.0);
+        prop_assert!((ldo.voltage() - to).abs() < 1e-6);
+        // Waveform is monotone toward the target.
+        for w in trace.windows(2) {
+            if to >= from {
+                prop_assert!(w[1].voltage + 1e-6 >= w[0].voltage);
+            } else {
+                prop_assert!(w[1].voltage <= w[0].voltage + 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn vf_lookup_is_sound_and_tight(freq_mhz in 1.0f64..1000.0) {
+        let vf = VfTable::from_config(&AcceleratorConfig::energy_optimal());
+        let freq = freq_mhz * 1e6;
+        if let Some(v) = vf.min_voltage_for_freq(freq) {
+            prop_assert!(vf.freq_at_voltage(v) >= freq * 0.999);
+            let lower = v - 0.025;
+            if lower >= 0.5 - 1e-6 {
+                prop_assert!(vf.freq_at_voltage(lower) < freq);
+            }
+        } else {
+            prop_assert!(freq > 1.0e9);
+        }
+    }
+
+    #[test]
+    fn sparsity_never_changes_cycles_only_energy(
+        density_pct in 5u32..100,
+        spans_off in 0usize..12,
+    ) {
+        let cfg = AcceleratorConfig::energy_optimal();
+        let mut spans = vec![64.0f32; 12];
+        for s in spans.iter_mut().take(spans_off) {
+            *s = 0.0;
+        }
+        let mut base = WorkloadParams::albert_base();
+        base.head_spans = spans.clone();
+        base.aas_enabled = true;
+        let dense_wl = EncoderWorkload::build(&cfg, &base);
+        let mut sparse = base.clone();
+        sparse.sparse_enabled = true;
+        sparse.weight_density = density_pct as f64 / 100.0;
+        let sparse_wl = EncoderWorkload::build(&cfg, &sparse);
+        prop_assert_eq!(dense_wl.cycles(), sparse_wl.cycles());
+        prop_assert!(sparse_wl.energy_pj() <= dense_wl.energy_pj() + 1e-6);
+    }
+
+    #[test]
+    fn energy_monotone_in_voltage(steps in 0usize..13, layers in 1usize..13) {
+        let sim = AcceleratorSim::new(AcceleratorConfig::energy_optimal());
+        let wl = sim.layer_workload(&WorkloadParams::albert_base());
+        let v = 0.5 + steps as f32 * 0.025;
+        let low = sim.run_layers(&wl, layers, v, 0.4e9);
+        let nom = sim.run_layers(&wl, layers, 0.8, 0.4e9);
+        if v < 0.8 {
+            prop_assert!(low.energy_j < nom.energy_j);
+        }
+        prop_assert_eq!(low.cycles, nom.cycles);
+    }
+
+    #[test]
+    fn more_heads_off_never_costs_more(off_a in 0usize..=12, off_b in 0usize..=12) {
+        prop_assume!(off_a <= off_b);
+        let cfg = AcceleratorConfig::energy_optimal();
+        let build = |off: usize| {
+            let mut spans = vec![32.0f32; 12];
+            for s in spans.iter_mut().take(off) {
+                *s = 0.0;
+            }
+            let wl = WorkloadParams::albert_base().with_optimizations(0.5, &spans);
+            EncoderWorkload::build(&cfg, &wl)
+        };
+        let a = build(off_a);
+        let b = build(off_b);
+        prop_assert!(b.cycles() <= a.cycles());
+        prop_assert!(b.energy_pj() <= a.energy_pj() + 1e-6);
+    }
+}

@@ -1,0 +1,447 @@
+//! The ALBERT-style model: factorized embedding + one shared encoder
+//! layer applied `num_layers` times + per-layer highway off-ramps.
+
+use crate::config::AlbertConfig;
+use crate::embedding::FactorizedEmbedding;
+use crate::offramp::OffRamp;
+use edgebert_nn::encoder::EncoderCache;
+use edgebert_nn::norm::LayerNormCache;
+use edgebert_nn::{EncoderLayer, LayerNorm, Parameter};
+use edgebert_quant::tensor::fake_quantize;
+use edgebert_tensor::{Matrix, Rng};
+use edgebert_tasks::{Dataset, VocabLayout};
+use serde::{Deserialize, Serialize};
+
+/// Output of a full (no-early-exit) forward pass.
+#[derive(Debug, Clone)]
+pub struct LayerwiseOutput {
+    /// Hidden state after each logical layer (`num_layers` entries).
+    pub hidden_states: Vec<Matrix>,
+    /// Off-ramp logits after each layer.
+    pub logits: Vec<Vec<f32>>,
+    /// Off-ramp output entropy after each layer.
+    pub entropies: Vec<f32>,
+}
+
+impl LayerwiseOutput {
+    /// The layer (1-based) at which a conventional early-exit inference
+    /// with threshold `et` would stop, and the logits it would emit.
+    /// Runs to the final layer if no entropy falls below the threshold.
+    pub fn exit_at_threshold(&self, et: f32) -> (usize, &[f32]) {
+        for (i, &h) in self.entropies.iter().enumerate() {
+            if h < et {
+                return (i + 1, &self.logits[i]);
+            }
+        }
+        let last = self.entropies.len() - 1;
+        (last + 1, &self.logits[last])
+    }
+
+    /// Predicted class if exiting at `layer` (1-based).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layer` is out of range.
+    pub fn prediction_at(&self, layer: usize) -> usize {
+        edgebert_tensor::stats::argmax(&self.logits[layer - 1])
+    }
+}
+
+/// Training-time forward cache (one per sentence).
+#[derive(Debug)]
+pub struct TrainCache {
+    /// Low-dimensional embedding sum (input to the projection).
+    pub low: Matrix,
+    /// Input hidden state of each layer application.
+    pub layer_inputs: Vec<Matrix>,
+    /// Encoder caches, one per layer application.
+    pub encoder_caches: Vec<EncoderCache>,
+    /// Final hidden state (pre final-norm).
+    pub final_hidden: Matrix,
+    /// Normalized final hidden state (what the classifier reads).
+    pub final_normed: Matrix,
+    /// Cache of the final layer norm.
+    pub final_norm_cache: LayerNormCache,
+}
+
+/// The full model.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AlbertModel {
+    /// Model shape.
+    pub config: AlbertConfig,
+    /// Factorized, frozen-table embedding.
+    pub embedding: FactorizedEmbedding,
+    /// The single shared encoder layer (applied `num_layers` times).
+    pub encoder: EncoderLayer,
+    /// Output layer norm applied before every off-ramp (the pre-norm
+    /// architecture leaves the residual stream unnormalized).
+    pub final_norm: LayerNorm,
+    /// One off-ramp per logical layer; the last one doubles as the final
+    /// classifier.
+    pub off_ramps: Vec<OffRamp>,
+    /// When `Some(exp_bits)`, activations are FP8 fake-quantized between
+    /// layers (evaluation-time quantization of Fig. 4).
+    pub activation_fp8: Option<u8>,
+}
+
+impl AlbertModel {
+    /// Creates a model with random weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid.
+    pub fn new(cfg: AlbertConfig, rng: &mut Rng) -> Self {
+        cfg.validate().expect("invalid model configuration");
+        Self {
+            embedding: FactorizedEmbedding::new(&cfg, rng),
+            encoder: EncoderLayer::new(
+                cfg.hidden_size,
+                cfg.num_heads,
+                cfg.intermediate_size,
+                cfg.max_seq_len,
+                rng,
+            ),
+            final_norm: LayerNorm::new(cfg.hidden_size),
+            off_ramps: (0..cfg.num_layers)
+                .map(|_| OffRamp::new(cfg.hidden_size, cfg.num_classes, rng))
+                .collect(),
+            config: cfg,
+            activation_fp8: None,
+        }
+    }
+
+    /// Creates a model with the synthetic "pre-trained" embedding space
+    /// (see [`FactorizedEmbedding::pretrained`]).
+    pub fn pretrained(cfg: AlbertConfig, layout: &VocabLayout, rng: &mut Rng) -> Self {
+        let mut model = Self::new(cfg, rng);
+        model.embedding = FactorizedEmbedding::pretrained(&cfg, layout, rng);
+        model
+    }
+
+    /// Number of logical encoder layers.
+    pub fn num_layers(&self) -> usize {
+        self.config.num_layers
+    }
+
+    fn maybe_quantize(&self, m: Matrix) -> Matrix {
+        match self.activation_fp8 {
+            Some(bits) => fake_quantize(&m, bits),
+            None => m,
+        }
+    }
+
+    /// Full forward pass computing every layer and every off-ramp.
+    pub fn forward_layers(&self, tokens: &[u32]) -> LayerwiseOutput {
+        let mut hidden = self.maybe_quantize(self.embedding.embed(tokens));
+        let mut hidden_states = Vec::with_capacity(self.num_layers());
+        let mut logits = Vec::with_capacity(self.num_layers());
+        let mut entropies = Vec::with_capacity(self.num_layers());
+        for l in 0..self.num_layers() {
+            hidden = self.maybe_quantize(self.encoder.infer(&hidden));
+            let normed = self.final_norm.infer(&hidden);
+            let (lg, h) = self.off_ramps[l].classify_with_entropy(&normed);
+            hidden_states.push(normed);
+            logits.push(lg);
+            entropies.push(h);
+        }
+        LayerwiseOutput { hidden_states, logits, entropies }
+    }
+
+    /// Conventional early-exit inference (paper Algorithm 1): stop at the
+    /// first layer whose off-ramp entropy is below `entropy_threshold`.
+    /// Returns `(exit_layer (1-based), logits, entropies seen)`.
+    pub fn infer_early_exit(
+        &self,
+        tokens: &[u32],
+        entropy_threshold: f32,
+    ) -> (usize, Vec<f32>, Vec<f32>) {
+        let mut hidden = self.maybe_quantize(self.embedding.embed(tokens));
+        let mut entropies = Vec::new();
+        for l in 0..self.num_layers() {
+            hidden = self.maybe_quantize(self.encoder.infer(&hidden));
+            let normed = self.final_norm.infer(&hidden);
+            let (lg, h) = self.off_ramps[l].classify_with_entropy(&normed);
+            entropies.push(h);
+            if h < entropy_threshold || l + 1 == self.num_layers() {
+                return (l + 1, lg, entropies);
+            }
+        }
+        unreachable!("loop always returns at the final layer");
+    }
+
+    /// Training forward pass (keeps every cache for the backward pass).
+    pub fn forward_train(&self, tokens: &[u32]) -> (Vec<Matrix>, TrainCache) {
+        let (hidden0, low) = self.embedding.embed_with_cache(tokens);
+        let mut layer_inputs = Vec::with_capacity(self.num_layers());
+        let mut encoder_caches = Vec::with_capacity(self.num_layers());
+        let mut hidden_states = Vec::with_capacity(self.num_layers());
+        let mut hidden = hidden0;
+        for _ in 0..self.num_layers() {
+            layer_inputs.push(hidden.clone());
+            let (next, cache) = self.encoder.forward(&hidden);
+            encoder_caches.push(cache);
+            hidden_states.push(next.clone());
+            hidden = next;
+        }
+        let final_hidden = hidden;
+        let (final_normed, final_norm_cache) = self.final_norm.forward(&final_hidden);
+        (
+            hidden_states,
+            TrainCache {
+                low,
+                layer_inputs,
+                encoder_caches,
+                final_hidden,
+                final_normed,
+                final_norm_cache,
+            },
+        )
+    }
+
+    /// Backward pass from a gradient on the final layer's hidden state;
+    /// accumulates gradients into the shared encoder (once per layer
+    /// application) and the embedding projection.
+    pub fn backward_from_final(&mut self, cache: &TrainCache, grad_final_hidden: &Matrix) {
+        let mut g = grad_final_hidden.clone();
+        for l in (0..self.num_layers()).rev() {
+            g = self.encoder.backward(&cache.encoder_caches[l], &g);
+        }
+        self.embedding.backward_projection(&cache.low, &g);
+    }
+
+    /// Gradient of the final off-ramp's logits w.r.t. the final hidden
+    /// state (through the final layer norm; only the CLS row carries
+    /// gradient). Also accumulates the off-ramp's and final norm's
+    /// parameter grads.
+    pub fn backward_final_classifier(
+        &mut self,
+        cache: &TrainCache,
+        grad_logits: &[f32],
+    ) -> Matrix {
+        let last = self.off_ramps.len() - 1;
+        let normed = &cache.final_normed;
+        let cls = Matrix::from_vec(1, normed.cols(), normed.row(0).to_vec());
+        let g = Matrix::from_vec(1, grad_logits.len(), grad_logits.to_vec());
+        let ramp = &mut self.off_ramps[last];
+        ramp.backward_batch(&cls, &g);
+        let d_cls = g.matmul_nt(&ramp.head.weight.value);
+        let mut grad_normed = Matrix::zeros(normed.rows(), normed.cols());
+        grad_normed.row_mut(0).copy_from_slice(d_cls.row(0));
+        self.final_norm.backward(&cache.final_norm_cache, &grad_normed)
+    }
+
+    /// Logits of the final classifier for a training cache.
+    pub fn final_logits(&self, cache: &TrainCache) -> Vec<f32> {
+        self.off_ramps[self.off_ramps.len() - 1].classify(&cache.final_normed)
+    }
+
+    /// Fake-quantizes every weight tensor in place (evaluation-time FP8).
+    pub fn quantize_weights(&mut self, exp_bits: u8) {
+        let params = self.params_mut();
+        for p in params {
+            p.value = fake_quantize(&p.value, exp_bits);
+        }
+    }
+
+    /// Enables FP8 fake-quantization of activations during inference.
+    pub fn enable_activation_quant(&mut self, exp_bits: u8) {
+        self.activation_fp8 = Some(exp_bits);
+    }
+
+    /// Classification accuracy over a dataset using the full (12-layer)
+    /// model.
+    pub fn evaluate_accuracy(&self, data: &Dataset) -> f32 {
+        if data.is_empty() {
+            return 0.0;
+        }
+        let mut correct = 0usize;
+        for ex in data {
+            let out = self.forward_layers(&ex.tokens);
+            if out.prediction_at(self.num_layers()) == ex.label {
+                correct += 1;
+            }
+        }
+        correct as f32 / data.len() as f32
+    }
+
+    /// Accuracy and mean exit layer under conventional early exit at
+    /// threshold `et`.
+    pub fn evaluate_early_exit(&self, data: &Dataset, et: f32) -> (f32, f32) {
+        if data.is_empty() {
+            return (0.0, 0.0);
+        }
+        let mut correct = 0usize;
+        let mut exit_sum = 0usize;
+        for ex in data {
+            let (layer, logits, _) = self.infer_early_exit(&ex.tokens, et);
+            exit_sum += layer;
+            if edgebert_tensor::stats::argmax(&logits) == ex.label {
+                correct += 1;
+            }
+        }
+        (
+            correct as f32 / data.len() as f32,
+            exit_sum as f32 / data.len() as f32,
+        )
+    }
+
+    /// Per-head effective attention spans (paper Table 1 quantities).
+    pub fn head_spans(&self) -> Vec<f32> {
+        self.encoder.attention.head_spans()
+    }
+
+    /// Encoder weight sparsity (mean over the four projection matrices
+    /// and the two FFN matrices).
+    pub fn encoder_sparsity(&self) -> f32 {
+        let mats = [
+            &self.encoder.attention.wq.weight.value,
+            &self.encoder.attention.wk.weight.value,
+            &self.encoder.attention.wv.weight.value,
+            &self.encoder.attention.wo.weight.value,
+            &self.encoder.ffn.fc1.weight.value,
+            &self.encoder.ffn.fc2.weight.value,
+        ];
+        let total: usize = mats.iter().map(|m| m.len()).sum();
+        let zeros: usize = mats.iter().map(|m| m.len() - m.nnz()).sum();
+        zeros as f32 / total as f32
+    }
+
+    /// Clears all gradients.
+    pub fn zero_grad(&mut self) {
+        self.embedding.zero_grad();
+        self.encoder.zero_grad();
+        self.final_norm.zero_grad();
+        for r in &mut self.off_ramps {
+            r.zero_grad();
+        }
+    }
+
+    /// Every trainable parameter (embedding projection, shared encoder,
+    /// all off-ramps).
+    pub fn params_mut(&mut self) -> Vec<&mut Parameter> {
+        let mut ps = self.embedding.params_mut();
+        ps.extend(self.encoder.params_mut());
+        ps.extend(self.final_norm.params_mut());
+        for r in &mut self.off_ramps {
+            ps.extend(r.params_mut());
+        }
+        ps
+    }
+
+    /// Freezes the backbone (embedding projection + encoder + final
+    /// classifier included or excluded per `freeze_final`), used for
+    /// training phase 2.
+    pub fn set_backbone_frozen(&mut self, frozen: bool) {
+        for p in self.embedding.params_mut() {
+            p.frozen = frozen;
+        }
+        for p in self.encoder.params_mut() {
+            p.frozen = frozen;
+        }
+        for p in self.final_norm.params_mut() {
+            p.frozen = frozen;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use edgebert_tasks::vocab::CLS;
+
+    fn tiny_model(seed: u64) -> AlbertModel {
+        let mut rng = Rng::seed_from(seed);
+        let cfg = AlbertConfig::tiny(64, 2);
+        AlbertModel::new(cfg, &mut rng)
+    }
+
+    #[test]
+    fn forward_layers_shapes() {
+        let model = tiny_model(0);
+        let out = model.forward_layers(&[CLS, 5, 6, 7]);
+        assert_eq!(out.hidden_states.len(), 4);
+        assert_eq!(out.logits.len(), 4);
+        assert_eq!(out.entropies.len(), 4);
+        assert_eq!(out.logits[0].len(), 2);
+        for h in &out.entropies {
+            assert!(*h >= 0.0 && *h <= (2.0f32).ln() + 1e-5);
+        }
+    }
+
+    #[test]
+    fn early_exit_consistent_with_layerwise() {
+        let model = tiny_model(1);
+        let tokens = [CLS, 9, 10, 11, 12];
+        let out = model.forward_layers(&tokens);
+        for &et in &[0.05f32, 0.3, 0.69, 10.0] {
+            let (layer, logits, _) = model.infer_early_exit(&tokens, et);
+            let (expect_layer, expect_logits) = out.exit_at_threshold(et);
+            assert_eq!(layer, expect_layer, "threshold {et}");
+            for (a, b) in logits.iter().zip(expect_logits.iter()) {
+                assert!((a - b).abs() < 1e-5);
+            }
+        }
+    }
+
+    #[test]
+    fn huge_threshold_exits_at_layer_one() {
+        let model = tiny_model(2);
+        let (layer, _, seen) = model.infer_early_exit(&[CLS, 3, 4], f32::INFINITY);
+        assert_eq!(layer, 1);
+        assert_eq!(seen.len(), 1);
+    }
+
+    #[test]
+    fn zero_threshold_runs_to_the_end() {
+        let model = tiny_model(3);
+        let (layer, _, seen) = model.infer_early_exit(&[CLS, 3, 4], 0.0);
+        assert_eq!(layer, 4);
+        assert_eq!(seen.len(), 4);
+    }
+
+    #[test]
+    fn backward_reaches_encoder_and_projection() {
+        let mut model = tiny_model(4);
+        let (_, cache) = model.forward_train(&[CLS, 5, 6]);
+        let grad_logits = vec![0.5f32, -0.5];
+        let grad_hidden = model.backward_final_classifier(&cache, &grad_logits);
+        model.backward_from_final(&cache, &grad_hidden);
+        assert!(model.encoder.attention.wq.weight.grad.frobenius_norm() > 0.0);
+        assert!(model.embedding.projection.weight.grad.frobenius_norm() > 0.0);
+        let last = model.off_ramps.len() - 1;
+        assert!(model.off_ramps[last].head.weight.grad.frobenius_norm() > 0.0);
+    }
+
+    #[test]
+    fn weight_quantization_changes_but_approximates() {
+        let mut model = tiny_model(5);
+        let tokens = [CLS, 7, 8, 9];
+        let before = model.forward_layers(&tokens);
+        model.quantize_weights(4);
+        let after = model.forward_layers(&tokens);
+        // Quantization perturbs but does not destroy the logits.
+        for (a, b) in before.logits[3].iter().zip(after.logits[3].iter()) {
+            assert!((a - b).abs() < 1.0, "a={a} b={b}");
+        }
+    }
+
+    #[test]
+    fn activation_quantization_path_runs() {
+        let mut model = tiny_model(6);
+        model.enable_activation_quant(4);
+        let out = model.forward_layers(&[CLS, 3]);
+        assert_eq!(out.logits.len(), 4);
+    }
+
+    #[test]
+    fn freeze_backbone_marks_parameters() {
+        let mut model = tiny_model(7);
+        model.set_backbone_frozen(true);
+        assert!(model.embedding.projection.weight.frozen);
+        assert!(model.encoder.attention.wq.weight.frozen);
+        // Off-ramps stay trainable.
+        assert!(!model.off_ramps[0].head.weight.frozen);
+        model.set_backbone_frozen(false);
+        assert!(!model.encoder.attention.wq.weight.frozen);
+    }
+}

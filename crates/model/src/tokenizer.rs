@@ -1,0 +1,152 @@
+//! A small deterministic tokenizer for demo inputs.
+//!
+//! Real EdgeBERT uses WordPiece over a 30k vocabulary. For the examples in
+//! this repository we need something that maps English-ish text onto the
+//! *synthetic* vocabulary: a tiny sentiment lexicon maps opinion words to
+//! the SST-2 class-keyword blocks (so the quickstart sentence "smart,
+//! provocative and blisteringly funny" actually lands on positive-class
+//! keywords), and everything else hashes into the background-token range.
+
+use edgebert_tasks::generator::task_index;
+use edgebert_tasks::vocab::{CLS, PAD, SEP};
+use edgebert_tasks::{Task, VocabLayout};
+use serde::{Deserialize, Serialize};
+
+/// Deterministic text → token-id tokenizer over the synthetic vocabulary.
+///
+/// # Example
+///
+/// ```
+/// use edgebert_model::HashTokenizer;
+/// use edgebert_tasks::Task;
+///
+/// let tok = HashTokenizer::new(Task::Sst2, 32);
+/// let ids = tok.encode("smart , provocative and blisteringly funny");
+/// assert_eq!(ids.len(), 32);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct HashTokenizer {
+    task: Task,
+    layout: VocabLayout,
+    seq_len: usize,
+}
+
+const POSITIVE_WORDS: &[&str] = &[
+    "good", "great", "smart", "funny", "brilliant", "excellent", "love",
+    "wonderful", "provocative", "blisteringly", "best", "beautiful",
+    "enjoyable", "delightful", "masterpiece",
+];
+
+const NEGATIVE_WORDS: &[&str] = &[
+    "bad", "boring", "awful", "terrible", "dull", "worst", "hate", "poor",
+    "mediocre", "tedious", "disappointing", "mess", "flat", "lifeless",
+];
+
+impl HashTokenizer {
+    /// Creates a tokenizer for a task with the standard vocabulary layout.
+    pub fn new(task: Task, seq_len: usize) -> Self {
+        Self { task, layout: VocabLayout::standard(), seq_len }
+    }
+
+    /// The fixed output length.
+    pub fn seq_len(&self) -> usize {
+        self.seq_len
+    }
+
+    /// The vocabulary layout used.
+    pub fn layout(&self) -> &VocabLayout {
+        &self.layout
+    }
+
+    /// Encodes text into a fixed-length token sequence
+    /// (`[CLS] tokens… [SEP] [PAD]…`). Lowercases and splits on
+    /// non-alphanumeric characters; sentiment words map to the task's
+    /// class-keyword blocks, other words hash into background tokens.
+    pub fn encode(&self, text: &str) -> Vec<u32> {
+        let mut ids = vec![CLS];
+        let t = task_index(self.task);
+        for word in text
+            .to_lowercase()
+            .split(|c: char| !c.is_alphanumeric())
+            .filter(|w| !w.is_empty())
+        {
+            if ids.len() + 1 >= self.seq_len {
+                break;
+            }
+            let kpc = self.layout.keywords_per_class();
+            let id = if POSITIVE_WORDS.contains(&word) {
+                self.layout.class_keyword(t, 1, Self::hash(word) % kpc)
+            } else if NEGATIVE_WORDS.contains(&word) {
+                self.layout.class_keyword(t, 0, Self::hash(word) % kpc)
+            } else {
+                self.layout
+                    .background_token(Self::hash(word) % self.layout.background_count())
+            };
+            ids.push(id);
+        }
+        ids.push(SEP);
+        ids.resize(self.seq_len, PAD);
+        ids
+    }
+
+    /// FNV-1a hash of a word.
+    fn hash(word: &str) -> u32 {
+        let mut h: u32 = 0x811c_9dc5;
+        for b in word.bytes() {
+            h ^= b as u32;
+            h = h.wrapping_mul(0x0100_0193);
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_fixed_length() {
+        let tok = HashTokenizer::new(Task::Sst2, 16);
+        let a = tok.encode("a great movie");
+        let b = tok.encode("a great movie");
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 16);
+        assert_eq!(a[0], CLS);
+        assert!(a.contains(&SEP));
+    }
+
+    #[test]
+    fn sentiment_words_map_to_class_keywords() {
+        let tok = HashTokenizer::new(Task::Sst2, 16);
+        let t = task_index(Task::Sst2);
+        let ids = tok.encode("great");
+        assert!(tok.layout().is_class_keyword(ids[1], t, 1), "token {}", ids[1]);
+        let ids = tok.encode("awful");
+        assert!(tok.layout().is_class_keyword(ids[1], t, 0));
+    }
+
+    #[test]
+    fn unknown_words_hash_to_background() {
+        let tok = HashTokenizer::new(Task::Sst2, 16);
+        let ids = tok.encode("zyxwv");
+        let bg0 = tok.layout().background_token(0);
+        assert!(ids[1] >= bg0);
+    }
+
+    #[test]
+    fn truncates_long_inputs() {
+        let tok = HashTokenizer::new(Task::Sst2, 8);
+        let long = "word ".repeat(50);
+        let ids = tok.encode(&long);
+        assert_eq!(ids.len(), 8);
+        assert!(ids.contains(&SEP));
+    }
+
+    #[test]
+    fn tokens_fit_vocabulary() {
+        let tok = HashTokenizer::new(Task::Qnli, 24);
+        let ids = tok.encode("Some arbitrary 123 question? With punctuation!!");
+        let vs = tok.layout().vocab_size() as u32;
+        assert!(ids.iter().all(|&t| t < vs));
+    }
+}

@@ -1,0 +1,197 @@
+//! Fully-connected layer with manual forward/backward.
+
+use crate::param::Parameter;
+use edgebert_tensor::{Matrix, Rng};
+use serde::{Deserialize, Serialize};
+
+/// A dense affine layer `y = x W + b` with `W: (in, out)`.
+///
+/// The forward pass returns a [`LinearCache`] holding the input; the
+/// backward pass consumes it, accumulates `dW`/`db` into the layer's
+/// [`Parameter`]s and returns `dx`.
+///
+/// # Example
+///
+/// ```
+/// use edgebert_nn::Linear;
+/// use edgebert_tensor::{Matrix, Rng};
+///
+/// let mut rng = Rng::seed_from(0);
+/// let layer = Linear::new(4, 2, &mut rng);
+/// let x = Matrix::zeros(3, 4);
+/// let (y, _cache) = layer.forward(&x);
+/// assert_eq!(y.shape(), (3, 2));
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Linear {
+    /// Weight matrix, shape `(in_features, out_features)`.
+    pub weight: Parameter,
+    /// Bias vector stored as a `1 x out_features` matrix.
+    pub bias: Parameter,
+}
+
+/// Saved activations needed by [`Linear::backward`].
+#[derive(Debug, Clone)]
+pub struct LinearCache {
+    input: Matrix,
+}
+
+impl Linear {
+    /// Creates a layer with Xavier-initialised weights and zero bias.
+    pub fn new(in_features: usize, out_features: usize, rng: &mut Rng) -> Self {
+        Self {
+            weight: Parameter::new(rng.xavier(in_features, out_features)),
+            bias: Parameter::new(Matrix::zeros(1, out_features)),
+        }
+    }
+
+    /// Creates a layer from explicit weights and bias.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bias` is not `1 x weight.cols()`.
+    pub fn from_parts(weight: Matrix, bias: Matrix) -> Self {
+        assert_eq!(bias.rows(), 1, "bias must be a row vector");
+        assert_eq!(bias.cols(), weight.cols(), "bias width must match weight");
+        Self { weight: Parameter::new(weight), bias: Parameter::new(bias) }
+    }
+
+    /// Input feature count.
+    pub fn in_features(&self) -> usize {
+        self.weight.value.rows()
+    }
+
+    /// Output feature count.
+    pub fn out_features(&self) -> usize {
+        self.weight.value.cols()
+    }
+
+    /// Forward pass: `y = x W + b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.cols() != in_features`.
+    pub fn forward(&self, x: &Matrix) -> (Matrix, LinearCache) {
+        let y = x.matmul(&self.weight.value).add_row_broadcast(self.bias.value.row(0));
+        (y, LinearCache { input: x.clone() })
+    }
+
+    /// Inference-only forward pass (no cache allocation).
+    pub fn infer(&self, x: &Matrix) -> Matrix {
+        x.matmul(&self.weight.value).add_row_broadcast(self.bias.value.row(0))
+    }
+
+    /// Backward pass. Accumulates parameter gradients and returns `dx`.
+    pub fn backward(&mut self, cache: &LinearCache, grad_out: &Matrix) -> Matrix {
+        // dW = x^T * dy ; db = sum_rows(dy) ; dx = dy * W^T
+        let dw = cache.input.matmul_tn(grad_out);
+        self.weight.accumulate_grad(&dw);
+        let db = Matrix::from_vec(1, grad_out.cols(), grad_out.sum_rows());
+        self.bias.accumulate_grad(&db);
+        grad_out.matmul_nt(&self.weight.value)
+    }
+
+    /// Clears gradients on both parameters.
+    pub fn zero_grad(&mut self) {
+        self.weight.zero_grad();
+        self.bias.zero_grad();
+    }
+
+    /// Mutable references to the layer's parameters, for the optimizer.
+    pub fn params_mut(&mut self) -> Vec<&mut Parameter> {
+        vec![&mut self.weight, &mut self.bias]
+    }
+
+    /// Number of scalar weights (excluding bias).
+    pub fn weight_count(&self) -> usize {
+        self.weight.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finite_diff_check(rows: usize, in_f: usize, out_f: usize, seed: u64) {
+        let mut rng = Rng::seed_from(seed);
+        let mut layer = Linear::new(in_f, out_f, &mut rng);
+        let x = rng.gaussian_matrix(rows, in_f, 1.0);
+        // Loss = sum(y * coeff) with random coefficients to make gradients
+        // non-trivial.
+        let coeff = rng.gaussian_matrix(rows, out_f, 1.0);
+        let loss = |layer: &Linear, x: &Matrix| -> f32 {
+            let (y, _) = layer.forward(x);
+            y.hadamard(&coeff).as_slice().iter().sum()
+        };
+
+        let (y, cache) = layer.forward(&x);
+        assert_eq!(y.shape(), (rows, out_f));
+        let dx = layer.backward(&cache, &coeff);
+
+        let eps = 1e-2f32;
+        // Check dW on a few entries.
+        for &(i, j) in &[(0usize, 0usize), (in_f - 1, out_f - 1)] {
+            let orig = layer.weight.value.get(i, j);
+            layer.weight.value.set(i, j, orig + eps);
+            let lp = loss(&layer, &x);
+            layer.weight.value.set(i, j, orig - eps);
+            let lm = loss(&layer, &x);
+            layer.weight.value.set(i, j, orig);
+            let fd = (lp - lm) / (2.0 * eps);
+            let an = layer.weight.grad.get(i, j);
+            assert!((fd - an).abs() < 2e-2 * (1.0 + fd.abs()), "dW[{i},{j}]: fd={fd} an={an}");
+        }
+        // Check dx.
+        let mut x2 = x.clone();
+        let orig = x2.get(0, 0);
+        x2.set(0, 0, orig + eps);
+        let lp = loss(&layer, &x2);
+        x2.set(0, 0, orig - eps);
+        let lm = loss(&layer, &x2);
+        let fd = (lp - lm) / (2.0 * eps);
+        assert!((fd - dx.get(0, 0)).abs() < 2e-2 * (1.0 + fd.abs()));
+        // Check db.
+        let orig_b = layer.bias.value.get(0, 0);
+        layer.bias.value.set(0, 0, orig_b + eps);
+        let lp = loss(&layer, &x);
+        layer.bias.value.set(0, 0, orig_b - eps);
+        let lm = loss(&layer, &x);
+        layer.bias.value.set(0, 0, orig_b);
+        let fd = (lp - lm) / (2.0 * eps);
+        assert!((fd - layer.bias.grad.get(0, 0)).abs() < 2e-2 * (1.0 + fd.abs()));
+    }
+
+    #[test]
+    fn gradients_match_finite_differences() {
+        finite_diff_check(3, 5, 4, 42);
+        finite_diff_check(1, 2, 7, 7);
+    }
+
+    #[test]
+    fn forward_shape_and_bias() {
+        let layer = Linear::from_parts(
+            Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0]]),
+            Matrix::from_rows(&[&[10.0, 20.0]]),
+        );
+        let x = Matrix::from_rows(&[&[1.0, 2.0]]);
+        assert_eq!(layer.infer(&x), Matrix::from_rows(&[&[11.0, 22.0]]));
+        assert_eq!(layer.in_features(), 2);
+        assert_eq!(layer.out_features(), 2);
+    }
+
+    #[test]
+    fn backward_accumulates_over_calls() {
+        let mut rng = Rng::seed_from(1);
+        let mut layer = Linear::new(2, 2, &mut rng);
+        let x = Matrix::from_rows(&[&[1.0, 1.0]]);
+        let g = Matrix::from_rows(&[&[1.0, 1.0]]);
+        let (_, c1) = layer.forward(&x);
+        layer.backward(&c1, &g);
+        let after_one = layer.weight.grad.clone();
+        let (_, c2) = layer.forward(&x);
+        layer.backward(&c2, &g);
+        assert_eq!(layer.weight.grad, after_one.scale(2.0));
+        layer.zero_grad();
+        assert_eq!(layer.weight.grad, Matrix::zeros(2, 2));
+    }
+}

@@ -1,0 +1,193 @@
+//! Optimizers: Adam and plain SGD.
+//!
+//! Both respect [`Parameter::frozen`] (used in training phase 2, where the
+//! ALBERT backbone is frozen and only the highway off-ramps train) and
+//! re-apply pruning masks after each step so pruned weights stay zero.
+
+use crate::param::Parameter;
+use edgebert_tensor::Matrix;
+use serde::{Deserialize, Serialize};
+
+/// Adam optimizer (Kingma & Ba) with optional decoupled weight decay.
+///
+/// # Example
+///
+/// ```
+/// use edgebert_nn::{AdamOptimizer, Parameter};
+/// use edgebert_tensor::Matrix;
+///
+/// let mut p = Parameter::new(Matrix::filled(1, 1, 1.0));
+/// p.grad = Matrix::filled(1, 1, 1.0);
+/// let mut opt = AdamOptimizer::new(0.1);
+/// opt.step(&mut [&mut p]);
+/// assert!(p.value.get(0, 0) < 1.0);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AdamOptimizer {
+    /// Learning rate.
+    pub lr: f32,
+    /// Exponential decay for the first moment.
+    pub beta1: f32,
+    /// Exponential decay for the second moment.
+    pub beta2: f32,
+    /// Numerical-stability epsilon.
+    pub eps: f32,
+    /// Decoupled weight decay coefficient (AdamW-style).
+    pub weight_decay: f32,
+    t: u64,
+}
+
+impl AdamOptimizer {
+    /// Creates an Adam optimizer with standard betas (0.9, 0.999).
+    pub fn new(lr: f32) -> Self {
+        Self { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, weight_decay: 0.0, t: 0 }
+    }
+
+    /// Builder-style weight decay setter.
+    pub fn with_weight_decay(mut self, wd: f32) -> Self {
+        self.weight_decay = wd;
+        self
+    }
+
+    /// Number of steps taken so far.
+    pub fn steps(&self) -> u64 {
+        self.t
+    }
+
+    /// Applies one update to every non-frozen parameter, then re-applies
+    /// pruning masks.
+    pub fn step(&mut self, params: &mut [&mut Parameter]) {
+        self.t += 1;
+        let b1t = 1.0 - self.beta1.powi(self.t as i32);
+        let b2t = 1.0 - self.beta2.powi(self.t as i32);
+        for p in params.iter_mut() {
+            if p.frozen {
+                continue;
+            }
+            let (rows, cols) = p.shape();
+            if p.adam_m.is_none() {
+                p.adam_m = Some(Matrix::zeros(rows, cols));
+                p.adam_v = Some(Matrix::zeros(rows, cols));
+            }
+            let m = p.adam_m.as_mut().expect("just initialised");
+            let v = p.adam_v.as_mut().expect("just initialised");
+            for i in 0..p.value.len() {
+                let g = p.grad.as_slice()[i];
+                let mi = self.beta1 * m.as_slice()[i] + (1.0 - self.beta1) * g;
+                let vi = self.beta2 * v.as_slice()[i] + (1.0 - self.beta2) * g * g;
+                m.as_mut_slice()[i] = mi;
+                v.as_mut_slice()[i] = vi;
+                let m_hat = mi / b1t;
+                let v_hat = vi / b2t;
+                let w = &mut p.value.as_mut_slice()[i];
+                *w -= self.lr * (m_hat / (v_hat.sqrt() + self.eps) + self.weight_decay * *w);
+            }
+            p.apply_mask();
+        }
+    }
+}
+
+/// Plain stochastic gradient descent.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SgdOptimizer {
+    /// Learning rate.
+    pub lr: f32,
+}
+
+impl SgdOptimizer {
+    /// Creates an SGD optimizer.
+    pub fn new(lr: f32) -> Self {
+        Self { lr }
+    }
+
+    /// Applies `w -= lr * g` to every non-frozen parameter, then
+    /// re-applies pruning masks.
+    pub fn step(&mut self, params: &mut [&mut Parameter]) {
+        for p in params.iter_mut() {
+            if p.frozen {
+                continue;
+            }
+            for i in 0..p.value.len() {
+                p.value.as_mut_slice()[i] -= self.lr * p.grad.as_slice()[i];
+            }
+            p.apply_mask();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quadratic_grad(p: &mut Parameter) {
+        // L = 0.5 * ||w - 3||^2  =>  g = w - 3
+        p.zero_grad();
+        let g = p.value.map(|w| w - 3.0);
+        p.accumulate_grad(&g);
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        let mut p = Parameter::new(Matrix::filled(2, 2, 0.0));
+        let mut opt = AdamOptimizer::new(0.2);
+        for _ in 0..300 {
+            quadratic_grad(&mut p);
+            opt.step(&mut [&mut p]);
+        }
+        for &w in p.value.as_slice() {
+            assert!((w - 3.0).abs() < 0.05, "w={w}");
+        }
+        assert_eq!(opt.steps(), 300);
+    }
+
+    #[test]
+    fn sgd_converges_on_quadratic() {
+        let mut p = Parameter::new(Matrix::filled(1, 3, 10.0));
+        let mut opt = SgdOptimizer::new(0.1);
+        for _ in 0..200 {
+            quadratic_grad(&mut p);
+            opt.step(&mut [&mut p]);
+        }
+        for &w in p.value.as_slice() {
+            assert!((w - 3.0).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn frozen_parameters_do_not_move() {
+        let mut p = Parameter::new(Matrix::filled(1, 1, 5.0));
+        p.frozen = true;
+        quadratic_grad(&mut p);
+        let mut adam = AdamOptimizer::new(0.5);
+        adam.step(&mut [&mut p]);
+        let mut sgd = SgdOptimizer::new(0.5);
+        sgd.step(&mut [&mut p]);
+        assert_eq!(p.value.get(0, 0), 5.0);
+    }
+
+    #[test]
+    fn masked_weights_stay_zero_through_updates() {
+        let mut p = Parameter::new(Matrix::from_rows(&[&[1.0, 1.0]]));
+        p.set_mask(Matrix::from_rows(&[&[1.0, 0.0]]));
+        let mut opt = AdamOptimizer::new(0.1);
+        for _ in 0..10 {
+            p.zero_grad();
+            p.accumulate_grad(&Matrix::from_rows(&[&[-1.0, -1.0]]));
+            opt.step(&mut [&mut p]);
+        }
+        assert!(p.value.get(0, 0) > 1.0); // unmasked weight trains
+        assert_eq!(p.value.get(0, 1), 0.0); // pruned weight pinned at zero
+    }
+
+    #[test]
+    fn weight_decay_shrinks_weights() {
+        let mut p = Parameter::new(Matrix::filled(1, 1, 1.0));
+        let mut opt = AdamOptimizer::new(0.01).with_weight_decay(0.5);
+        // Zero task gradient: only decay acts.
+        p.zero_grad();
+        for _ in 0..50 {
+            opt.step(&mut [&mut p]);
+        }
+        assert!(p.value.get(0, 0) < 1.0);
+    }
+}

@@ -1,0 +1,206 @@
+//! Trainable parameters: value, gradient, pruning mask, movement scores,
+//! and Adam moments in one place.
+
+use edgebert_tensor::Matrix;
+use serde::{Deserialize, Serialize};
+
+/// A trainable tensor.
+///
+/// In addition to the value and gradient, a [`Parameter`] can carry:
+///
+/// * a **pruning mask** (`1.0` keep / `0.0` pruned). Masked entries are
+///   forced to zero after every optimizer step so sparsity is preserved
+///   during continued fine-tuning;
+/// * **movement scores** `S = -Σ_t w_t · g_t` accumulated each step, the
+///   importance metric of movement pruning (Sanh et al., the method the
+///   paper applies to encoder weights);
+/// * **Adam moments** allocated lazily by the optimizer.
+///
+/// # Example
+///
+/// ```
+/// use edgebert_nn::Parameter;
+/// use edgebert_tensor::Matrix;
+///
+/// let mut p = Parameter::new(Matrix::filled(2, 2, 1.0));
+/// p.grad.set(0, 0, 0.5);
+/// p.zero_grad();
+/// assert_eq!(p.grad.get(0, 0), 0.0);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Parameter {
+    /// Current value.
+    pub value: Matrix,
+    /// Accumulated gradient (same shape as `value`).
+    pub grad: Matrix,
+    /// Optional pruning mask: `1.0` = keep, `0.0` = pruned.
+    pub mask: Option<Matrix>,
+    /// Optional movement-pruning importance scores.
+    pub movement_scores: Option<Matrix>,
+    /// First Adam moment (allocated lazily).
+    pub adam_m: Option<Matrix>,
+    /// Second Adam moment (allocated lazily).
+    pub adam_v: Option<Matrix>,
+    /// When `true`, the optimizer skips this parameter (frozen backbone in
+    /// training phase 2).
+    pub frozen: bool,
+}
+
+impl Parameter {
+    /// Wraps a value tensor with a zeroed gradient.
+    pub fn new(value: Matrix) -> Self {
+        let grad = Matrix::zeros(value.rows(), value.cols());
+        Self {
+            value,
+            grad,
+            mask: None,
+            movement_scores: None,
+            adam_m: None,
+            adam_v: None,
+            frozen: false,
+        }
+    }
+
+    /// Shape of the parameter.
+    pub fn shape(&self) -> (usize, usize) {
+        self.value.shape()
+    }
+
+    /// Number of scalar weights.
+    pub fn len(&self) -> usize {
+        self.value.len()
+    }
+
+    /// Whether the parameter holds no weights.
+    pub fn is_empty(&self) -> bool {
+        self.value.is_empty()
+    }
+
+    /// Clears the accumulated gradient.
+    pub fn zero_grad(&mut self) {
+        for g in self.grad.as_mut_slice() {
+            *g = 0.0;
+        }
+    }
+
+    /// Accumulates `delta` into the gradient.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    pub fn accumulate_grad(&mut self, delta: &Matrix) {
+        self.grad.add_assign(delta);
+    }
+
+    /// Enables movement-score tracking (allocates a zeroed score tensor).
+    pub fn enable_movement_tracking(&mut self) {
+        if self.movement_scores.is_none() {
+            self.movement_scores =
+                Some(Matrix::zeros(self.value.rows(), self.value.cols()));
+        }
+    }
+
+    /// Updates movement scores with the current (value, grad) pair:
+    /// `S += -w * g`. Call once per optimization step *before* the weight
+    /// update, as in movement pruning.
+    pub fn update_movement_scores(&mut self) {
+        if let Some(scores) = &mut self.movement_scores {
+            for ((s, &w), &g) in scores
+                .as_mut_slice()
+                .iter_mut()
+                .zip(self.value.as_slice().iter())
+                .zip(self.grad.as_slice().iter())
+            {
+                *s += -w * g;
+            }
+        }
+    }
+
+    /// Installs a pruning mask and immediately applies it to the value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the mask shape differs from the value shape.
+    pub fn set_mask(&mut self, mask: Matrix) {
+        assert_eq!(mask.shape(), self.value.shape(), "mask shape mismatch");
+        self.mask = Some(mask);
+        self.apply_mask();
+    }
+
+    /// Re-applies the mask (if any) to the value, forcing pruned weights to
+    /// zero. The optimizer calls this after every step.
+    pub fn apply_mask(&mut self) {
+        if let Some(mask) = &self.mask {
+            for (v, &m) in self.value.as_mut_slice().iter_mut().zip(mask.as_slice()) {
+                if m == 0.0 {
+                    *v = 0.0;
+                }
+            }
+        }
+    }
+
+    /// Current sparsity of the value tensor in `[0, 1]`.
+    pub fn sparsity(&self) -> f32 {
+        self.value.sparsity()
+    }
+}
+
+impl From<Matrix> for Parameter {
+    fn from(m: Matrix) -> Self {
+        Parameter::new(m)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_has_zero_grad() {
+        let p = Parameter::new(Matrix::filled(3, 2, 2.0));
+        assert_eq!(p.shape(), (3, 2));
+        assert!(p.grad.as_slice().iter().all(|&g| g == 0.0));
+        assert!(!p.frozen);
+    }
+
+    #[test]
+    fn accumulate_and_zero() {
+        let mut p = Parameter::new(Matrix::zeros(1, 2));
+        p.accumulate_grad(&Matrix::from_rows(&[&[1.0, 2.0]]));
+        p.accumulate_grad(&Matrix::from_rows(&[&[0.5, -1.0]]));
+        assert_eq!(p.grad, Matrix::from_rows(&[&[1.5, 1.0]]));
+        p.zero_grad();
+        assert_eq!(p.grad, Matrix::zeros(1, 2));
+    }
+
+    #[test]
+    fn movement_scores_accumulate_negative_w_dot_g() {
+        let mut p = Parameter::new(Matrix::from_rows(&[&[2.0, -1.0]]));
+        p.enable_movement_tracking();
+        p.grad = Matrix::from_rows(&[&[0.5, 0.5]]);
+        p.update_movement_scores();
+        let s = p.movement_scores.as_ref().unwrap();
+        // S = -w*g: weight moving toward zero (w>0, g>0) gets negative score.
+        assert_eq!(s.get(0, 0), -1.0);
+        assert_eq!(s.get(0, 1), 0.5);
+    }
+
+    #[test]
+    fn mask_forces_zeros() {
+        let mut p = Parameter::new(Matrix::from_rows(&[&[1.0, 2.0, 3.0]]));
+        p.set_mask(Matrix::from_rows(&[&[1.0, 0.0, 1.0]]));
+        assert_eq!(p.value, Matrix::from_rows(&[&[1.0, 0.0, 3.0]]));
+        // Simulate an optimizer writing into a pruned slot.
+        p.value.set(0, 1, 9.0);
+        p.apply_mask();
+        assert_eq!(p.value.get(0, 1), 0.0);
+        assert!((p.sparsity() - 1.0 / 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "mask shape mismatch")]
+    fn mask_shape_is_checked() {
+        let mut p = Parameter::new(Matrix::zeros(2, 2));
+        p.set_mask(Matrix::zeros(1, 2));
+    }
+}

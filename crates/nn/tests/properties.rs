@@ -1,0 +1,96 @@
+//! Property-based tests for the training substrate.
+
+use edgebert_nn::losses::{accuracy, cross_entropy, distillation};
+use edgebert_nn::prune::{magnitude_mask, sparsity_schedule, topk_mask};
+use edgebert_nn::AdaptiveSpan;
+use edgebert_tensor::{Matrix, Rng};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn cross_entropy_nonnegative_and_bounded_below_by_confidence(
+        logits in prop::collection::vec(-20.0f32..20.0, 2..6),
+        target_seed in 0usize..100,
+    ) {
+        let k = logits.len();
+        let target = target_seed % k;
+        let m = Matrix::from_vec(1, k, logits.clone());
+        let (loss, grad) = cross_entropy(&m, &[target]);
+        prop_assert!(loss >= -1e-5);
+        // Gradient rows sum to ~0 (softmax minus one-hot).
+        let s: f32 = grad.as_slice().iter().sum();
+        prop_assert!(s.abs() < 1e-4);
+    }
+
+    #[test]
+    fn distillation_nonnegative_zero_iff_equal(
+        a in prop::collection::vec(-5.0f32..5.0, 3),
+        b in prop::collection::vec(-5.0f32..5.0, 3),
+        temp in 0.5f32..4.0,
+    ) {
+        let s = Matrix::from_vec(1, 3, a.clone());
+        let t = Matrix::from_vec(1, 3, b.clone());
+        let (loss, _) = distillation(&s, &t, temp);
+        prop_assert!(loss >= -1e-4);
+        let (self_loss, _) = distillation(&s, &s, temp);
+        prop_assert!(self_loss.abs() < 1e-5);
+    }
+
+    #[test]
+    fn sparsity_schedule_monotone_bounded(total in 1usize..1000, target in 0.0f32..0.95) {
+        let mut last = -1.0f32;
+        for step in (0..=total).step_by((total / 17).max(1)) {
+            let s = sparsity_schedule(step, total, target);
+            prop_assert!(s >= last - 1e-6);
+            prop_assert!((0.0..=target + 1e-6).contains(&s));
+            last = s;
+        }
+    }
+
+    #[test]
+    fn topk_mask_hits_requested_sparsity(seed in 0u64..500, sparsity in 0.0f32..1.0) {
+        let mut rng = Rng::seed_from(seed);
+        let scores = rng.gaussian_matrix(16, 16, 1.0);
+        let mask = topk_mask(&scores, sparsity);
+        let achieved = mask.sparsity();
+        prop_assert!((achieved - sparsity).abs() <= 1.0 / 256.0 + 1e-6);
+    }
+
+    #[test]
+    fn magnitude_mask_keeps_the_largest(seed in 0u64..500) {
+        let mut rng = Rng::seed_from(seed);
+        let w = rng.gaussian_matrix(8, 8, 1.0);
+        let mask = magnitude_mask(&w, 0.5);
+        // Every kept weight is at least as large as every pruned weight.
+        let mut kept_min = f32::INFINITY;
+        let mut pruned_max: f32 = 0.0;
+        for (v, m) in w.as_slice().iter().zip(mask.as_slice()) {
+            if *m == 1.0 {
+                kept_min = kept_min.min(v.abs());
+            } else {
+                pruned_max = pruned_max.max(v.abs());
+            }
+        }
+        prop_assert!(kept_min + 1e-6 >= pruned_max);
+    }
+
+    #[test]
+    fn span_mask_monotone_in_distance_and_z(z in -4.0f32..32.0, d1 in 0usize..64, d2 in 0usize..64) {
+        let mut span = AdaptiveSpan::new(0.0, 8.0, 64);
+        span.set_z(z);
+        let (lo, hi) = if d1 <= d2 { (d1, d2) } else { (d2, d1) };
+        prop_assert!(span.mask_at(lo) + 1e-6 >= span.mask_at(hi));
+        prop_assert!((0.0..=1.0).contains(&span.mask_at(d1)));
+    }
+
+    #[test]
+    fn accuracy_bounded(seed in 0u64..500, n in 1usize..32) {
+        let mut rng = Rng::seed_from(seed);
+        let logits = rng.gaussian_matrix(n, 3, 1.0);
+        let targets: Vec<usize> = (0..n).map(|i| i % 3).collect();
+        let acc = accuracy(&logits, &targets);
+        prop_assert!((0.0..=1.0).contains(&acc));
+    }
+}

@@ -1,0 +1,137 @@
+//! 16-bit fixed-point helpers modelling the SFU datapath.
+//!
+//! "All the computations in the SFU are in 16-bit fixed-point format"
+//! (paper §7.4). The entropy/softmax/layer-norm units therefore work on
+//! Q-format values; these helpers let the hardware model check that the
+//! numerically-stable formulations stay within a 16-bit budget.
+
+use serde::{Deserialize, Serialize};
+
+/// A Q-format signed 16-bit fixed-point value.
+///
+/// # Example
+///
+/// ```
+/// use edgebert_quant::fixed::Fixed16;
+///
+/// let q = Fixed16::from_f32(1.5, 8);
+/// assert_eq!(q.to_f32(), 1.5);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Fixed16 {
+    raw: i16,
+    frac_bits: u8,
+}
+
+impl Fixed16 {
+    /// Converts an `f32` with `frac_bits` fractional bits, saturating.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `frac_bits > 15`.
+    pub fn from_f32(x: f32, frac_bits: u8) -> Self {
+        assert!(frac_bits <= 15, "frac_bits out of range");
+        let scaled = x * (1i32 << frac_bits) as f32;
+        let raw = scaled.round().clamp(i16::MIN as f32, i16::MAX as f32) as i16;
+        Self { raw, frac_bits }
+    }
+
+    /// The underlying integer representation.
+    pub fn raw(&self) -> i16 {
+        self.raw
+    }
+
+    /// Number of fractional bits.
+    pub fn frac_bits(&self) -> u8 {
+        self.frac_bits
+    }
+
+    /// Converts back to `f32`.
+    pub fn to_f32(&self) -> f32 {
+        self.raw as f32 / (1i32 << self.frac_bits) as f32
+    }
+
+    /// Saturating addition of two values with the same Q format.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the Q formats differ.
+    pub fn saturating_add(self, rhs: Fixed16) -> Fixed16 {
+        assert_eq!(self.frac_bits, rhs.frac_bits, "Q-format mismatch");
+        Fixed16 { raw: self.raw.saturating_add(rhs.raw), frac_bits: self.frac_bits }
+    }
+
+    /// Saturating multiplication (result keeps the same Q format).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the Q formats differ.
+    pub fn saturating_mul(self, rhs: Fixed16) -> Fixed16 {
+        assert_eq!(self.frac_bits, rhs.frac_bits, "Q-format mismatch");
+        let wide = (self.raw as i32 * rhs.raw as i32) >> self.frac_bits;
+        Fixed16 {
+            raw: wide.clamp(i16::MIN as i32, i16::MAX as i32) as i16,
+            frac_bits: self.frac_bits,
+        }
+    }
+}
+
+/// Quantizes a slice through the Q-format and returns the worst absolute
+/// error — used to verify the SFU's 16-bit budget suffices for entropy
+/// values and softmax outputs.
+pub fn fixed16_roundtrip_error(xs: &[f32], frac_bits: u8) -> f32 {
+    xs.iter()
+        .map(|&x| (Fixed16::from_f32(x, frac_bits).to_f32() - x).abs())
+        .fold(0.0, f32::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_exact_for_representable() {
+        let q = Fixed16::from_f32(-3.25, 8);
+        assert_eq!(q.to_f32(), -3.25);
+        assert_eq!(q.raw(), -832);
+    }
+
+    #[test]
+    fn saturation_at_bounds() {
+        let q = Fixed16::from_f32(1.0e9, 8);
+        assert_eq!(q.raw(), i16::MAX);
+        let q = Fixed16::from_f32(-1.0e9, 8);
+        assert_eq!(q.raw(), i16::MIN);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Fixed16::from_f32(1.5, 10);
+        let b = Fixed16::from_f32(2.0, 10);
+        assert_eq!(a.saturating_add(b).to_f32(), 3.5);
+        assert_eq!(a.saturating_mul(b).to_f32(), 3.0);
+    }
+
+    #[test]
+    fn mul_saturates() {
+        let a = Fixed16::from_f32(30.0, 10);
+        let big = a.saturating_mul(a);
+        assert_eq!(big.raw(), i16::MAX);
+    }
+
+    #[test]
+    fn entropy_range_fits_q6_10() {
+        // Entropy values lie in [0, ln 3] ≈ [0, 1.1]; softmax probs in
+        // [0, 1]. Q6.10 keeps the error below 2^-11.
+        let vals: Vec<f32> = (0..100).map(|i| i as f32 * 0.011).collect();
+        assert!(fixed16_roundtrip_error(&vals, 10) <= 1.0 / 2048.0 + 1e-7);
+    }
+
+    #[test]
+    #[should_panic(expected = "Q-format mismatch")]
+    fn mixed_q_formats_panic() {
+        let a = Fixed16::from_f32(1.0, 8);
+        let b = Fixed16::from_f32(1.0, 10);
+        let _ = a.saturating_add(b);
+    }
+}

@@ -1,0 +1,63 @@
+//! Property-based tests for FP8 quantization.
+
+use edgebert_quant::tensor::fake_quantize;
+use edgebert_quant::{Fp8Format, QuantizedTensor};
+use edgebert_tensor::Matrix;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn quantize_idempotent_any_bias(x in -1e4f32..1e4, bias in -10i32..20, bits in 2u8..6) {
+        let fmt = Fp8Format::new(bits, bias);
+        let q = fmt.quantize(x);
+        prop_assert_eq!(fmt.quantize(q), q);
+    }
+
+    #[test]
+    fn quantize_preserves_sign_and_bounds(x in -1e4f32..1e4) {
+        let fmt = Fp8Format::edgebert(7);
+        let q = fmt.quantize(x);
+        prop_assert!(q.abs() <= fmt.max_value() + 1e-6);
+        prop_assert!(q * x >= 0.0);
+    }
+
+    #[test]
+    fn quantize_monotone(a in -100.0f32..100.0, b in -100.0f32..100.0) {
+        let fmt = Fp8Format::edgebert(7);
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(fmt.quantize(lo) <= fmt.quantize(hi));
+    }
+
+    #[test]
+    fn adaptive_bias_never_saturates_the_max(values in prop::collection::vec(-1e3f32..1e3, 4..64)) {
+        prop_assume!(values.iter().any(|v| *v != 0.0));
+        let m = Matrix::from_vec(1, values.len(), values.clone());
+        let q = QuantizedTensor::quantize(&m, 4);
+        let deq = q.dequantize();
+        let max_in = values.iter().map(|v| v.abs()).fold(0.0f32, f32::max);
+        let max_out = deq.as_slice().iter().map(|v| v.abs()).fold(0.0f32, f32::max);
+        // The largest magnitude survives within normal FP8 relative error.
+        prop_assert!((max_out - max_in).abs() / max_in < 0.07, "{max_in} -> {max_out}");
+    }
+
+    #[test]
+    fn fake_quantize_keeps_zeros_exact(values in prop::collection::vec(-10.0f32..10.0, 4..64), zero_every in 2usize..5) {
+        let mut vals = values.clone();
+        for (i, v) in vals.iter_mut().enumerate() {
+            if i % zero_every == 0 {
+                *v = 0.0;
+            }
+        }
+        let n = vals.len();
+        let m = Matrix::from_vec(1, n, vals);
+        let q = fake_quantize(&m, 4);
+        for (a, b) in m.as_slice().iter().zip(q.as_slice()) {
+            if *a == 0.0 {
+                prop_assert_eq!(*b, 0.0);
+            }
+        }
+        prop_assert_eq!(q.sparsity(), m.sparsity());
+    }
+}

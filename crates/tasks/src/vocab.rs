@@ -1,0 +1,183 @@
+//! Vocabulary layout shared by the generator and the tokenizer.
+//!
+//! The synthetic vocabulary is partitioned into special tokens, per-class
+//! keyword blocks, ambiguous tokens (weakly indicative of several
+//! classes), and neutral background tokens. The embedding table over this
+//! vocabulary plays the role of ALBERT's word embeddings: it is *shared
+//! across tasks*, frozen during fine-tuning, magnitude-pruned, and stored
+//! in eNVM (paper §4).
+
+use serde::{Deserialize, Serialize};
+
+/// Padding token id.
+pub const PAD: u32 = 0;
+/// Classification token id (prepended to every sequence, its output row is
+/// what the off-ramp classifiers read — BERT's `[CLS]`).
+pub const CLS: u32 = 1;
+/// Separator token id.
+pub const SEP: u32 = 2;
+/// Number of reserved special tokens.
+pub const NUM_SPECIAL: u32 = 3;
+
+/// Describes how the synthetic vocabulary is partitioned.
+///
+/// # Example
+///
+/// ```
+/// use edgebert_tasks::VocabLayout;
+///
+/// let layout = VocabLayout::new(4, 3, 16, 32);
+/// assert!(layout.vocab_size() > 0);
+/// let kw = layout.class_keyword(2, 0, 5);
+/// assert!(layout.is_class_keyword(kw, 2, 0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct VocabLayout {
+    num_tasks: u32,
+    max_classes: u32,
+    keywords_per_class: u32,
+    ambiguous_per_task: u32,
+    background: u32,
+}
+
+impl VocabLayout {
+    /// Creates a layout with `keywords_per_class` strong keywords for each
+    /// (task, class) pair, `ambiguous_per_task` weak tokens per task, and
+    /// `background` neutral tokens.
+    pub fn new(
+        num_tasks: u32,
+        max_classes: u32,
+        keywords_per_class: u32,
+        background: u32,
+    ) -> Self {
+        Self {
+            num_tasks,
+            max_classes,
+            keywords_per_class,
+            ambiguous_per_task: keywords_per_class,
+            background,
+        }
+    }
+
+    /// The default layout used across the workspace: 4 tasks, up to 3
+    /// classes, 24 keywords per class, 512 background tokens.
+    pub fn standard() -> Self {
+        Self::new(4, 3, 24, 512)
+    }
+
+    /// Total vocabulary size.
+    pub fn vocab_size(&self) -> usize {
+        (NUM_SPECIAL
+            + self.num_tasks * self.max_classes * self.keywords_per_class
+            + self.num_tasks * self.ambiguous_per_task
+            + self.background) as usize
+    }
+
+    /// Number of keyword tokens per (task, class) pair.
+    pub fn keywords_per_class(&self) -> u32 {
+        self.keywords_per_class
+    }
+
+    /// The `k`-th keyword token for `(task_idx, class)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of range.
+    pub fn class_keyword(&self, task_idx: u32, class: u32, k: u32) -> u32 {
+        assert!(task_idx < self.num_tasks, "task index out of range");
+        assert!(class < self.max_classes, "class out of range");
+        assert!(k < self.keywords_per_class, "keyword index out of range");
+        NUM_SPECIAL
+            + (task_idx * self.max_classes + class) * self.keywords_per_class
+            + k
+    }
+
+    /// Whether `token` is a keyword of `(task_idx, class)`.
+    pub fn is_class_keyword(&self, token: u32, task_idx: u32, class: u32) -> bool {
+        let base = NUM_SPECIAL + (task_idx * self.max_classes + class) * self.keywords_per_class;
+        token >= base && token < base + self.keywords_per_class
+    }
+
+    /// The `k`-th ambiguous token for `task_idx` (weak, class-neutral but
+    /// task-correlated — these appear in hard sentences).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of range.
+    pub fn ambiguous_token(&self, task_idx: u32, k: u32) -> u32 {
+        assert!(task_idx < self.num_tasks, "task index out of range");
+        assert!(k < self.ambiguous_per_task, "ambiguous index out of range");
+        NUM_SPECIAL
+            + self.num_tasks * self.max_classes * self.keywords_per_class
+            + task_idx * self.ambiguous_per_task
+            + k
+    }
+
+    /// The `k`-th neutral background token.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k >= background`.
+    pub fn background_token(&self, k: u32) -> u32 {
+        assert!(k < self.background, "background index out of range");
+        NUM_SPECIAL
+            + self.num_tasks * self.max_classes * self.keywords_per_class
+            + self.num_tasks * self.ambiguous_per_task
+            + k
+    }
+
+    /// Number of background tokens.
+    pub fn background_count(&self) -> u32 {
+        self.background
+    }
+}
+
+impl Default for VocabLayout {
+    fn default() -> Self {
+        Self::standard()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn token_ranges_do_not_overlap() {
+        let l = VocabLayout::new(2, 3, 4, 8);
+        let mut seen = std::collections::HashSet::new();
+        seen.insert(PAD);
+        seen.insert(CLS);
+        seen.insert(SEP);
+        for t in 0..2 {
+            for c in 0..3 {
+                for k in 0..4 {
+                    assert!(seen.insert(l.class_keyword(t, c, k)), "keyword overlap");
+                }
+            }
+            for k in 0..4 {
+                assert!(seen.insert(l.ambiguous_token(t, k)), "ambiguous overlap");
+            }
+        }
+        for k in 0..8 {
+            assert!(seen.insert(l.background_token(k)), "background overlap");
+        }
+        assert_eq!(seen.len(), l.vocab_size());
+    }
+
+    #[test]
+    fn keyword_membership() {
+        let l = VocabLayout::standard();
+        let tok = l.class_keyword(1, 2, 3);
+        assert!(l.is_class_keyword(tok, 1, 2));
+        assert!(!l.is_class_keyword(tok, 1, 1));
+        assert!(!l.is_class_keyword(tok, 0, 2));
+        assert!(!l.is_class_keyword(PAD, 0, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "class out of range")]
+    fn out_of_range_class_panics() {
+        VocabLayout::standard().class_keyword(0, 5, 0);
+    }
+}

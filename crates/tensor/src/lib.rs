@@ -1,0 +1,40 @@
+//! Dense and sparse tensor substrate for the EdgeBERT reproduction.
+//!
+//! This crate provides the numeric foundation that every other crate in the
+//! workspace builds on:
+//!
+//! * [`Matrix`] — a row-major dense `f32` matrix with the linear-algebra
+//!   operations a transformer needs (matmul, transpose, broadcasting
+//!   helpers, reductions).
+//! * [`kernels`] — numerically stable kernels used by both the software
+//!   model and the hardware simulator: log-sum-exp, softmax, and the
+//!   entropy function from Eq. (1)/(3) of the paper.
+//! * [`sparse`] — the bitmask-encoded sparse matrix format that mirrors the
+//!   accelerator's compressed storage (binary tag per element, non-zero
+//!   payload array).
+//! * [`rng`] — deterministic random number generation, including Gaussian
+//!   sampling via Box–Muller (the workspace avoids extra dependencies such
+//!   as `rand_distr`).
+//! * [`stats`] — small descriptive-statistics helpers used by the
+//!   calibration and reporting code.
+//!
+//! # Example
+//!
+//! ```
+//! use edgebert_tensor::{Matrix, kernels};
+//!
+//! let logits = Matrix::from_rows(&[&[2.0, 0.5, 0.1]]);
+//! let h = kernels::entropy(logits.row(0));
+//! assert!(h >= 0.0 && h <= (3.0f32).ln());
+//! ```
+
+pub mod kernels;
+pub mod matrix;
+pub mod rng;
+pub mod sparse;
+pub mod stats;
+
+pub use kernels::{entropy, log_softmax, logsumexp, softmax_inplace};
+pub use matrix::{Matrix, ShapeError};
+pub use rng::Rng;
+pub use sparse::BitmaskMatrix;

@@ -1,0 +1,97 @@
+//! Property-based tests for the tensor substrate.
+
+use edgebert_tensor::{entropy, kernels, logsumexp, BitmaskMatrix, Matrix};
+use proptest::prelude::*;
+
+fn matrix_strategy(max_dim: usize) -> impl Strategy<Value = Matrix> {
+    (1..max_dim, 1..max_dim).prop_flat_map(|(r, c)| {
+        prop::collection::vec(-50.0f32..50.0, r * c)
+            .prop_map(move |v| Matrix::from_vec(r, c, v))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn matmul_identity_is_noop(m in matrix_strategy(12)) {
+        let i = Matrix::eye(m.cols());
+        let out = m.matmul(&i);
+        prop_assert_eq!(out, m);
+    }
+
+    #[test]
+    fn matmul_distributes_over_addition(
+        a in matrix_strategy(8),
+        bc in (1usize..8).prop_flat_map(|k| {
+            (Just(k), prop::collection::vec(-10.0f32..10.0, 64), prop::collection::vec(-10.0f32..10.0, 64))
+        }),
+    ) {
+        let (k, bv, cv) = bc;
+        let b = Matrix::from_vec(a.cols(), k, bv[..a.cols() * k].to_vec());
+        let c = Matrix::from_vec(a.cols(), k, cv[..a.cols() * k].to_vec());
+        let lhs = a.matmul(&b.add(&c));
+        let mut rhs = a.matmul(&b);
+        rhs.add_assign(&a.matmul(&c));
+        for (x, y) in lhs.as_slice().iter().zip(rhs.as_slice()) {
+            prop_assert!((x - y).abs() <= 1e-2 * (1.0 + x.abs()), "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn transpose_preserves_frobenius_norm(m in matrix_strategy(12)) {
+        let a = m.frobenius_norm();
+        let b = m.transpose().frobenius_norm();
+        prop_assert!((a - b).abs() < 1e-3 * (1.0 + a));
+    }
+
+    #[test]
+    fn matmul_nt_tn_consistent_with_transpose(a in matrix_strategy(8), seed in 0u64..1000) {
+        let mut rng = edgebert_tensor::Rng::seed_from(seed);
+        let b = rng.gaussian_matrix(5, a.cols(), 1.0);
+        let via_nt = a.matmul_nt(&b);
+        let via_t = a.matmul(&b.transpose());
+        for (x, y) in via_nt.as_slice().iter().zip(via_t.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-3 * (1.0 + x.abs()));
+        }
+    }
+
+    #[test]
+    fn softmax_is_a_distribution(logits in prop::collection::vec(-40.0f32..40.0, 1..16)) {
+        let mut x = logits.clone();
+        kernels::softmax_inplace(&mut x);
+        let sum: f32 = x.iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-4);
+        prop_assert!(x.iter().all(|&p| (0.0..=1.0 + 1e-6).contains(&p)));
+    }
+
+    #[test]
+    fn logsumexp_exceeds_max(logits in prop::collection::vec(-40.0f32..40.0, 1..16)) {
+        let max = logits.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        let lse = logsumexp(&logits);
+        prop_assert!(lse >= max - 1e-4);
+        prop_assert!(lse <= max + (logits.len() as f32).ln() + 1e-4);
+    }
+
+    #[test]
+    fn entropy_shift_invariant(logits in prop::collection::vec(-20.0f32..20.0, 2..8), shift in -50.0f32..50.0) {
+        let shifted: Vec<f32> = logits.iter().map(|&v| v + shift).collect();
+        prop_assert!((entropy(&logits) - entropy(&shifted)).abs() < 1e-2);
+    }
+
+    #[test]
+    fn bitmask_density_complements_sparsity(m in matrix_strategy(12)) {
+        let sp = BitmaskMatrix::encode(&m);
+        prop_assert!((sp.density() - (1.0 - m.sparsity())).abs() < 1e-6);
+        prop_assert_eq!(sp.nnz(), m.nnz());
+    }
+
+    #[test]
+    fn slicing_round_trips(m in matrix_strategy(10)) {
+        let w = m.cols().div_ceil(2);
+        let block = m.slice_cols(0, w);
+        let mut copy = m.clone();
+        copy.set_cols(0, &block);
+        prop_assert_eq!(copy, m);
+    }
+}

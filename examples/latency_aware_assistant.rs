@@ -1,0 +1,53 @@
+//! A voice-assistant-style stream of sentences under a hard latency
+//! budget (the paper's motivating scenario, §1).
+//!
+//! Runs a stream of utterances through all three inference schemes and
+//! shows how the DVFS controller picks a different voltage/frequency for
+//! every sentence based on the predicted exit layer, while the unbounded
+//! schemes burn nominal-voltage energy.
+//!
+//! ```text
+//! cargo run --release --example latency_aware_assistant
+//! ```
+
+use edgebert::engine::InferenceMode;
+use edgebert::pipeline::{Scale, TaskArtifacts};
+use edgebert_tasks::Task;
+
+fn main() {
+    println!("== latency-aware assistant: QNLI stream at a 50 ms deadline ==\n");
+    let artifacts = TaskArtifacts::build(Task::Qnli, Scale::Test, 0xED6E + 3);
+    let engine = artifacts.engine_at(50e-3, 0, true);
+
+    println!("{:<4} {:>5} {:>5} {:>8} {:>9} {:>10}  deadline", "#", "pred", "exit", "V", "F (MHz)", "energy");
+    let mut lai_total = 0.0f64;
+    let mut ee_total = 0.0f64;
+    let mut base_total = 0.0f64;
+    for (i, ex) in artifacts.dev.iter().take(10).enumerate() {
+        let r = engine.run_latency_aware(&ex.tokens);
+        lai_total += r.energy_j;
+        ee_total += engine.run_conventional_ee(&ex.tokens).energy_j;
+        base_total += engine.run_base(&ex.tokens).energy_j;
+        println!(
+            "{:<4} {:>5} {:>5} {:>7.3}V {:>9.0} {:>9.1}µJ  {}",
+            i + 1,
+            r.predicted_layer.unwrap_or(0),
+            r.exit_layer,
+            r.voltage,
+            r.freq_hz / 1e6,
+            r.energy_j * 1e6,
+            if r.deadline_met { "met" } else { "MISSED" },
+        );
+    }
+    println!("\nstream energy: LAI {:.1} µJ | EE {:.1} µJ | Base {:.1} µJ", lai_total * 1e6, ee_total * 1e6, base_total * 1e6);
+    println!("LAI saves {:.1}x vs Base, {:.1}x vs EE", base_total / lai_total, ee_total / lai_total);
+
+    // Aggregate accuracy check across the modes.
+    for mode in [InferenceMode::Base, InferenceMode::ConventionalEe, InferenceMode::LatencyAware] {
+        let agg = engine.evaluate(&artifacts.dev, mode);
+        println!(
+            "{:?}: accuracy {:.2}, avg exit {:.2}, avg energy {:.1} µJ",
+            mode, agg.accuracy, agg.avg_exit_layer, agg.avg_energy_j * 1e6
+        );
+    }
+}

@@ -1,0 +1,68 @@
+//! Multi-task embeddings in non-volatile memory (paper §4, Fig. 11).
+//!
+//! The word-embedding table is shared across NLP tasks, so EdgeBERT
+//! stores it once in on-chip MLC2 ReRAM (bitmask in SLC). This example
+//! (1) encodes a pruned table into the stored layout, (2) runs a small
+//! fault-injection campaign across cell technologies, and (3) compares
+//! the power-on cost against the conventional DRAM-reload flow.
+//!
+//! ```text
+//! cargo run --release --example multi_task_nvm
+//! ```
+
+use edgebert::pipeline::{Scale, TaskArtifacts};
+use edgebert_envm::{CampaignResult, CellTech, FaultInjector, StoredEmbedding};
+use edgebert_hw::memory::{sentence_embedding_bits, BootComparison};
+use edgebert_tensor::Rng;
+use edgebert_tasks::Task;
+
+fn main() {
+    println!("== multi-task eNVM embedding storage ==\n");
+    let artifacts = TaskArtifacts::build(Task::Sst2, Scale::Test, 0xED6E + 2);
+
+    let table = &artifacts.model.embedding.table.value;
+    let stored = StoredEmbedding::encode(table, 4);
+    println!(
+        "embedding table: {}x{}, {:.0}% sparse, stored as {:.3} MB (bitmask in SLC, FP8 payload in MLC2)",
+        table.rows(),
+        table.cols(),
+        table.sparsity() * 100.0,
+        stored.footprint_mb(),
+    );
+
+    // Fault-injection across cell technologies.
+    let mut rng = Rng::seed_from(7);
+    let mut eval_model = artifacts.model.clone();
+    println!("\nfault injection (20 trials each, dev accuracy %):");
+    for tech in CellTech::all() {
+        let injector = FaultInjector::new(tech);
+        let result = CampaignResult::run(&stored, &injector, 20, &mut rng, |img| {
+            eval_model.embedding.set_table(img.decode());
+            eval_model.evaluate_accuracy(&artifacts.dev) * 100.0
+        });
+        println!(
+            "  {tech}: mean {:.2}, min {:.2} ({:.1} faulted cells/trial)",
+            result.mean, result.min, result.mean_faults
+        );
+    }
+
+    // Power-on comparison at the paper's 1.73 MB scale.
+    let bits = sentence_embedding_bits(128, 128, 0.4);
+    let cmp = BootComparison::standard(1.73, bits);
+    println!("\npower-on cost (1.73 MB table, first sentence):");
+    println!(
+        "  EdgeBERT (ReRAM-resident): {:.2} µs, {:.1} nJ",
+        cmp.edgebert.latency_s * 1e6,
+        cmp.edgebert.energy_j * 1e9
+    );
+    println!(
+        "  conventional (DRAM->SRAM): {:.0} µs, {:.2} mJ",
+        cmp.conventional.latency_s * 1e6,
+        cmp.conventional.energy_j * 1e3
+    );
+    println!(
+        "  advantage: ~{:.0}x latency, ~{:.0}x energy",
+        cmp.latency_advantage(),
+        cmp.energy_advantage()
+    );
+}

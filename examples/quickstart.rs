@@ -1,0 +1,68 @@
+//! Quickstart: classify one sentence with latency-aware inference.
+//!
+//! Reproduces the paper's Fig. 1 narrative: the review snippet
+//! "smart, provocative and blisteringly funny" is tokenized, the model
+//! exits as soon as its off-ramp entropy is confident, and the DVFS
+//! controller scales voltage/frequency so the sentence finishes exactly
+//! at a 50 ms latency target.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use edgebert::pipeline::{Scale, TaskArtifacts};
+use edgebert_model::HashTokenizer;
+use edgebert_tasks::Task;
+
+fn main() {
+    println!("== EdgeBERT quickstart: sentiment with latency-aware inference ==\n");
+
+    // Train the SST-2 task artifacts (teacher -> pruned/quantized student
+    // with adaptive spans -> off-ramps -> entropy predictor).
+    println!("training SST-2 artifacts (test scale)...");
+    let artifacts = TaskArtifacts::build(Task::Sst2, Scale::Test, 0xED6E);
+    println!(
+        "  student accuracy {:.1}% (teacher {:.1}%), encoder sparsity {:.0}%\n",
+        artifacts.summary.student_accuracy * 100.0,
+        artifacts.summary.teacher_accuracy * 100.0,
+        artifacts.summary.encoder_sparsity * 100.0,
+    );
+
+    // An inference engine bound to a 50 ms per-sentence latency target,
+    // on the energy-optimal (n = 16) accelerator with AAS + sparse
+    // execution enabled.
+    let engine = artifacts.engine_at(50e-3, 0, true);
+
+    let tokenizer = HashTokenizer::new(Task::Sst2, artifacts.model.config.max_seq_len);
+    for text in [
+        "smart , provocative and blisteringly funny",
+        "a dull , lifeless and disappointing mess",
+    ] {
+        let tokens = tokenizer.encode(text);
+        let result = engine.run_latency_aware(&tokens);
+        let sentiment = if result.prediction == 1 { "positive" } else { "negative" };
+        println!("\"{text}\"");
+        println!(
+            "  -> {sentiment} | exit layer {}/{} (predictor forecast {:?})",
+            result.exit_layer,
+            artifacts.model.num_layers(),
+            result.predicted_layer,
+        );
+        println!(
+            "  -> {:.2} ms at {:.3} V / {:.0} MHz, {:.2} uJ, deadline {}",
+            result.latency_s * 1e3,
+            result.voltage,
+            result.freq_hz / 1e6,
+            result.energy_j * 1e6,
+            if result.deadline_met { "met" } else { "MISSED" },
+        );
+        // Compare against the unbounded baselines.
+        let base = engine.run_base(&tokens);
+        let ee = engine.run_conventional_ee(&tokens);
+        println!(
+            "  -> energy vs Base {:.1}x, vs conventional EE {:.1}x\n",
+            base.energy_j / result.energy_j,
+            ee.energy_j / result.energy_j,
+        );
+    }
+}

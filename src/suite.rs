@@ -1,0 +1,12 @@
+//! Umbrella library re-exporting the EdgeBERT reproduction crates.
+//!
+//! Examples under `examples/` and integration tests under `tests/`
+//! use these re-exports so they read like downstream user code.
+pub use edgebert as core;
+pub use edgebert_envm as envm;
+pub use edgebert_hw as hw;
+pub use edgebert_model as model;
+pub use edgebert_nn as nn;
+pub use edgebert_quant as quant;
+pub use edgebert_tasks as tasks;
+pub use edgebert_tensor as tensor;

@@ -1,0 +1,89 @@
+//! Cross-crate property-based tests (proptest) on the invariants the
+//! system relies on end to end.
+
+use edgebert_envm::StoredEmbedding;
+use edgebert_hw::{AcceleratorConfig, DvfsController};
+use edgebert_quant::Fp8Format;
+use edgebert_tensor::{entropy, BitmaskMatrix, Matrix};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Bitmask encode/decode is lossless for any dense matrix.
+    #[test]
+    fn bitmask_round_trip(values in prop::collection::vec(-100.0f32..100.0, 1..256)) {
+        let cols = 8usize;
+        let rows = values.len().div_ceil(cols);
+        let mut padded = values.clone();
+        padded.resize(rows * cols, 0.0);
+        let dense = Matrix::from_vec(rows, cols, padded);
+        let sparse = BitmaskMatrix::encode(&dense);
+        prop_assert_eq!(sparse.decode(), dense);
+    }
+
+    /// FP8 quantization is idempotent and sign-preserving, and the
+    /// stored-embedding pipeline (prune mask + FP8) keeps zeros exact
+    /// and bounds relative error on normals.
+    #[test]
+    fn fp8_and_storage_invariants(values in prop::collection::vec(-64.0f32..64.0, 8..64)) {
+        let fmt = Fp8Format::edgebert(7);
+        for &v in &values {
+            let q = fmt.quantize(v);
+            prop_assert_eq!(fmt.quantize(q), q);
+            prop_assert!(q * v >= 0.0, "sign flip: {} -> {}", v, q);
+        }
+        let cols = 4usize;
+        let rows = values.len() / cols;
+        if rows > 0 {
+            let dense = Matrix::from_vec(rows, cols, values[..rows * cols].to_vec());
+            let stored = StoredEmbedding::encode(&dense, 4);
+            let decoded = stored.decode();
+            for (a, b) in dense.as_slice().iter().zip(decoded.as_slice()) {
+                if *a == 0.0 {
+                    prop_assert_eq!(*b, 0.0);
+                }
+            }
+        }
+    }
+
+    /// Entropy of any finite logit vector lies in [0, ln k].
+    #[test]
+    fn entropy_bounds(logits in prop::collection::vec(-30.0f32..30.0, 2..8)) {
+        let h = entropy(&logits);
+        prop_assert!(h >= 0.0);
+        prop_assert!(h <= (logits.len() as f32).ln() + 1e-4);
+    }
+
+    /// Whenever the DVFS controller reports a feasible decision, running
+    /// the remaining cycles at the chosen frequency meets the deadline,
+    /// and the chosen voltage supports the chosen frequency.
+    #[test]
+    fn dvfs_feasible_decisions_meet_deadlines(
+        cycles in 1u64..2_000_000_000,
+        budget_ms in 1.0f64..500.0,
+    ) {
+        let ctl = DvfsController::new(AcceleratorConfig::energy_optimal());
+        let budget = budget_ms * 1e-3;
+        let d = ctl.decide(cycles, budget);
+        if d.feasible {
+            let finish = cycles as f64 / d.freq_hz;
+            prop_assert!(finish <= budget * 1.0001, "{finish} > {budget}");
+            prop_assert!(ctl.vf_table().freq_at_voltage(d.voltage) >= d.freq_hz * 0.999);
+        } else {
+            // Infeasible only when even peak V/F cannot make it.
+            prop_assert!(cycles as f64 / 1.0e9 > budget * 0.999);
+        }
+    }
+
+    /// The voltage grid is respected: every decision lands on a 25 mV
+    /// step between 0.5 and 0.8 V.
+    #[test]
+    fn dvfs_voltages_on_grid(cycles in 1u64..1_000_000_000, budget_ms in 1.0f64..200.0) {
+        let ctl = DvfsController::new(AcceleratorConfig::energy_optimal());
+        let d = ctl.decide(cycles, budget_ms * 1e-3);
+        let steps = (d.voltage - 0.5) / 0.025;
+        prop_assert!((steps - steps.round()).abs() < 1e-4, "voltage {} off grid", d.voltage);
+        prop_assert!((0.5..=0.8001).contains(&d.voltage));
+    }
+}

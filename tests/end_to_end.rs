@@ -1,0 +1,118 @@
+//! End-to-end integration: the full EdgeBERT pipeline from synthetic
+//! corpus to latency-aware inference, asserting the paper's qualitative
+//! claims (shape, not absolute numbers).
+
+use edgebert::engine::InferenceMode;
+use edgebert::pipeline::{Scale, TaskArtifacts};
+use edgebert_tasks::Task;
+use std::sync::OnceLock;
+
+fn artifacts() -> &'static TaskArtifacts {
+    static CELL: OnceLock<TaskArtifacts> = OnceLock::new();
+    CELL.get_or_init(|| TaskArtifacts::build(Task::Sst2, Scale::Test, 0xE2E))
+}
+
+#[test]
+fn training_produces_a_working_optimized_student() {
+    let art = artifacts();
+    assert!(art.summary.student_accuracy > 0.55, "{}", art.summary.student_accuracy);
+    assert!((art.summary.encoder_sparsity - 0.5).abs() < 0.06);
+    assert!((art.summary.embedding_sparsity - 0.6).abs() < 0.06);
+    // Spans have moved off their fully-open initialisation.
+    let max_span = art.model.config.max_seq_len as f32;
+    assert!(art.summary.avg_span < max_span, "avg span {}", art.summary.avg_span);
+}
+
+#[test]
+fn headline_energy_ordering_holds() {
+    // Paper Fig. 9: per-sentence energy Base >= EE >= LAI (loose target
+    // so DVFS has headroom), with multi-x gaps between Base and LAI.
+    let art = artifacts();
+    let engine = art.engine_at(100e-3, 0, true);
+    let base = engine.evaluate(&art.dev, InferenceMode::Base);
+    let ee = engine.evaluate(&art.dev, InferenceMode::ConventionalEe);
+    let lai = engine.evaluate(&art.dev, InferenceMode::LatencyAware);
+    assert!(ee.avg_energy_j <= base.avg_energy_j * 1.001);
+    assert!(lai.avg_energy_j <= ee.avg_energy_j * 1.001);
+    let savings = base.avg_energy_j / lai.avg_energy_j;
+    assert!(savings > 1.5, "Base/LAI savings only {savings:.2}x");
+    // Latency target respected.
+    assert_eq!(lai.deadline_miss_rate, 0.0);
+}
+
+#[test]
+fn latency_aware_accuracy_stays_within_calibrated_drop() {
+    let art = artifacts();
+    let engine = art.engine_at(100e-3, 2, false); // 5%-drop calibration
+    let full = engine.evaluate(&art.dev, InferenceMode::Base);
+    let lai = engine.evaluate(&art.dev, InferenceMode::LatencyAware);
+    assert!(
+        lai.accuracy + 0.05 + 0.02 >= full.accuracy,
+        "LAI {} vs full {}",
+        lai.accuracy,
+        full.accuracy
+    );
+}
+
+#[test]
+fn dvfs_tightens_with_the_latency_target() {
+    // A looser target must never require a higher voltage.
+    let art = artifacts();
+    let tight = art
+        .engine_at(20e-3, 0, true)
+        .evaluate(&art.dev, InferenceMode::LatencyAware);
+    let loose = art
+        .engine_at(200e-3, 0, true)
+        .evaluate(&art.dev, InferenceMode::LatencyAware);
+    assert!(loose.avg_voltage <= tight.avg_voltage + 1e-5);
+    assert!(loose.avg_energy_j <= tight.avg_energy_j * 1.001);
+}
+
+#[test]
+fn predictor_lut_forecasts_are_usable() {
+    let art = artifacts();
+    // Forecasts lie in the valid layer range for the whole entropy range.
+    let layers = art.model.num_layers();
+    for i in 0..=20 {
+        let h = i as f32 * 0.05;
+        let p = art.lut.predict_exit_layer(h, art.calib_lai[0].entropy_threshold);
+        assert!((1..=layers).contains(&p), "forecast {p} at entropy {h}");
+    }
+    // Predicted exits are conservative relative to actual on average
+    // (Algorithm 2 stops early when the true entropy crosses first).
+    for c in &art.calib_lai {
+        assert!(c.avg_predicted_layer + 1e-4 >= c.avg_exit_layer);
+    }
+}
+
+#[test]
+fn quantized_model_matches_fp32_predictions_mostly() {
+    // FP8 weights+activations should agree with FP32 on the large
+    // majority of dev sentences (paper: "no accuracy degradation").
+    let art = artifacts();
+    let mut fp32 = art.model.clone();
+    fp32.activation_fp8 = None;
+    // Note: weights are already quantized in `art.model`; compare the
+    // activation-quantized and activation-fp32 paths.
+    let mut agree = 0usize;
+    for ex in &art.dev {
+        let a = art.model.forward_layers(&ex.tokens);
+        let b = fp32.forward_layers(&ex.tokens);
+        let layers = art.model.num_layers();
+        if a.prediction_at(layers) == b.prediction_at(layers) {
+            agree += 1;
+        }
+    }
+    let rate = agree as f32 / art.dev.len() as f32;
+    assert!(rate >= 0.9, "agreement {rate}");
+}
+
+#[test]
+fn mgpu_gap_is_orders_of_magnitude() {
+    let art = artifacts();
+    let engine = art.engine_at(100e-3, 0, true);
+    let lai = engine.evaluate(&art.dev, InferenceMode::LatencyAware);
+    let (gpu_lat, gpu_energy) = engine.mgpu_cost(12, 1.0);
+    assert!(gpu_energy / lai.avg_energy_j > 20.0);
+    assert!(gpu_lat > 0.1);
+}
