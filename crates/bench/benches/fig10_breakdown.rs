@@ -12,7 +12,11 @@ fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig10");
     g.bench_function("breakdown_driver", |b| b.iter(|| black_box(fig10::run())));
     g.bench_function("area_power_report", |b| {
-        b.iter(|| black_box(AreaPowerReport::at_config(&AcceleratorConfig::energy_optimal())))
+        b.iter(|| {
+            black_box(AreaPowerReport::at_config(
+                &AcceleratorConfig::energy_optimal(),
+            ))
+        })
     });
     g.finish();
 }

@@ -7,7 +7,7 @@ use std::hint::black_box;
 
 fn bench(c: &mut Criterion) {
     let art = bench_artifacts();
-    let engine = art.engine_at(50e-3, 0, true);
+    let engine = art.engine_at(50e-3, edgebert::DropTarget::OnePercent, true);
     println!("{}", fig7::render(&fig7::run(art, &engine, 3)));
 
     let mut g = c.benchmark_group("fig7");

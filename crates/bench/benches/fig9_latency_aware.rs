@@ -11,7 +11,7 @@ fn bench(c: &mut Criterion) {
     println!("{}", fig9::render(&fig9::run(arts)));
 
     let art = &arts[0];
-    let engine = art.engine_at(50e-3, 0, true);
+    let engine = art.engine_at(50e-3, edgebert::DropTarget::OnePercent, true);
     let tokens = &art.dev.examples()[0].tokens;
     let mut g = c.benchmark_group("fig9");
     g.sample_size(20);

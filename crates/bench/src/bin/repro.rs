@@ -49,14 +49,20 @@ fn main() {
     }
     for w in &wanted {
         if !ALL.contains(&w.as_str()) {
-            eprintln!("unknown experiment '{w}', expected one of {}", ALL.join(", "));
+            eprintln!(
+                "unknown experiment '{w}', expected one of {}",
+                ALL.join(", ")
+            );
             std::process::exit(2);
         }
     }
 
-    let needs_artifacts = wanted
-        .iter()
-        .any(|w| matches!(w.as_str(), "table1" | "table2" | "table3" | "fig7" | "fig8" | "fig9"));
+    let needs_artifacts = wanted.iter().any(|w| {
+        matches!(
+            w.as_str(),
+            "table1" | "table2" | "table3" | "fig7" | "fig8" | "fig9"
+        )
+    });
 
     let artifacts: Vec<TaskArtifacts> = if needs_artifacts {
         println!("== building task artifacts (scale {scale:?}) ==");
@@ -110,7 +116,7 @@ fn main() {
                             .expect("exit layers are finite")
                     })
                     .expect("artifacts built for fig7");
-                let engine = art.engine_at(50e-3, 0, true);
+                let engine = art.engine_at(50e-3, edgebert::DropTarget::OnePercent, true);
                 println!("{}", fig7::render(&fig7::run(art, &engine, 3)));
             }
             "fig8" => println!("{}", fig8::render(&fig8::run(&artifacts))),

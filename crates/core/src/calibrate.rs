@@ -12,8 +12,8 @@
 
 use crate::predictor::{EntropyDataset, PredictorLut};
 use edgebert_model::AlbertModel;
-use edgebert_tensor::stats::argmax;
 use edgebert_tasks::Dataset;
+use edgebert_tensor::stats::argmax;
 use serde::{Deserialize, Serialize};
 
 /// A calibrated operating point.
@@ -69,7 +69,9 @@ impl SweepCache {
 
     /// The entropy dataset view (for predictor training).
     pub fn entropy_dataset(&self) -> EntropyDataset {
-        EntropyDataset { trajectories: self.entropies.clone() }
+        EntropyDataset {
+            trajectories: self.entropies.clone(),
+        }
     }
 
     /// Accuracy of the full-depth model.
@@ -240,7 +242,13 @@ mod tests {
             predictions.push(preds);
             labels.push(label);
         }
-        SweepCache { entropies, predictions, labels, num_layers: layers, num_classes: 2 }
+        SweepCache {
+            entropies,
+            predictions,
+            labels,
+            num_layers: layers,
+            num_classes: 2,
+        }
     }
 
     #[test]

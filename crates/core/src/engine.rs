@@ -1,5 +1,6 @@
 //! The per-sentence inference engine: Algorithms 1 and 2 with full
-//! hardware cost accounting.
+//! hardware cost accounting, behind an owned request/response serving
+//! API.
 //!
 //! Three modes are modelled, matching the paper's evaluation bars:
 //!
@@ -13,18 +14,27 @@
 //!   remaining layers finish exactly at the latency target, keep checking
 //!   the true entropy on the way, and stop unconditionally at the
 //!   forecast layer (Fig. 1c).
+//!
+//! The latency target and accuracy-drop tier are **request-scoped**
+//! (paper §1: the deadline is a per-sentence, per-application input —
+//! a voice assistant and a translator share silicon but not budgets).
+//! [`InferenceRequest`] carries both; [`EdgeBertEngine`] holds defaults
+//! for requests that leave them unset. Engines own their model and LUT
+//! through [`Arc`]s, so they are `Send + 'static` and can be moved into
+//! worker threads or pooled; construction goes through [`EngineBuilder`].
 
 use crate::predictor::PredictorLut;
-use edgebert_hw::{
-    AcceleratorConfig, AcceleratorSim, DvfsController, MobileGpu, WorkloadParams,
-};
-use edgebert_hw::workload::EncoderWorkload;
-use edgebert_model::AlbertModel;
 use edgebert_envm::{CellTech, ReramArray};
 use edgebert_hw::memory::sentence_embedding_bits;
-use edgebert_tensor::stats::argmax;
+use edgebert_hw::workload::EncoderWorkload;
+use edgebert_hw::{
+    AcceleratorConfig, AcceleratorSim, Adpll, DvfsController, Ldo, MobileGpu, WorkloadParams,
+};
+use edgebert_model::AlbertModel;
 use edgebert_tasks::Dataset;
+use edgebert_tensor::stats::argmax;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// Which inference scheme to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -35,6 +45,125 @@ pub enum InferenceMode {
     ConventionalEe,
     /// EdgeBERT latency-aware inference (Algorithm 2) with DVFS.
     LatencyAware,
+}
+
+impl InferenceMode {
+    /// All modes, in the paper's Base → EE → LAI order.
+    pub fn all() -> [InferenceMode; 3] {
+        [
+            InferenceMode::Base,
+            InferenceMode::ConventionalEe,
+            InferenceMode::LatencyAware,
+        ]
+    }
+}
+
+/// The calibrated accuracy-drop tier a request is willing to tolerate
+/// (paper §5.1: thresholds are calibrated at 1/2/5 % drops against the
+/// full-depth model).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DropTarget {
+    /// ≤ 1 % accuracy drop: the conservative tier.
+    OnePercent,
+    /// ≤ 2 % accuracy drop.
+    TwoPercent,
+    /// ≤ 5 % accuracy drop: the aggressive tier.
+    FivePercent,
+}
+
+impl DropTarget {
+    /// All tiers, tightest first (the calibration array order).
+    pub fn all() -> [DropTarget; 3] {
+        [
+            DropTarget::OnePercent,
+            DropTarget::TwoPercent,
+            DropTarget::FivePercent,
+        ]
+    }
+
+    /// Index into the per-tier calibration arrays.
+    pub fn index(self) -> usize {
+        match self {
+            DropTarget::OnePercent => 0,
+            DropTarget::TwoPercent => 1,
+            DropTarget::FivePercent => 2,
+        }
+    }
+
+    /// The tolerated accuracy drop as a fraction.
+    pub fn fraction(self) -> f32 {
+        match self {
+            DropTarget::OnePercent => 0.01,
+            DropTarget::TwoPercent => 0.02,
+            DropTarget::FivePercent => 0.05,
+        }
+    }
+}
+
+/// One tier's calibrated entropy thresholds.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EntropyThresholds {
+    /// Threshold for conventional EE (Algorithm 1).
+    pub conventional: f32,
+    /// Threshold for latency-aware inference (typically lower; §5.1).
+    pub latency_aware: f32,
+}
+
+impl EntropyThresholds {
+    /// Same threshold for both algorithms.
+    pub fn uniform(threshold: f32) -> Self {
+        Self {
+            conventional: threshold,
+            latency_aware: threshold,
+        }
+    }
+}
+
+/// One sentence to classify, with its request-scoped service levels.
+///
+/// `latency_target_s` and `drop_target` override the engine defaults
+/// when set; a request built with [`InferenceRequest::new`] inherits
+/// both from the engine that serves it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InferenceRequest {
+    /// Token ids of the sentence.
+    pub tokens: Vec<u32>,
+    /// Inference scheme to run.
+    pub mode: InferenceMode,
+    /// Per-request latency deadline, seconds (None → engine default).
+    pub latency_target_s: Option<f64>,
+    /// Per-request accuracy-drop tier (None → engine default).
+    pub drop_target: Option<DropTarget>,
+}
+
+impl InferenceRequest {
+    /// Latency-aware request inheriting the engine's deadline and tier.
+    pub fn new(tokens: Vec<u32>) -> Self {
+        Self {
+            tokens,
+            mode: InferenceMode::LatencyAware,
+            latency_target_s: None,
+            drop_target: None,
+        }
+    }
+
+    /// Sets the inference scheme.
+    pub fn with_mode(mut self, mode: InferenceMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Sets a per-request latency deadline.
+    pub fn with_latency_target(mut self, seconds: f64) -> Self {
+        self.latency_target_s = Some(seconds);
+        self
+    }
+
+    /// Sets a per-request accuracy-drop tier.
+    pub fn with_drop_target(mut self, drop: DropTarget) -> Self {
+        self.drop_target = Some(drop);
+        self
+    }
 }
 
 /// Per-sentence outcome.
@@ -62,6 +191,23 @@ pub struct SentenceResult {
     pub deadline_met: bool,
 }
 
+/// The outcome of serving one [`InferenceRequest`], echoing the service
+/// levels that were actually applied after default resolution.
+///
+/// Unlike the bare `run_*` engine methods — where Base/EE are the
+/// paper's unbounded baselines and always report `deadline_met = true`
+/// — a response's `result.deadline_met` is judged against
+/// `latency_target_s` for every mode.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InferenceResponse {
+    /// The per-sentence result.
+    pub result: SentenceResult,
+    /// The latency target the request was served under, seconds.
+    pub latency_target_s: f64,
+    /// The accuracy-drop tier the request was served under.
+    pub drop_target: DropTarget,
+}
+
 /// Aggregate statistics over a dataset.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct AggregateResult {
@@ -83,57 +229,216 @@ pub struct AggregateResult {
     pub deadline_miss_rate: f32,
 }
 
-/// The engine: software model + predictor LUT + hardware simulator.
+impl AggregateResult {
+    /// Folds per-sentence results against gold labels. Results and
+    /// labels are reduced in index order, so the aggregate is identical
+    /// no matter how the results were produced (sequentially or across
+    /// worker threads).
+    pub fn from_results(results: &[SentenceResult], labels: &[usize]) -> Self {
+        assert_eq!(results.len(), labels.len(), "one label per result");
+        let mut hits = 0usize;
+        let mut exit_sum = 0.0f32;
+        let mut pred_sum = 0.0f32;
+        let mut energy = 0.0f64;
+        let mut latency = 0.0f64;
+        let mut volts = 0.0f32;
+        let mut freq = 0.0f64;
+        let mut misses = 0usize;
+        for (r, &label) in results.iter().zip(labels) {
+            if r.prediction == label {
+                hits += 1;
+            }
+            exit_sum += r.exit_layer as f32;
+            pred_sum += r.predicted_layer.unwrap_or(r.exit_layer) as f32;
+            energy += r.energy_j;
+            latency += r.latency_s;
+            volts += r.voltage;
+            freq += r.freq_hz;
+            if !r.deadline_met {
+                misses += 1;
+            }
+        }
+        let n = results.len().max(1) as f64;
+        AggregateResult {
+            accuracy: hits as f32 / n as f32,
+            avg_exit_layer: exit_sum / n as f32,
+            avg_predicted_layer: pred_sum / n as f32,
+            avg_energy_j: energy / n,
+            avg_latency_s: latency / n,
+            avg_voltage: volts / n as f32,
+            avg_freq_hz: freq / n,
+            deadline_miss_rate: misses as f32 / n as f32,
+        }
+    }
+}
+
+/// Fluent construction of an [`EdgeBertEngine`] — every knob of the old
+/// seven-positional-argument constructor, plus the request defaults,
+/// settable independently.
+///
+/// ```no_run
+/// use edgebert::engine::{DropTarget, EngineBuilder, EntropyThresholds};
+/// use edgebert_hw::{AcceleratorConfig, WorkloadParams};
+/// # fn demo(model: std::sync::Arc<edgebert_model::AlbertModel>,
+/// #         lut: std::sync::Arc<edgebert::predictor::PredictorLut>) {
+/// let engine = EngineBuilder::new(model, lut)
+///     .accelerator(AcceleratorConfig::energy_optimal())
+///     .workload(WorkloadParams::albert_base())
+///     .uniform_thresholds(EntropyThresholds { conventional: 0.3, latency_aware: 0.25 })
+///     .latency_target(50e-3)
+///     .drop_target(DropTarget::OnePercent)
+///     .build();
+/// # let _ = engine;
+/// # }
+/// ```
 #[derive(Debug, Clone)]
-pub struct EdgeBertEngine<'a> {
-    model: &'a AlbertModel,
-    lut: &'a PredictorLut,
+pub struct EngineBuilder {
+    model: Arc<AlbertModel>,
+    lut: Arc<PredictorLut>,
+    accel: AcceleratorConfig,
+    workload: WorkloadParams,
+    cell_tech: CellTech,
+    envm_capacity_mb: f64,
+    thresholds: [EntropyThresholds; 3],
+    default_latency_target_s: f64,
+    default_drop: DropTarget,
+}
+
+impl EngineBuilder {
+    /// Starts a builder with the paper's defaults: the energy-optimal
+    /// accelerator (`n = 16`), the unoptimized ALBERT-base workload, a
+    /// 2 MB MLC2 ReRAM embedding buffer, a 0.2-entropy threshold on
+    /// every tier, a 50 ms default deadline (the voice-assistant budget
+    /// of §1), and the 1 %-drop default tier.
+    pub fn new(model: Arc<AlbertModel>, lut: Arc<PredictorLut>) -> Self {
+        Self {
+            model,
+            lut,
+            accel: AcceleratorConfig::energy_optimal(),
+            workload: WorkloadParams::albert_base(),
+            cell_tech: CellTech::Mlc2,
+            envm_capacity_mb: 2.0,
+            thresholds: [EntropyThresholds::uniform(0.2); 3],
+            default_latency_target_s: 50e-3,
+            default_drop: DropTarget::OnePercent,
+        }
+    }
+
+    /// Sets the accelerator design point.
+    pub fn accelerator(mut self, accel: AcceleratorConfig) -> Self {
+        self.accel = accel;
+        self
+    }
+
+    /// Sets the hardware workload shapes.
+    pub fn workload(mut self, workload: WorkloadParams) -> Self {
+        self.workload = workload;
+        self
+    }
+
+    /// Sets the eNVM cell technology and capacity backing the embedding
+    /// buffer.
+    pub fn envm_cell(mut self, tech: CellTech, capacity_mb: f64) -> Self {
+        self.cell_tech = tech;
+        self.envm_capacity_mb = capacity_mb;
+        self
+    }
+
+    /// Sets one tier's calibrated entropy thresholds.
+    pub fn thresholds_for(mut self, tier: DropTarget, thresholds: EntropyThresholds) -> Self {
+        self.thresholds[tier.index()] = thresholds;
+        self
+    }
+
+    /// Sets the same thresholds on every tier (single-operating-point
+    /// engines, e.g. unit fixtures).
+    pub fn uniform_thresholds(mut self, thresholds: EntropyThresholds) -> Self {
+        self.thresholds = [thresholds; 3];
+        self
+    }
+
+    /// Loads all three tiers from calibration results (1/2/5 % order, as
+    /// produced by the pipeline).
+    pub fn calibrated_thresholds(
+        mut self,
+        conventional: [f32; 3],
+        latency_aware: [f32; 3],
+    ) -> Self {
+        for i in 0..3 {
+            self.thresholds[i] = EntropyThresholds {
+                conventional: conventional[i],
+                latency_aware: latency_aware[i],
+            };
+        }
+        self
+    }
+
+    /// Sets the default per-sentence latency target for requests that
+    /// carry none.
+    pub fn latency_target(mut self, seconds: f64) -> Self {
+        self.default_latency_target_s = seconds;
+        self
+    }
+
+    /// Sets the default accuracy-drop tier for requests that carry none.
+    pub fn drop_target(mut self, drop: DropTarget) -> Self {
+        self.default_drop = drop;
+        self
+    }
+
+    /// Builds the engine.
+    pub fn build(self) -> EdgeBertEngine {
+        let sim = AcceleratorSim::new(self.accel);
+        let layer = sim.layer_workload(&self.workload);
+        let layer_cycles = layer.cycles();
+        let embed_bits = sentence_embedding_bits(self.workload.seq_len, 128, 0.4);
+        EdgeBertEngine {
+            model: self.model,
+            lut: self.lut,
+            dvfs: DvfsController::new(self.accel),
+            sim,
+            layer,
+            layer_cycles,
+            rram: ReramArray::new(self.cell_tech, self.envm_capacity_mb),
+            embed_bits,
+            thresholds: self.thresholds,
+            default_latency_target_s: self.default_latency_target_s,
+            default_drop: self.default_drop,
+        }
+    }
+}
+
+/// The engine: software model + predictor LUT + hardware simulator.
+///
+/// Owns its model and LUT (via [`Arc`]), so it is `Send + 'static`:
+/// build once, move into worker threads, or clone cheaply — the shared
+/// weights are reference-counted, the simulator state is `Copy`-sized.
+#[derive(Debug, Clone)]
+pub struct EdgeBertEngine {
+    model: Arc<AlbertModel>,
+    lut: Arc<PredictorLut>,
     sim: AcceleratorSim,
     dvfs: DvfsController,
     layer: EncoderWorkload,
     layer_cycles: u64,
     rram: ReramArray,
     embed_bits: usize,
-    /// Per-sentence latency target, seconds.
-    pub latency_target_s: f64,
-    /// Entropy threshold for conventional EE.
-    pub et_conventional: f32,
-    /// Entropy threshold for LAI (typically lower; §5.1).
-    pub et_latency_aware: f32,
+    thresholds: [EntropyThresholds; 3],
+    default_latency_target_s: f64,
+    default_drop: DropTarget,
 }
 
-impl<'a> EdgeBertEngine<'a> {
-    /// Builds an engine.
-    ///
-    /// `workload` carries the hardware shapes (usually
-    /// [`WorkloadParams::albert_base`] plus the task's optimizations);
-    /// the software `model` supplies the entropy/exit behaviour.
-    pub fn new(
-        model: &'a AlbertModel,
-        lut: &'a PredictorLut,
-        accel: AcceleratorConfig,
-        workload: &WorkloadParams,
-        latency_target_s: f64,
-        et_conventional: f32,
-        et_latency_aware: f32,
-    ) -> Self {
-        let sim = AcceleratorSim::new(accel);
-        let layer = sim.layer_workload(workload);
-        let layer_cycles = layer.cycles();
-        let embed_bits = sentence_embedding_bits(workload.seq_len, 128, 0.4);
-        Self {
-            model,
-            lut,
-            dvfs: DvfsController::new(accel),
-            sim,
-            layer,
-            layer_cycles,
-            rram: ReramArray::new(CellTech::Mlc2, 2.0),
-            embed_bits,
-            latency_target_s,
-            et_conventional,
-            et_latency_aware,
-        }
+// The serving API hands `&EdgeBertEngine` to scoped worker threads and
+// moves owned engines into pools; both require Send + Sync + 'static.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync + 'static>() {}
+    assert_send_sync::<EdgeBertEngine>();
+};
+
+impl EdgeBertEngine {
+    /// Starts a builder (see [`EngineBuilder`]).
+    pub fn builder(model: Arc<AlbertModel>, lut: Arc<PredictorLut>) -> EngineBuilder {
+        EngineBuilder::new(model, lut)
     }
 
     /// Cycles of one encoder layer on this hardware configuration.
@@ -146,6 +451,27 @@ impl<'a> EdgeBertEngine<'a> {
         &self.sim
     }
 
+    /// The model served by this engine.
+    pub fn model(&self) -> &AlbertModel {
+        &self.model
+    }
+
+    /// The default latency target applied to requests that carry none.
+    pub fn default_latency_target_s(&self) -> f64 {
+        self.default_latency_target_s
+    }
+
+    /// The default accuracy-drop tier applied to requests that carry
+    /// none.
+    pub fn default_drop_target(&self) -> DropTarget {
+        self.default_drop
+    }
+
+    /// The calibrated thresholds of one tier.
+    pub fn thresholds(&self, tier: DropTarget) -> EntropyThresholds {
+        self.thresholds[tier.index()]
+    }
+
     fn embedding_read_cost(&self) -> (f64, f64) {
         (
             self.rram.read_latency_ns(self.embed_bits) * 1e-9,
@@ -153,12 +479,62 @@ impl<'a> EdgeBertEngine<'a> {
         )
     }
 
-    /// Runs a sentence in the requested mode.
+    /// Serves one request, resolving unset service levels against the
+    /// engine defaults.
+    ///
+    /// Requests arrive from the wire, so degenerate token lists must not
+    /// take the engine down: an empty sentence is served as a single
+    /// padding token rather than panicking inside the embedding lookup.
+    pub fn serve(&self, request: &InferenceRequest) -> InferenceResponse {
+        let target_s = request
+            .latency_target_s
+            .unwrap_or(self.default_latency_target_s);
+        let drop = request.drop_target.unwrap_or(self.default_drop);
+        let pad = [edgebert_tasks::vocab::PAD];
+        let tokens: &[u32] = if request.tokens.is_empty() {
+            &pad
+        } else {
+            &request.tokens
+        };
+        let mut result = self.run_at(tokens, request.mode, target_s, drop);
+        // The engine-level Base/EE paths are the paper's *unbounded*
+        // baselines and always report `deadline_met = true`; a response
+        // echoes the request's target, so it judges every mode against
+        // it honestly.
+        if request.mode != InferenceMode::LatencyAware {
+            result.deadline_met = result.latency_s <= target_s;
+        }
+        InferenceResponse {
+            result,
+            latency_target_s: target_s,
+            drop_target: drop,
+        }
+    }
+
+    /// Runs a sentence in the requested mode at the engine defaults.
     pub fn run(&self, tokens: &[u32], mode: InferenceMode) -> SentenceResult {
+        self.run_at(
+            tokens,
+            mode,
+            self.default_latency_target_s,
+            self.default_drop,
+        )
+    }
+
+    /// Runs a sentence with explicit service levels.
+    pub fn run_at(
+        &self,
+        tokens: &[u32],
+        mode: InferenceMode,
+        latency_target_s: f64,
+        drop: DropTarget,
+    ) -> SentenceResult {
         match mode {
             InferenceMode::Base => self.run_base(tokens),
-            InferenceMode::ConventionalEe => self.run_conventional_ee(tokens),
-            InferenceMode::LatencyAware => self.run_latency_aware(tokens),
+            InferenceMode::ConventionalEe => self.run_conventional_ee_at(tokens, drop),
+            InferenceMode::LatencyAware => {
+                self.run_latency_aware_at(tokens, latency_target_s, drop)
+            }
         }
     }
 
@@ -181,9 +557,16 @@ impl<'a> EdgeBertEngine<'a> {
         }
     }
 
-    /// Algorithm 1: conventional early exit at nominal V/F.
+    /// Algorithm 1 at the engine's default drop tier.
     pub fn run_conventional_ee(&self, tokens: &[u32]) -> SentenceResult {
-        let (exit, logits, _) = self.model.infer_early_exit(tokens, self.et_conventional);
+        self.run_conventional_ee_at(tokens, self.default_drop)
+    }
+
+    /// Algorithm 1: conventional early exit at nominal V/F, using the
+    /// tier's calibrated threshold.
+    pub fn run_conventional_ee_at(&self, tokens: &[u32], drop: DropTarget) -> SentenceResult {
+        let et = self.thresholds(drop).conventional;
+        let (exit, logits, _) = self.model.infer_early_exit(tokens, et);
         let cost = self.sim.run_layers_nominal(&self.layer, exit);
         let (el, ee) = self.embedding_read_cost();
         SentenceResult {
@@ -199,16 +582,30 @@ impl<'a> EdgeBertEngine<'a> {
         }
     }
 
-    /// Algorithm 2: EdgeBERT latency-aware inference.
+    /// Algorithm 2 at the engine's default deadline and drop tier.
     pub fn run_latency_aware(&self, tokens: &[u32]) -> SentenceResult {
-        let et = self.et_latency_aware;
+        self.run_latency_aware_at(tokens, self.default_latency_target_s, self.default_drop)
+    }
+
+    /// Algorithm 2: EdgeBERT latency-aware inference against an explicit
+    /// per-request deadline and drop tier.
+    pub fn run_latency_aware_at(
+        &self,
+        tokens: &[u32],
+        latency_target_s: f64,
+        drop: DropTarget,
+    ) -> SentenceResult {
+        let et = self.thresholds(drop).latency_aware;
         let out = self.model.forward_layers(tokens);
         let num_layers = self.model.num_layers();
         let cfg = self.sim.config();
 
-        // Wake: standby 0.5 V -> nominal; then layer 1 at nominal V/F.
-        let ldo = edgebert_hw::Ldo::new(cfg.vdd_standby);
-        let wake_s = ldo.transition_time_ns(cfg.vdd_standby, cfg.vdd_nominal) * 1e-9 + 100e-9;
+        // Wake: standby 0.5 V -> nominal, plus the ADPLL relocking to
+        // the nominal clock; then layer 1 at nominal V/F.
+        let ldo = Ldo::new(cfg.vdd_standby);
+        let pll = Adpll::new(cfg.freq_max_hz);
+        let wake_s = ldo.transition_time_ns(cfg.vdd_standby, cfg.vdd_nominal) * 1e-9
+            + pll.relock_ns() * 1e-9;
         let (embed_lat, embed_energy) = self.embedding_read_cost();
         let layer1 = self.sim.run_layers_nominal(&self.layer, 1);
 
@@ -226,16 +623,28 @@ impl<'a> EdgeBertEngine<'a> {
                 energy_j: energy,
                 voltage: cfg.vdd_nominal,
                 freq_hz: cfg.freq_max_hz,
-                deadline_met: latency <= self.latency_target_s,
+                deadline_met: latency <= latency_target_s,
             };
         }
 
-        // Forecast and scale V/F for the remaining layers.
+        // Forecast and scale V/F for the remaining layers. The V/F
+        // transition cost mirrors the wake path: the LDO slews from
+        // nominal toward the decision voltage while the ADPLL relocks.
+        // The decision voltage is not known until after `decide`, so the
+        // budget reserves the worst case (nominal -> vdd_min) and the
+        // accounting then charges the actual transition.
         let predicted = self.lut.predict_exit_layer(h1, et).clamp(2, num_layers);
         let remaining_cycles = self.layer_cycles * (predicted as u64 - 1);
-        let transition_s = 100e-9; // LDO settle + ADPLL relock (Fig. 7)
-        let remaining_budget = self.latency_target_s - latency - transition_s;
+        let worst_transition_s =
+            ldo.transition_time_ns(cfg.vdd_nominal, cfg.vdd_min) * 1e-9 + pll.relock_ns() * 1e-9;
+        let remaining_budget = latency_target_s - latency - worst_transition_s;
         let decision = self.dvfs.decide(remaining_cycles, remaining_budget);
+        let transition_s = ldo.transition_time_ns(cfg.vdd_nominal, decision.voltage) * 1e-9
+            + if decision.freq_hz == cfg.freq_max_hz {
+                0.0
+            } else {
+                pll.relock_ns() * 1e-9
+            };
 
         // Run layers 2..=predicted, exiting early if the true entropy
         // crosses the threshold; forced stop at the forecast layer.
@@ -261,46 +670,56 @@ impl<'a> EdgeBertEngine<'a> {
             energy_j: energy,
             voltage: decision.voltage,
             freq_hz: decision.freq_hz,
-            deadline_met: decision.feasible && latency <= self.latency_target_s * 1.0001,
+            deadline_met: decision.feasible && latency <= latency_target_s * 1.0001,
         }
     }
 
-    /// Runs a whole dataset and aggregates.
+    /// Serves a batch of requests across worker threads
+    /// (`std::thread::scope`), preserving request order in the returned
+    /// responses.
+    pub fn serve_batch(&self, requests: &[InferenceRequest]) -> Vec<InferenceResponse> {
+        let threads = default_threads(requests.len());
+        self.serve_batch_with_threads(requests, threads)
+    }
+
+    /// [`serve_batch`](Self::serve_batch) with an explicit thread count
+    /// (1 → fully sequential).
+    pub fn serve_batch_with_threads(
+        &self,
+        requests: &[InferenceRequest],
+        threads: usize,
+    ) -> Vec<InferenceResponse> {
+        run_chunked(requests, threads, |req| self.serve(req))
+    }
+
+    /// Runs a whole dataset and aggregates, fanning the sentences out
+    /// across worker threads. The aggregate is bit-identical to
+    /// [`evaluate_seq`](Self::evaluate_seq): per-sentence results land
+    /// in their dataset slots and are reduced in index order.
     pub fn evaluate(&self, data: &Dataset, mode: InferenceMode) -> AggregateResult {
-        let mut hits = 0usize;
-        let mut exit_sum = 0.0f32;
-        let mut pred_sum = 0.0f32;
-        let mut energy = 0.0f64;
-        let mut latency = 0.0f64;
-        let mut volts = 0.0f32;
-        let mut freq = 0.0f64;
-        let mut misses = 0usize;
-        for ex in data {
-            let r = self.run(&ex.tokens, mode);
-            if r.prediction == ex.label {
-                hits += 1;
-            }
-            exit_sum += r.exit_layer as f32;
-            pred_sum += r.predicted_layer.unwrap_or(r.exit_layer) as f32;
-            energy += r.energy_j;
-            latency += r.latency_s;
-            volts += r.voltage;
-            freq += r.freq_hz;
-            if !r.deadline_met {
-                misses += 1;
-            }
-        }
-        let n = data.len().max(1) as f64;
-        AggregateResult {
-            accuracy: hits as f32 / n as f32,
-            avg_exit_layer: exit_sum / n as f32,
-            avg_predicted_layer: pred_sum / n as f32,
-            avg_energy_j: energy / n,
-            avg_latency_s: latency / n,
-            avg_voltage: volts / n as f32,
-            avg_freq_hz: freq / n,
-            deadline_miss_rate: misses as f32 / n as f32,
-        }
+        self.evaluate_with_threads(data, mode, default_threads(data.len()))
+    }
+
+    /// Runs a whole dataset sequentially on the calling thread.
+    pub fn evaluate_seq(&self, data: &Dataset, mode: InferenceMode) -> AggregateResult {
+        self.evaluate_with_threads(data, mode, 1)
+    }
+
+    /// [`evaluate`](Self::evaluate) with an explicit thread count.
+    pub fn evaluate_with_threads(
+        &self,
+        data: &Dataset,
+        mode: InferenceMode,
+        threads: usize,
+    ) -> AggregateResult {
+        let results = run_chunked(data.examples(), threads, |ex| self.run(&ex.tokens, mode));
+        AggregateResult::from_results(&results, &data.labels())
+    }
+
+    /// Evaluates every mode over a dataset: the per-mode aggregate
+    /// breakdown the paper's comparison bars are built from.
+    pub fn evaluate_modes(&self, data: &Dataset) -> [(InferenceMode, AggregateResult); 3] {
+        InferenceMode::all().map(|mode| (mode, self.evaluate(data, mode)))
     }
 
     /// The mGPU baseline cost for comparison rows, with the model's AAS
@@ -314,18 +733,75 @@ impl<'a> EdgeBertEngine<'a> {
     }
 }
 
+/// The hardware workload shapes for one task, optionally with its
+/// published optimization results applied (Table 1 spans, Table 3
+/// encoder sparsity). The single source of the task → workload mapping
+/// used by both the training pipeline and the serving runtimes.
+pub fn task_hardware_workload(task: edgebert_tasks::Task, optimized: bool) -> WorkloadParams {
+    let mut wl = WorkloadParams::albert_base();
+    wl.classes = task.num_classes();
+    if optimized {
+        wl = wl.with_optimizations(task.paper_encoder_sparsity(), &task.paper_head_spans());
+    }
+    wl
+}
+
+/// Worker-thread count for a work list: one slot per item, capped at
+/// the machine's parallelism.
+pub(crate) fn default_threads(items: usize) -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(items.max(1))
+}
+
+/// Maps `f` over `items` across `threads` scoped workers, each filling a
+/// contiguous chunk of the output so the result order matches the input
+/// order exactly.
+pub(crate) fn run_chunked<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    if items.is_empty() {
+        return Vec::new();
+    }
+    let threads = threads.clamp(1, items.len());
+    if threads == 1 {
+        return items.iter().map(f).collect();
+    }
+    let chunk = items.len().div_ceil(threads);
+    let mut results: Vec<Option<R>> = Vec::with_capacity(items.len());
+    results.resize_with(items.len(), || None);
+    std::thread::scope(|scope| {
+        for (slots, chunk_items) in results.chunks_mut(chunk).zip(items.chunks(chunk)) {
+            let f = &f;
+            scope.spawn(move || {
+                for (slot, item) in slots.iter_mut().zip(chunk_items) {
+                    *slot = Some(f(item));
+                }
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|r| r.expect("every chunk slot is filled by its worker"))
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::calibrate::SweepCache;
     use crate::predictor::EntropyPredictor;
     use edgebert_model::{AlbertConfig, AlbertModel};
-    use edgebert_tensor::Rng;
     use edgebert_tasks::{Task, TaskGenerator, VocabLayout};
+    use edgebert_tensor::Rng;
 
     struct Fixture {
-        model: AlbertModel,
-        lut: PredictorLut,
+        model: Arc<AlbertModel>,
+        lut: Arc<PredictorLut>,
         data: Dataset,
     }
 
@@ -339,19 +815,20 @@ mod tests {
         let cache = SweepCache::build(&model, &data);
         let pred = EntropyPredictor::train(&cache.entropy_dataset(), 60, 3);
         let lut = pred.to_lut(32, 1.1);
-        Fixture { model, lut, data }
+        Fixture {
+            model: Arc::new(model),
+            lut: Arc::new(lut),
+            data,
+        }
     }
 
-    fn engine<'a>(f: &'a Fixture, target_s: f64, et: f32) -> EdgeBertEngine<'a> {
-        EdgeBertEngine::new(
-            &f.model,
-            &f.lut,
-            AcceleratorConfig::energy_optimal(),
-            &WorkloadParams::albert_base(),
-            target_s,
-            et,
-            et,
-        )
+    fn engine(f: &Fixture, target_s: f64, et: f32) -> EdgeBertEngine {
+        EngineBuilder::new(Arc::clone(&f.model), Arc::clone(&f.lut))
+            .accelerator(AcceleratorConfig::energy_optimal())
+            .workload(WorkloadParams::albert_base())
+            .uniform_thresholds(EntropyThresholds::uniform(et))
+            .latency_target(target_s)
+            .build()
     }
 
     #[test]
@@ -458,5 +935,99 @@ mod tests {
         let base = eng.evaluate(&f.data, InferenceMode::Base);
         let (_, gpu_energy) = eng.mgpu_cost(12, 1.0);
         assert!(gpu_energy / base.avg_energy_j > 10.0);
+    }
+
+    #[test]
+    fn request_defaults_resolve_against_engine() {
+        let f = fixture();
+        let eng = engine(&f, 80e-3, 0.3);
+        let tokens = f.data.examples()[0].tokens.clone();
+        let resp = eng.serve(&InferenceRequest::new(tokens.clone()));
+        assert_eq!(resp.latency_target_s, 80e-3);
+        assert_eq!(resp.drop_target, DropTarget::OnePercent);
+        assert_eq!(resp.result.mode, InferenceMode::LatencyAware);
+        // Explicit overrides are echoed back.
+        let resp = eng.serve(
+            &InferenceRequest::new(tokens)
+                .with_mode(InferenceMode::Base)
+                .with_latency_target(10e-3)
+                .with_drop_target(DropTarget::FivePercent),
+        );
+        assert_eq!(resp.latency_target_s, 10e-3);
+        assert_eq!(resp.drop_target, DropTarget::FivePercent);
+        assert_eq!(resp.result.mode, InferenceMode::Base);
+    }
+
+    #[test]
+    fn per_request_deadlines_pick_different_vf_points() {
+        let f = fixture();
+        let eng = engine(&f, 50e-3, 0.0); // et=0: full predicted depth
+        let tokens = f.data.examples()[0].tokens.clone();
+        let tight = eng.serve(&InferenceRequest::new(tokens.clone()).with_latency_target(2e-3));
+        let loose = eng.serve(&InferenceRequest::new(tokens).with_latency_target(300e-3));
+        assert!(
+            loose.result.voltage < tight.result.voltage,
+            "loose {} vs tight {}",
+            loose.result.voltage,
+            tight.result.voltage
+        );
+        assert!(loose.result.freq_hz < tight.result.freq_hz);
+        assert!(loose.result.energy_j < tight.result.energy_j);
+    }
+
+    #[test]
+    fn drop_tiers_use_their_own_thresholds() {
+        let f = fixture();
+        let eng = EngineBuilder::new(Arc::clone(&f.model), Arc::clone(&f.lut))
+            .thresholds_for(DropTarget::OnePercent, EntropyThresholds::uniform(0.0))
+            .thresholds_for(DropTarget::FivePercent, EntropyThresholds::uniform(100.0))
+            .latency_target(100e-3)
+            .build();
+        let tokens = &f.data.examples()[0].tokens;
+        let strict = eng.run_latency_aware_at(tokens, 100e-3, DropTarget::OnePercent);
+        let loose = eng.run_latency_aware_at(tokens, 100e-3, DropTarget::FivePercent);
+        // The loose tier's huge threshold exits at layer 1; the strict
+        // tier's zero threshold runs to the forecast depth.
+        assert_eq!(loose.exit_layer, 1);
+        assert!(strict.exit_layer > 1);
+    }
+
+    #[test]
+    fn parallel_evaluate_matches_sequential_bitwise() {
+        let f = fixture();
+        let eng = engine(&f, 100e-3, 0.3);
+        for mode in InferenceMode::all() {
+            let seq = eng.evaluate_seq(&f.data, mode);
+            for threads in [2, 3, 7, 64] {
+                let par = eng.evaluate_with_threads(&f.data, mode, threads);
+                assert_eq!(seq, par, "mode {mode:?} threads {threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn serve_batch_preserves_request_order() {
+        let f = fixture();
+        let eng = engine(&f, 100e-3, 0.3);
+        let requests: Vec<InferenceRequest> = f
+            .data
+            .iter()
+            .map(|ex| InferenceRequest::new(ex.tokens.clone()))
+            .collect();
+        let parallel = eng.serve_batch(&requests);
+        let sequential: Vec<InferenceResponse> = requests.iter().map(|r| eng.serve(r)).collect();
+        assert_eq!(parallel, sequential);
+    }
+
+    #[test]
+    fn engines_move_across_threads() {
+        let f = fixture();
+        let eng = engine(&f, 50e-3, 0.3);
+        let tokens = f.data.examples()[0].tokens.clone();
+        let local = eng.run(&tokens, InferenceMode::LatencyAware);
+        let remote = std::thread::spawn(move || eng.run(&tokens, InferenceMode::LatencyAware))
+            .join()
+            .expect("worker thread runs the engine");
+        assert_eq!(local, remote);
     }
 }

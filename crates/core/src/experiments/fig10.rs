@@ -74,7 +74,11 @@ pub fn render(f: &Fig10) -> String {
     out.push_str("Fig. 10b: area and power breakdown @ 0.8 V / 1 GHz\n");
     let mut b = TextTable::new(&["Block", "Area (mm²)", "Power (mW)"]);
     for (name, area, power) in &f.blocks {
-        b.row_owned(vec![name.clone(), format!("{area:.2}"), format!("{power:.2}")]);
+        b.row_owned(vec![
+            name.clone(),
+            format!("{area:.2}"),
+            format!("{power:.2}"),
+        ]);
     }
     b.row_owned(vec![
         "Total".into(),
@@ -98,7 +102,11 @@ mod tests {
             .find(|r| r.name == "MACs")
             .expect("MAC row present");
         // Fig. 10a: MACs 90.7% latency, 98.8% energy.
-        assert!((0.85..0.95).contains(&mac.latency_frac), "{}", mac.latency_frac);
+        assert!(
+            (0.85..0.95).contains(&mac.latency_frac),
+            "{}",
+            mac.latency_frac
+        );
         assert!(mac.energy_frac > 0.93, "{}", mac.energy_frac);
         // Fig. 10b totals.
         assert!((f.total_area_mm2 - 1.39).abs() < 0.01);

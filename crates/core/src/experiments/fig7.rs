@@ -42,37 +42,35 @@ pub struct Fig7 {
 
 /// Simulates `n_sentences` consecutive LAI inferences and records the
 /// supply waveform.
-pub fn run(art: &TaskArtifacts, engine: &EdgeBertEngine<'_>, n_sentences: usize) -> Fig7 {
+pub fn run(art: &TaskArtifacts, engine: &EdgeBertEngine, n_sentences: usize) -> Fig7 {
     let cfg = *engine.simulator().config();
     let mut ldo = Ldo::new(cfg.vdd_standby);
     let mut t_ms = 0.0f64;
     let mut waveform = vec![(0.0, cfg.vdd_standby)];
     let mut sentences = Vec::new();
 
-    let push_transition = |ldo: &mut Ldo, t_ms: &mut f64, target: f32,
-                               waveform: &mut Vec<(f64, f32)>| {
-        let trace = ldo.transition(target);
-        for p in &trace {
-            waveform.push((*t_ms + p.t_ns * 1e-6, p.voltage));
-        }
-        *t_ms += trace.last().map_or(0.0, |p| p.t_ns) * 1e-6;
-    };
+    let push_transition =
+        |ldo: &mut Ldo, t_ms: &mut f64, target: f32, waveform: &mut Vec<(f64, f32)>| {
+            let trace = ldo.transition(target);
+            for p in &trace {
+                waveform.push((*t_ms + p.t_ns * 1e-6, p.voltage));
+            }
+            *t_ms += trace.last().map_or(0.0, |p| p.t_ns) * 1e-6;
+        };
 
     for (i, ex) in art.dev.iter().take(n_sentences).enumerate() {
         // Wake to nominal for layer 1.
         push_transition(&mut ldo, &mut t_ms, cfg.vdd_nominal, &mut waveform);
         let r = engine.run_latency_aware(&ex.tokens);
         // Layer 1 runs at nominal.
-        let layer1_ms =
-            engine.layer_cycles() as f64 / cfg.freq_max_hz * 1e3;
+        let layer1_ms = engine.layer_cycles() as f64 / cfg.freq_max_hz * 1e3;
         t_ms += layer1_ms;
         waveform.push((t_ms, cfg.vdd_nominal));
         // DVFS decision: drop to the scaled voltage for remaining layers.
         if r.exit_layer > 1 {
             push_transition(&mut ldo, &mut t_ms, r.voltage, &mut waveform);
-            let rest_ms = (r.exit_layer as f64 - 1.0) * engine.layer_cycles() as f64
-                / r.freq_hz
-                * 1e3;
+            let rest_ms =
+                (r.exit_layer as f64 - 1.0) * engine.layer_cycles() as f64 / r.freq_hz * 1e3;
             t_ms += rest_ms;
             waveform.push((t_ms, r.voltage));
         }
@@ -86,14 +84,18 @@ pub fn run(art: &TaskArtifacts, engine: &EdgeBertEngine<'_>, n_sentences: usize)
         });
         // Idle until the next sentence period at standby.
         push_transition(&mut ldo, &mut t_ms, cfg.vdd_standby, &mut waveform);
-        let period_ms = engine.latency_target_s * 1e3;
+        let period_ms = engine.default_latency_target_s() * 1e3;
         let slack = (i as f64 + 1.0) * period_ms - t_ms;
         if slack > 0.0 {
             t_ms += slack;
             waveform.push((t_ms, cfg.vdd_standby));
         }
     }
-    Fig7 { waveform, sentences, target_s: engine.latency_target_s }
+    Fig7 {
+        waveform,
+        sentences,
+        target_s: engine.default_latency_target_s(),
+    }
 }
 
 /// Renders the annotations plus a coarse ASCII waveform.
@@ -111,7 +113,11 @@ pub fn render(f: &Fig7) -> String {
             s.exit_layer,
             s.voltage,
             s.execution_s * 1e3,
-            if s.deadline_met { "deadline met" } else { "DEADLINE MISS" },
+            if s.deadline_met {
+                "deadline met"
+            } else {
+                "DEADLINE MISS"
+            },
         ));
     }
     // Sample the waveform at 40 columns for a quick visual.

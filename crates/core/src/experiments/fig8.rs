@@ -94,7 +94,11 @@ pub fn run(artifacts: &[TaskArtifacts]) -> Fig8 {
             gpu.inference_energy_j(12, scale),
         ));
     }
-    Fig8 { points, mgpu_base, mgpu_aas }
+    Fig8 {
+        points,
+        mgpu_base,
+        mgpu_aas,
+    }
 }
 
 /// The energy-optimal MAC size for a task under the full optimizations.
@@ -102,7 +106,11 @@ pub fn energy_optimal_n(f: &Fig8, task: &str) -> usize {
     f.points
         .iter()
         .filter(|p| p.task == task && p.variant == "aas+sparse")
-        .min_by(|a, b| a.energy_j.partial_cmp(&b.energy_j).expect("no NaN energies"))
+        .min_by(|a, b| {
+            a.energy_j
+                .partial_cmp(&b.energy_j)
+                .expect("no NaN energies")
+        })
         .map(|p| p.n)
         .unwrap_or(16)
 }
@@ -124,7 +132,13 @@ pub fn render(f: &Fig8) -> String {
     }
     out.push_str(&table.render());
     out.push('\n');
-    let mut gpu = TextTable::new(&["Task", "mGPU latency", "mGPU energy", "+AAS latency", "+AAS energy"]);
+    let mut gpu = TextTable::new(&[
+        "Task",
+        "mGPU latency",
+        "mGPU energy",
+        "+AAS latency",
+        "+AAS energy",
+    ]);
     for ((task, lat, en), (_, lat_a, en_a)) in f.mgpu_base.iter().zip(f.mgpu_aas.iter()) {
         gpu.row_owned(vec![
             task.clone(),

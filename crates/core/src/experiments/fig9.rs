@@ -2,7 +2,7 @@
 //! clock frequency, and per-sentence energy at 50/75/100 ms targets,
 //! against the Base and conventional-EE baselines.
 
-use crate::engine::InferenceMode;
+use crate::engine::{DropTarget, InferenceMode};
 use crate::pipeline::TaskArtifacts;
 use crate::report::{energy, TextTable};
 use serde::{Deserialize, Serialize};
@@ -43,10 +43,11 @@ pub fn run(artifacts: &[TaskArtifacts]) -> Fig9 {
     let mut bars = Vec::new();
     for art in artifacts {
         // Unbounded baselines on the unoptimized workload.
-        let eng = art.engine_at(TARGETS_S[2], 0, false);
-        for (label, mode) in
-            [("base", InferenceMode::Base), ("ee", InferenceMode::ConventionalEe)]
-        {
+        let eng = art.engine_at(TARGETS_S[2], DropTarget::OnePercent, false);
+        for (label, mode) in [
+            ("base", InferenceMode::Base),
+            ("ee", InferenceMode::ConventionalEe),
+        ] {
             let agg = eng.evaluate(&art.dev, mode);
             bars.push(Fig9Bar {
                 task: art.task.to_string(),
@@ -63,7 +64,7 @@ pub fn run(artifacts: &[TaskArtifacts]) -> Fig9 {
         // AAS + sparse hardware optimizations.
         for &target in &TARGETS_S {
             for (label, optimized) in [("lai", false), ("lai+aas+sparse", true)] {
-                let eng = art.engine_at(target, 0, optimized);
+                let eng = art.engine_at(target, DropTarget::OnePercent, optimized);
                 let agg = eng.evaluate(&art.dev, InferenceMode::LatencyAware);
                 bars.push(Fig9Bar {
                     task: art.task.to_string(),
@@ -100,11 +101,17 @@ pub fn savings_vs(f: &Fig9, task: &str, baseline: &str) -> f64 {
 
 /// Renders the figure data.
 pub fn render(f: &Fig9) -> String {
-    let mut out = String::from(
-        "Fig. 9: latency-aware inference — V/F scaling and per-sentence energy\n",
-    );
+    let mut out =
+        String::from("Fig. 9: latency-aware inference — V/F scaling and per-sentence energy\n");
     let mut table = TextTable::new(&[
-        "Task", "Scheme", "Target", "Avg V", "Avg F (MHz)", "Energy", "Acc", "Miss",
+        "Task",
+        "Scheme",
+        "Target",
+        "Avg V",
+        "Avg F (MHz)",
+        "Energy",
+        "Acc",
+        "Miss",
     ]);
     for b in &f.bars {
         table.row_owned(vec![

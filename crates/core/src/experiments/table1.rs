@@ -51,16 +51,22 @@ pub fn run_task(art: &TaskArtifacts) -> Table1Row {
 
 /// Assembles the table from per-task artifacts.
 pub fn run(artifacts: &[TaskArtifacts]) -> Table1 {
-    Table1 { rows: artifacts.iter().map(run_task).collect() }
+    Table1 {
+        rows: artifacts.iter().map(run_task).collect(),
+    }
 }
 
 /// Renders the table.
 pub fn render(t: &Table1) -> String {
-    let mut out = String::from(
-        "Table 1: learned attention span per head (reproduction vs paper)\n",
-    );
+    let mut out =
+        String::from("Table 1: learned attention span per head (reproduction vs paper)\n");
     let mut table = TextTable::new(&[
-        "Task", "Spans (ours)", "Avg", "Heads off", "Acc diff (pp)", "Paper avg",
+        "Task",
+        "Spans (ours)",
+        "Avg",
+        "Heads off",
+        "Acc diff (pp)",
+        "Paper avg",
     ]);
     for r in &t.rows {
         let spans = r

@@ -48,21 +48,26 @@ pub struct Table2 {
 /// to the pristine one (common for SLC/MLC2, whose fault rates are
 /// minuscule) reuse the pristine accuracy instead of re-running the
 /// model.
-pub fn run_task(art: &TaskArtifacts, trials: usize, eval_size: usize, seed: u64) -> Vec<Table2Cell> {
+pub fn run_task(
+    art: &TaskArtifacts,
+    trials: usize,
+    eval_size: usize,
+    seed: u64,
+) -> Vec<Table2Cell> {
     let mut rng = Rng::seed_from(seed);
     let pristine = StoredEmbedding::encode(&art.model.embedding.table.value, 4);
     let eval_set = edgebert_tasks::Dataset::new(
         art.task,
         art.dev.examples()[..eval_size.min(art.dev.len())].to_vec(),
     );
-    let mut baseline_model = art.model.clone();
+    let mut baseline_model = edgebert_model::AlbertModel::clone(&art.model);
     baseline_model.embedding.set_table(pristine.decode());
     let pristine_acc = baseline_model.evaluate_accuracy(&eval_set) * 100.0;
 
     let mut out = Vec::new();
     for tech in CellTech::all() {
         let injector = FaultInjector::new(tech);
-        let mut eval_model = art.model.clone();
+        let mut eval_model = edgebert_model::AlbertModel::clone(&art.model);
         let result = CampaignResult::run(&pristine, &injector, trials, &mut rng, |stored| {
             if stored.payload_bytes() == pristine.payload_bytes()
                 && stored.mask_bytes() == pristine.mask_bytes()
@@ -104,8 +109,7 @@ pub fn run(artifacts: &[TaskArtifacts], trials: usize, eval_size: usize, seed: u
 
 /// Renders the table.
 pub fn render(t: &Table2) -> String {
-    let mut out =
-        String::from("Table 2: fault injection on eNVM embedding storage (accuracy %)\n");
+    let mut out = String::from("Table 2: fault injection on eNVM embedding storage (accuracy %)\n");
     let mut table = TextTable::new(&["Task", "Tech", "Mean", "Min", "Faults/trial"]);
     for c in &t.cells {
         table.row_owned(vec![
@@ -120,7 +124,11 @@ pub fn render(t: &Table2) -> String {
     out.push('\n');
     let mut chars = TextTable::new(&["Tech", "Area (mm²/MB)", "Read latency (ns)"]);
     for ((tech, area), (_, lat)) in t.area_density.iter().zip(t.read_latency.iter()) {
-        chars.row_owned(vec![tech.clone(), format!("{area:.2}"), format!("{lat:.2}")]);
+        chars.row_owned(vec![
+            tech.clone(),
+            format!("{area:.2}"),
+            format!("{lat:.2}"),
+        ]);
     }
     out.push_str(&chars.render());
     out

@@ -59,7 +59,9 @@ pub fn run_task(art: &TaskArtifacts) -> Vec<Table3Row> {
 
 /// Assembles the table from per-task artifacts.
 pub fn run(artifacts: &[TaskArtifacts]) -> Table3 {
-    Table3 { rows: artifacts.iter().flat_map(run_task).collect() }
+    Table3 {
+        rows: artifacts.iter().flat_map(run_task).collect(),
+    }
 }
 
 /// Renders the table.

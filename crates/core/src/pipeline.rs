@@ -7,12 +7,13 @@
 //! thresholds for 1/2/5 % accuracy-drop targets.
 
 use crate::calibrate::{calibrate_conventional, calibrate_latency_aware, Calibration, SweepCache};
-use crate::engine::EdgeBertEngine;
+use crate::engine::{DropTarget, EdgeBertEngine, EngineBuilder};
 use crate::predictor::{EntropyPredictor, PredictorLut};
-use edgebert_hw::{AcceleratorConfig, WorkloadParams};
+use edgebert_hw::WorkloadParams;
 use edgebert_model::{AlbertConfig, AlbertModel, TrainOptions, Trainer, TrainingSummary};
 use edgebert_tasks::{Dataset, Task, TaskGenerator, VocabLayout};
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// How big to build the artifacts.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -73,8 +74,9 @@ pub struct TaskArtifacts {
     pub task: Task,
     /// Scale the artifacts were built at.
     pub scale: Scale,
-    /// The optimized student model (quantized weights + activations).
-    pub model: AlbertModel,
+    /// The optimized student model (quantized weights + activations),
+    /// shared so runtimes and engines can hold it without copying.
+    pub model: Arc<AlbertModel>,
     /// Training summary (sparsities, spans, accuracies).
     pub summary: TrainingSummary,
     /// Training split.
@@ -85,8 +87,8 @@ pub struct TaskArtifacts {
     pub cache: SweepCache,
     /// The trained entropy predictor.
     pub predictor: EntropyPredictor,
-    /// Its distilled LUT.
-    pub lut: PredictorLut,
+    /// Its distilled LUT, shared like the model.
+    pub lut: Arc<PredictorLut>,
     /// Conventional-EE calibrations at 1/2/5 % drops.
     pub calib_conv: [Calibration; 3],
     /// Latency-aware calibrations at 1/2/5 % drops.
@@ -123,8 +125,11 @@ impl TaskArtifacts {
 
         // Predictor: trained on the training split's trajectories.
         let train_cache = SweepCache::build(&model, &train);
-        let predictor =
-            EntropyPredictor::train(&train_cache.entropy_dataset(), scale.predictor_epochs(), seed);
+        let predictor = EntropyPredictor::train(
+            &train_cache.entropy_dataset(),
+            scale.predictor_epochs(),
+            seed,
+        );
         let max_h = (task.num_classes() as f32).ln() * 1.05;
         let lut = predictor.to_lut(64, max_h);
 
@@ -137,13 +142,13 @@ impl TaskArtifacts {
         Self {
             task,
             scale,
-            model,
+            model: Arc::new(model),
             summary,
             train,
             dev,
             cache,
             predictor,
-            lut,
+            lut: Arc::new(lut),
             calib_conv,
             calib_lai,
         }
@@ -153,41 +158,40 @@ impl TaskArtifacts {
     /// optionally with the task's published optimization results applied
     /// (Table 1 spans, Table 3 encoder sparsity).
     pub fn hardware_workload(&self, optimized: bool) -> WorkloadParams {
-        let mut wl = WorkloadParams::albert_base();
-        wl.classes = self.task.num_classes();
-        if optimized {
-            wl = wl.with_optimizations(
-                self.task.paper_encoder_sparsity(),
-                &self.task.paper_head_spans(),
-            );
-        }
-        wl
+        crate::engine::task_hardware_workload(self.task, optimized)
     }
 
-    /// Builds an inference engine at a latency target using the 1 %-drop
-    /// calibration and the unoptimized hardware workload.
-    pub fn engine(&self, latency_target_s: f64) -> EdgeBertEngine<'_> {
-        self.engine_at(latency_target_s, 0, false)
+    /// An [`EngineBuilder`] preloaded with this task's model, LUT, and
+    /// all three calibrated threshold tiers, on the unoptimized
+    /// workload. Every engine minted from artifacts goes through here.
+    pub fn engine_builder(&self) -> EngineBuilder {
+        EngineBuilder::new(Arc::clone(&self.model), Arc::clone(&self.lut)).calibrated_thresholds(
+            self.calib_conv.map(|c| c.entropy_threshold),
+            self.calib_lai.map(|c| c.entropy_threshold),
+        )
     }
 
-    /// Builds an engine with explicit drop index (0 → 1 %, 1 → 2 %,
-    /// 2 → 5 %) and workload optimization flag.
+    /// Builds an owned inference engine at a default latency target,
+    /// defaulting to the 1 %-drop tier on the unoptimized hardware
+    /// workload.
+    pub fn engine(&self, latency_target_s: f64) -> EdgeBertEngine {
+        self.engine_at(latency_target_s, DropTarget::OnePercent, false)
+    }
+
+    /// Builds an owned engine with an explicit default drop tier and
+    /// workload optimization flag. Requests served by the engine can
+    /// still override both per sentence.
     pub fn engine_at(
         &self,
         latency_target_s: f64,
-        drop_idx: usize,
+        drop: DropTarget,
         optimized: bool,
-    ) -> EdgeBertEngine<'_> {
-        let wl = self.hardware_workload(optimized);
-        EdgeBertEngine::new(
-            &self.model,
-            &self.lut,
-            AcceleratorConfig::energy_optimal(),
-            &wl,
-            latency_target_s,
-            self.calib_conv[drop_idx].entropy_threshold,
-            self.calib_lai[drop_idx].entropy_threshold,
-        )
+    ) -> EdgeBertEngine {
+        self.engine_builder()
+            .workload(self.hardware_workload(optimized))
+            .latency_target(latency_target_s)
+            .drop_target(drop)
+            .build()
     }
 }
 
@@ -211,17 +215,13 @@ mod tests {
         // higher") and its exits stay within the layer range.
         for i in 0..3 {
             assert!(
-                art.calib_lai[i].entropy_threshold
-                    <= art.calib_conv[i].entropy_threshold + 0.2,
+                art.calib_lai[i].entropy_threshold <= art.calib_conv[i].entropy_threshold + 0.2,
                 "LAI {} vs conv {}",
                 art.calib_lai[i].entropy_threshold,
                 art.calib_conv[i].entropy_threshold
             );
             assert!(art.calib_lai[i].avg_exit_layer >= 1.0);
-            assert!(
-                art.calib_lai[i].avg_predicted_layer
-                    <= art.model.num_layers() as f32 + 1e-4
-            );
+            assert!(art.calib_lai[i].avg_predicted_layer <= art.model.num_layers() as f32 + 1e-4);
         }
         // Engine runs end to end.
         let engine = art.engine(100e-3);

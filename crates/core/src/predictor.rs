@@ -17,8 +17,8 @@
 use edgebert_model::AlbertModel;
 use edgebert_nn::losses::mse;
 use edgebert_nn::{AdamOptimizer, Mlp};
-use edgebert_tensor::{Matrix, Rng};
 use edgebert_tasks::Dataset;
+use edgebert_tensor::{Matrix, Rng};
 use serde::{Deserialize, Serialize};
 
 /// Per-sentence entropy trajectories collected from a model.
@@ -130,7 +130,12 @@ impl EntropyPredictor {
                 self.predict_trajectory(h)
             })
             .collect();
-        PredictorLut { bins, max_entropy, trajectories, num_layers: self.num_layers }
+        PredictorLut {
+            bins,
+            max_entropy,
+            trajectories,
+            num_layers: self.num_layers,
+        }
     }
 
     /// Mean absolute error (in layers) of exit-layer forecasts against
@@ -232,7 +237,9 @@ mod tests {
 
     #[test]
     fn exit_layer_from_trajectory() {
-        let data = EntropyDataset { trajectories: vec![vec![0.9, 0.5, 0.2, 0.05]] };
+        let data = EntropyDataset {
+            trajectories: vec![vec![0.9, 0.5, 0.2, 0.05]],
+        };
         assert_eq!(data.exit_layer(0, 1.0), 1);
         assert_eq!(data.exit_layer(0, 0.3), 3);
         assert_eq!(data.exit_layer(0, 0.01), 4); // never crosses: last layer
@@ -269,7 +276,10 @@ mod tests {
                 diffs += 1;
             }
         }
-        assert!(diffs <= 2, "{diffs} LUT forecasts off by more than one layer");
+        assert!(
+            diffs <= 2,
+            "{diffs} LUT forecasts off by more than one layer"
+        );
     }
 
     #[test]

@@ -1,0 +1,264 @@
+//! Owned serving runtimes: one task or the paper's full multi-task
+//! deployment behind a request/response interface.
+//!
+//! [`TaskRuntime`] packages what serving one GLUE task needs — the
+//! optimized student model and predictor LUT behind [`Arc`]s, plus the
+//! per-tier threshold calibrations — decoupled from the training-side
+//! [`TaskArtifacts`](crate::pipeline::TaskArtifacts) (datasets, sweep
+//! caches, training summaries) that produced them. Engines minted from a
+//! runtime are `Send + 'static`: build once, move into worker threads,
+//! or pool them.
+//!
+//! [`MultiTaskRuntime`] routes requests across tasks. This is the
+//! paper's §4 deployment: the embedding table is shared in eNVM while
+//! each task carries its own encoder weights and calibrations, so one
+//! accelerator serves MNLI, QQP, SST-2, and QNLI traffic — each request
+//! under its own deadline and accuracy tier.
+
+use crate::engine::{
+    AggregateResult, EdgeBertEngine, EngineBuilder, InferenceMode, InferenceRequest,
+    InferenceResponse,
+};
+use crate::pipeline::{Scale, TaskArtifacts};
+use edgebert_hw::WorkloadParams;
+use edgebert_model::AlbertModel;
+use edgebert_tasks::{Dataset, Task};
+
+/// An owned, thread-safe serving runtime for one task.
+///
+/// Holds the preloaded [`EngineBuilder`] (the single wiring point for
+/// this task's model, LUT, calibrations, and optimized workload) plus
+/// the default engine minted from it.
+#[derive(Debug, Clone)]
+pub struct TaskRuntime {
+    task: Task,
+    builder: EngineBuilder,
+    engine: EdgeBertEngine,
+}
+
+// Runtimes are shared across request-serving threads.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync + 'static>() {}
+    assert_send_sync::<TaskRuntime>();
+    assert_send_sync::<MultiTaskRuntime>();
+};
+
+impl TaskRuntime {
+    /// Builds a runtime from trained artifacts, sharing (not copying)
+    /// the model and LUT, with the engine defaults of
+    /// [`EngineBuilder::new`] on the task-optimized hardware workload.
+    pub fn from_artifacts(artifacts: &TaskArtifacts) -> Self {
+        let builder = artifacts
+            .engine_builder()
+            .workload(artifacts.hardware_workload(true));
+        let engine = builder.clone().build();
+        Self {
+            task: artifacts.task,
+            builder,
+            engine,
+        }
+    }
+
+    /// The task this runtime serves.
+    pub fn task(&self) -> Task {
+        self.task
+    }
+
+    /// The default engine minted at construction.
+    pub fn engine(&self) -> &EdgeBertEngine {
+        &self.engine
+    }
+
+    /// The served model.
+    pub fn model(&self) -> &AlbertModel {
+        self.engine.model()
+    }
+
+    /// A builder preloaded with this runtime's model, LUT, calibrated
+    /// thresholds, and the same task-optimized workload the default
+    /// engine serves, for minting engines at other design points
+    /// (deadline, accelerator, workload, eNVM cell).
+    pub fn builder(&self) -> EngineBuilder {
+        self.builder.clone()
+    }
+
+    /// The task's hardware workload, optionally with its published
+    /// optimizations (Table 1 spans, Table 3 sparsity) applied.
+    pub fn hardware_workload(&self, optimized: bool) -> WorkloadParams {
+        crate::engine::task_hardware_workload(self.task, optimized)
+    }
+
+    /// Serves one request on the default engine.
+    pub fn serve(&self, request: &InferenceRequest) -> InferenceResponse {
+        self.engine.serve(request)
+    }
+
+    /// Serves a batch of requests across worker threads, preserving
+    /// order.
+    pub fn serve_batch(&self, requests: &[InferenceRequest]) -> Vec<InferenceResponse> {
+        self.engine.serve_batch(requests)
+    }
+
+    /// Evaluates a dataset on the default engine (multi-threaded; see
+    /// [`EdgeBertEngine::evaluate`]).
+    pub fn evaluate(&self, data: &Dataset, mode: InferenceMode) -> AggregateResult {
+        self.engine.evaluate(data, mode)
+    }
+}
+
+/// A runtime serving all tasks of the paper's multi-task scenario,
+/// routing each request to its task's engine.
+#[derive(Debug, Clone, Default)]
+pub struct MultiTaskRuntime {
+    runtimes: Vec<TaskRuntime>,
+}
+
+impl MultiTaskRuntime {
+    /// Assembles a runtime from per-task runtimes. A later runtime for
+    /// the same task replaces an earlier one.
+    pub fn from_runtimes(runtimes: impl IntoIterator<Item = TaskRuntime>) -> Self {
+        let mut out = Self {
+            runtimes: Vec::new(),
+        };
+        for rt in runtimes {
+            out.insert(rt);
+        }
+        out
+    }
+
+    /// Trains artifacts for all four GLUE tasks at `scale` and wraps
+    /// them into a runtime. The four trainings are independent, so they
+    /// fan out across worker threads (one per task). This is the
+    /// expensive paper-reproduction path; serving-only deployments
+    /// assemble from prebuilt runtimes via
+    /// [`from_runtimes`](Self::from_runtimes).
+    pub fn build(scale: Scale, seed: u64) -> Self {
+        let jobs: Vec<(usize, Task)> = Task::all().into_iter().enumerate().collect();
+        Self::from_runtimes(crate::engine::run_chunked(
+            &jobs,
+            jobs.len(),
+            |&(i, task)| {
+                TaskRuntime::from_artifacts(&TaskArtifacts::build(task, scale, seed + i as u64))
+            },
+        ))
+    }
+
+    /// Adds (or replaces) one task's runtime.
+    pub fn insert(&mut self, runtime: TaskRuntime) {
+        match self
+            .runtimes
+            .iter_mut()
+            .find(|r| r.task() == runtime.task())
+        {
+            Some(slot) => *slot = runtime,
+            None => self.runtimes.push(runtime),
+        }
+    }
+
+    /// The tasks currently served.
+    pub fn tasks(&self) -> Vec<Task> {
+        self.runtimes.iter().map(TaskRuntime::task).collect()
+    }
+
+    /// The runtime for one task, if served.
+    pub fn runtime(&self, task: Task) -> Option<&TaskRuntime> {
+        self.runtimes.iter().find(|r| r.task() == task)
+    }
+
+    /// Routes one request to its task's engine. Returns `None` when the
+    /// task is not served.
+    pub fn serve(&self, task: Task, request: &InferenceRequest) -> Option<InferenceResponse> {
+        self.runtime(task).map(|rt| rt.serve(request))
+    }
+
+    /// Serves a mixed-task batch across worker threads, preserving
+    /// order. Entries whose task is not served come back as `None`.
+    pub fn serve_batch(
+        &self,
+        requests: &[(Task, InferenceRequest)],
+    ) -> Vec<Option<InferenceResponse>> {
+        let threads = crate::engine::default_threads(requests.len());
+        crate::engine::run_chunked(requests, threads, |(task, request)| {
+            self.serve(*task, request)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{DropTarget, EntropyThresholds};
+
+    fn artifacts(task: Task, seed: u64) -> TaskArtifacts {
+        TaskArtifacts::build(task, Scale::Test, seed)
+    }
+
+    #[test]
+    fn task_runtime_serves_with_calibrated_tiers() {
+        let art = artifacts(Task::Sst2, 0x5E41);
+        let rt = TaskRuntime::from_artifacts(&art);
+        assert_eq!(rt.task(), Task::Sst2);
+        // The engine carries the pipeline's calibrations tier by tier.
+        for tier in DropTarget::all() {
+            let th = rt.engine().thresholds(tier);
+            assert_eq!(
+                th,
+                EntropyThresholds {
+                    conventional: art.calib_conv[tier.index()].entropy_threshold,
+                    latency_aware: art.calib_lai[tier.index()].entropy_threshold,
+                }
+            );
+        }
+        let ex = &art.dev.examples()[0];
+        let resp = rt.serve(&InferenceRequest::new(ex.tokens.clone()));
+        assert!(resp.result.energy_j > 0.0);
+        assert!(resp.result.exit_layer >= 1);
+    }
+
+    #[test]
+    fn multi_task_runtime_routes_by_task() {
+        let sst = TaskRuntime::from_artifacts(&artifacts(Task::Sst2, 0x5E42));
+        let qnli = TaskRuntime::from_artifacts(&artifacts(Task::Qnli, 0x5E43));
+        let sst_tokens = {
+            let gen =
+                edgebert_tasks::TaskGenerator::standard(Task::Sst2, sst.model().config.max_seq_len);
+            gen.generate(1, 9).examples()[0].tokens.clone()
+        };
+        let mt = MultiTaskRuntime::from_runtimes([sst, qnli]);
+        assert_eq!(mt.tasks(), vec![Task::Sst2, Task::Qnli]);
+
+        let req = InferenceRequest::new(sst_tokens);
+        let ok = mt.serve(Task::Sst2, &req);
+        assert!(ok.is_some());
+        // Unserved task: routed nowhere.
+        assert!(mt.serve(Task::Mnli, &req).is_none());
+
+        // Mixed batch preserves order and flags unserved tasks.
+        let batch = [
+            (Task::Sst2, req.clone()),
+            (Task::Mnli, req.clone()),
+            (Task::Qnli, req.clone()),
+        ];
+        let out = mt.serve_batch(&batch);
+        assert_eq!(out.len(), 3);
+        assert!(out[0].is_some());
+        assert!(out[1].is_none());
+        assert!(out[2].is_some());
+        // Routing in a batch matches routing one by one.
+        assert_eq!(out[0], mt.serve(Task::Sst2, &batch[0].1));
+    }
+
+    #[test]
+    fn runtime_builder_mints_custom_engines() {
+        let art = artifacts(Task::Sst2, 0x5E44);
+        let rt = TaskRuntime::from_artifacts(&art);
+        let strict = rt.builder().latency_target(5e-3).build();
+        let relaxed = rt.builder().latency_target(500e-3).build();
+        let tokens = &art.dev.examples()[0].tokens;
+        let s = strict.run_latency_aware(tokens);
+        let r = relaxed.run_latency_aware(tokens);
+        // Same calibrations, different deadlines: the relaxed engine
+        // never needs a higher voltage.
+        assert!(r.voltage <= s.voltage + 1e-6);
+    }
+}

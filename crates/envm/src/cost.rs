@@ -32,7 +32,11 @@ impl ReramArray {
     /// Panics if `capacity_mb <= 0`.
     pub fn new(tech: CellTech, capacity_mb: f64) -> Self {
         assert!(capacity_mb > 0.0, "capacity must be positive");
-        Self { tech, capacity_mb, access_width_bits: 128 }
+        Self {
+            tech,
+            capacity_mb,
+            access_width_bits: 128,
+        }
     }
 
     /// Cell technology of the array.

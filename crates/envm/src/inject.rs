@@ -35,7 +35,10 @@ pub struct FaultInjector {
 impl FaultInjector {
     /// Creates an injector using the technology's default error rate.
     pub fn new(tech: CellTech) -> Self {
-        Self { tech, error_rate: tech.level_error_rate() }
+        Self {
+            tech,
+            error_rate: tech.level_error_rate(),
+        }
     }
 
     /// Overrides the per-cell error rate (for sensitivity sweeps).
@@ -250,7 +253,10 @@ mod tests {
                 .with_error_rate(1e-2)
                 .inject_bytes(&mut b2, &mut rng);
         }
-        assert!(high_total > low_total * 5, "low {low_total} high {high_total}");
+        assert!(
+            high_total > low_total * 5,
+            "low {low_total} high {high_total}"
+        );
     }
 
     #[test]

@@ -29,7 +29,11 @@ pub struct Adpll {
 impl Adpll {
     /// Creates an ADPLL locked at `freq_hz` with Table 4 characteristics.
     pub fn new(freq_hz: f64) -> Self {
-        Self { freq_hz, power_mw_at_1ghz: 2.46, relock_ns: 50.0 }
+        Self {
+            freq_hz,
+            power_mw_at_1ghz: 2.46,
+            relock_ns: 50.0,
+        }
     }
 
     /// Current output frequency, Hz.

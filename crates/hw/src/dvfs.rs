@@ -141,9 +141,11 @@ mod tests {
     #[test]
     fn deadline_is_always_met_when_feasible() {
         let ctl = controller();
-        for &(cycles, secs) in
-            &[(5_000_000u64, 12e-3f64), (40_000_000, 50e-3), (430_000_000, 500e-3)]
-        {
+        for &(cycles, secs) in &[
+            (5_000_000u64, 12e-3f64),
+            (40_000_000, 50e-3),
+            (430_000_000, 500e-3),
+        ] {
             let d = ctl.decide(cycles, secs);
             assert!(d.feasible);
             let finish = cycles as f64 / d.freq_hz;

@@ -67,12 +67,18 @@ impl Ldo {
     /// Creates an LDO with the default (Table 4) spec at an initial
     /// output voltage.
     pub fn new(initial_v: f32) -> Self {
-        Self { spec: LdoSpec::default(), voltage: initial_v }
+        Self {
+            spec: LdoSpec::default(),
+            voltage: initial_v,
+        }
     }
 
     /// Creates an LDO with a custom spec.
     pub fn with_spec(spec: LdoSpec, initial_v: f32) -> Self {
-        Self { spec, voltage: initial_v }
+        Self {
+            spec,
+            voltage: initial_v,
+        }
     }
 
     /// The spec in use.
@@ -101,7 +107,10 @@ impl Ldo {
         for i in 0..=steps {
             let t = duration * i as f64 / steps as f64;
             let v = from + (target - from) * (t / duration.max(1e-12)) as f32;
-            trace.push(TracePoint { t_ns: t, voltage: v });
+            trace.push(TracePoint {
+                t_ns: t,
+                voltage: v,
+            });
         }
         self.voltage = target;
         trace
@@ -174,7 +183,10 @@ mod tests {
         // 0.992 x 0.8/0.85 ~= 0.934 at nominal; never above the current
         // efficiency ceiling.
         let at_nom = ldo.efficiency(0.80);
-        assert!((at_nom - 0.9336).abs() < 1e-3, "nominal efficiency {at_nom}");
+        assert!(
+            (at_nom - 0.9336).abs() < 1e-3,
+            "nominal efficiency {at_nom}"
+        );
         let at_low = ldo.efficiency(0.50);
         assert!(at_low < at_nom);
         assert!(at_low > 0.85);

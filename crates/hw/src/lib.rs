@@ -33,6 +33,7 @@ pub mod sim;
 pub mod vf;
 pub mod workload;
 
+pub use adpll::Adpll;
 pub use config::AcceleratorConfig;
 pub use dvfs::{DvfsController, DvfsDecision};
 pub use ldo::Ldo;

@@ -145,7 +145,13 @@ impl BootComparison {
         let energy_j = dram.reload_energy_j(table_bits)
             + sram.access_energy_j(table_bits)
             + sram.access_energy_j(sentence_bits);
-        Self { edgebert, conventional: BootCost { latency_s, energy_j } }
+        Self {
+            edgebert,
+            conventional: BootCost {
+                latency_s,
+                energy_j,
+            },
+        }
     }
 
     /// Computes both sides with default memory models and the paper's
@@ -153,7 +159,14 @@ impl BootComparison {
     pub fn standard(table_mb: f64, sentence_bits: usize) -> Self {
         let cfg = AcceleratorConfig::energy_optimal();
         let rram = ReramArray::new(CellTech::Mlc2, table_mb.max(0.001));
-        Self::compute(&cfg, table_mb, sentence_bits, &rram, &Sram::default(), &Lpddr4::default())
+        Self::compute(
+            &cfg,
+            table_mb,
+            sentence_bits,
+            &rram,
+            &Sram::default(),
+            &Lpddr4::default(),
+        )
     }
 
     /// Latency advantage (conventional / EdgeBERT).

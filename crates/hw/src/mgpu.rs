@@ -34,7 +34,11 @@ pub struct MobileGpu {
 impl MobileGpu {
     /// The Jetson TX2 anchor point.
     pub fn tegra_x2() -> Self {
-        Self { full_inference_s: 0.122, power_w: 1.8, overhead_s: 0.004 }
+        Self {
+            full_inference_s: 0.122,
+            power_w: 1.8,
+            overhead_s: 0.004,
+        }
     }
 
     /// Latency for `layers` encoder layers with a FLOP scale factor

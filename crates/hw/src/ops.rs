@@ -163,16 +163,23 @@ impl OpModel {
         // fetched from the compressed buffers (floor models mask traffic
         // and control).
         let sram_scale = ((d_in + d_w) / 2.0).clamp(0.25, 1.0);
-        let per_cycle =
-            self.energy.pu_cycle_pj(active) + self.energy.sram_stream_pj * sram_scale;
-        OpCost { kind: OpKind::MacMatmul, cycles, energy_pj: cycles as f64 * per_cycle }
+        let per_cycle = self.energy.pu_cycle_pj(active) + self.energy.sram_stream_pj * sram_scale;
+        OpCost {
+            kind: OpKind::MacMatmul,
+            cycles,
+            energy_pj: cycles as f64 * per_cycle,
+        }
     }
 
     /// Bitmask decode of an `r x c` logical matrix (one n-vector/cycle).
     pub fn decode(&self, r: usize, c: usize) -> OpCost {
         let cycles = ((r * c).div_ceil(self.n)) as u64;
         let per_cycle = 0.35 * self.energy.sram_stream_pj + self.energy.codec_logic_pj;
-        OpCost { kind: OpKind::BitmaskDecode, cycles, energy_pj: cycles as f64 * per_cycle }
+        OpCost {
+            kind: OpKind::BitmaskDecode,
+            cycles,
+            energy_pj: cycles as f64 * per_cycle,
+        }
     }
 
     /// Bitmask decode of weight tiles. Weight streams are double-buffered
@@ -192,7 +199,11 @@ impl OpModel {
     pub fn encode(&self, r: usize, c: usize) -> OpCost {
         let cycles = ((r * c).div_ceil(self.n)) as u64;
         let per_cycle = 0.35 * self.energy.sram_stream_pj + self.energy.codec_logic_pj;
-        OpCost { kind: OpKind::BitmaskEncode, cycles, energy_pj: cycles as f64 * per_cycle }
+        OpCost {
+            kind: OpKind::BitmaskEncode,
+            cycles,
+            energy_pj: cycles as f64 * per_cycle,
+        }
     }
 
     /// Softmax + span masking over a `rows x cols` attention score matrix
@@ -211,20 +222,32 @@ impl OpModel {
     pub fn layer_norm(&self, rows: usize, cols: usize) -> OpCost {
         let per_row = 2 * cols.div_ceil(self.sfu_width) + 2;
         let cycles = (rows * per_row) as u64;
-        OpCost { kind: OpKind::LayerNorm, cycles, energy_pj: cycles as f64 * self.energy.sfu_pj }
+        OpCost {
+            kind: OpKind::LayerNorm,
+            cycles,
+            energy_pj: cycles as f64 * self.energy.sfu_pj,
+        }
     }
 
     /// Element-wise addition of two `rows x cols` activations.
     pub fn elem_add(&self, rows: usize, cols: usize) -> OpCost {
         let cycles = ((rows * cols).div_ceil(self.sfu_width)) as u64;
-        OpCost { kind: OpKind::ElemAdd, cycles, energy_pj: cycles as f64 * self.energy.sfu_pj }
+        OpCost {
+            kind: OpKind::ElemAdd,
+            cycles,
+            energy_pj: cycles as f64 * self.energy.sfu_pj,
+        }
     }
 
     /// Early-exit assessment: stable entropy over `classes` logits plus
     /// threshold compare and (in latency-aware mode) predictor-LUT index.
     pub fn early_exit(&self, classes: usize) -> OpCost {
         let cycles = (3 * classes.div_ceil(self.sfu_width) + 16) as u64;
-        OpCost { kind: OpKind::EarlyExit, cycles, energy_pj: cycles as f64 * self.energy.sfu_pj }
+        OpCost {
+            kind: OpKind::EarlyExit,
+            cycles,
+            energy_pj: cycles as f64 * self.energy.sfu_pj,
+        }
     }
 }
 
@@ -263,8 +286,7 @@ mod tests {
         // Savings bounded by the gated fraction: never below 25% of PU
         // energy plus the SRAM traffic floor.
         let floor = dense.cycles as f64
-            * (m.energy.pu_active_pj * m.energy.gated_fraction
-                + m.energy.sram_stream_pj * 0.25);
+            * (m.energy.pu_active_pj * m.energy.gated_fraction + m.energy.sram_stream_pj * 0.25);
         assert!(sparse.energy_pj >= floor);
     }
 

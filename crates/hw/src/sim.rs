@@ -177,7 +177,11 @@ mod tests {
         let sim = sim16();
         let wl = sim.layer_workload(&WorkloadParams::albert_base());
         let cost = sim.run_layers_nominal(&wl, 12);
-        assert!((0.035..0.060).contains(&cost.seconds), "latency {}", cost.seconds);
+        assert!(
+            (0.035..0.060).contains(&cost.seconds),
+            "latency {}",
+            cost.seconds
+        );
         let p = sim.average_power_w(&cost);
         assert!((0.060..0.110).contains(&p), "power {p}");
     }
@@ -216,7 +220,10 @@ mod tests {
         let sim = sim16();
         let wl = sim.layer_workload(&WorkloadParams::albert_base());
         let cost = sim.run_layers_nominal(&wl, 12);
-        let lat_sum: f64 = OpKind::all().iter().map(|&k| cost.latency_fraction(k)).sum();
+        let lat_sum: f64 = OpKind::all()
+            .iter()
+            .map(|&k| cost.latency_fraction(k))
+            .sum();
         assert!((lat_sum - 1.0).abs() < 1e-9);
         let e_sum: f64 = OpKind::all().iter().map(|&k| cost.energy_fraction(k)).sum();
         assert!((e_sum - 1.0).abs() < 1e-9);

@@ -49,7 +49,10 @@ impl VfTable {
         let points = cfg
             .voltage_grid()
             .into_iter()
-            .map(|v| VfPoint { voltage: v, freq_max_hz: Self::fmax_model(v, cfg) })
+            .map(|v| VfPoint {
+                voltage: v,
+                freq_max_hz: Self::fmax_model(v, cfg),
+            })
             .collect();
         Self { points }
     }

@@ -205,7 +205,10 @@ mod tests {
             .sum();
         let expect = 1.86e9 / 2.0 / 256.0;
         let ratio = mac_cycles as f64 / expect;
-        assert!((0.9..1.2).contains(&ratio), "mac cycles {mac_cycles}, ratio {ratio}");
+        assert!(
+            (0.9..1.2).contains(&ratio),
+            "mac cycles {mac_cycles}, ratio {ratio}"
+        );
     }
 
     #[test]
@@ -215,7 +218,11 @@ mod tests {
         let wl = EncoderWorkload::build(&base_cfg(), &WorkloadParams::albert_base());
         let total = wl.cycles() as f64;
         let frac = |kind: OpKind| {
-            wl.ops().iter().filter(|o| o.kind == kind).map(|o| o.cycles).sum::<u64>() as f64
+            wl.ops()
+                .iter()
+                .filter(|o| o.kind == kind)
+                .map(|o| o.cycles)
+                .sum::<u64>() as f64
                 / total
         };
         let mac = frac(OpKind::MacMatmul);

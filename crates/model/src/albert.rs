@@ -8,8 +8,8 @@ use edgebert_nn::encoder::EncoderCache;
 use edgebert_nn::norm::LayerNormCache;
 use edgebert_nn::{EncoderLayer, LayerNorm, Parameter};
 use edgebert_quant::tensor::fake_quantize;
-use edgebert_tensor::{Matrix, Rng};
 use edgebert_tasks::{Dataset, VocabLayout};
+use edgebert_tensor::{Matrix, Rng};
 use serde::{Deserialize, Serialize};
 
 /// Output of a full (no-early-exit) forward pass.
@@ -144,7 +144,11 @@ impl AlbertModel {
             logits.push(lg);
             entropies.push(h);
         }
-        LayerwiseOutput { hidden_states, logits, entropies }
+        LayerwiseOutput {
+            hidden_states,
+            logits,
+            entropies,
+        }
     }
 
     /// Conventional early-exit inference (paper Algorithm 1): stop at the
@@ -213,11 +217,7 @@ impl AlbertModel {
     /// state (through the final layer norm; only the CLS row carries
     /// gradient). Also accumulates the off-ramp's and final norm's
     /// parameter grads.
-    pub fn backward_final_classifier(
-        &mut self,
-        cache: &TrainCache,
-        grad_logits: &[f32],
-    ) -> Matrix {
+    pub fn backward_final_classifier(&mut self, cache: &TrainCache, grad_logits: &[f32]) -> Matrix {
         let last = self.off_ramps.len() - 1;
         let normed = &cache.final_normed;
         let cls = Matrix::from_vec(1, normed.cols(), normed.row(0).to_vec());
@@ -227,7 +227,8 @@ impl AlbertModel {
         let d_cls = g.matmul_nt(&ramp.head.weight.value);
         let mut grad_normed = Matrix::zeros(normed.rows(), normed.cols());
         grad_normed.row_mut(0).copy_from_slice(d_cls.row(0));
-        self.final_norm.backward(&cache.final_norm_cache, &grad_normed)
+        self.final_norm
+            .backward(&cache.final_norm_cache, &grad_normed)
     }
 
     /// Logits of the final classifier for a training cache.

@@ -9,8 +9,8 @@
 
 use crate::config::AlbertConfig;
 use edgebert_nn::{Linear, Parameter};
-use edgebert_tensor::{Matrix, Rng};
 use edgebert_tasks::VocabLayout;
+use edgebert_tensor::{Matrix, Rng};
 use serde::{Deserialize, Serialize};
 
 /// Factorized embedding: `hidden = proj(table[token] + pos[position])`.
@@ -108,7 +108,9 @@ impl FactorizedEmbedding {
         }
         // PAD embeds to zero so padding carries no signal.
         for c in 0..e {
-            emb.table.value.set(edgebert_tasks::vocab::PAD as usize, c, 0.0);
+            emb.table
+                .value
+                .set(edgebert_tasks::vocab::PAD as usize, c, 0.0);
         }
         emb
     }
@@ -128,7 +130,10 @@ impl FactorizedEmbedding {
         let mut low = Matrix::zeros(tokens.len(), e);
         for (i, &tok) in tokens.iter().enumerate() {
             let tok = tok as usize;
-            assert!(tok < self.table.value.rows(), "token {tok} out of vocabulary");
+            assert!(
+                tok < self.table.value.rows(),
+                "token {tok} out of vocabulary"
+            );
             let row = self.table.value.row(tok);
             let pos = self.positions.value.row(i);
             for c in 0..e {
@@ -171,7 +176,11 @@ impl FactorizedEmbedding {
     ///
     /// Panics if the shape differs from the current table.
     pub fn set_table(&mut self, table: Matrix) {
-        assert_eq!(table.shape(), self.table.value.shape(), "table shape mismatch");
+        assert_eq!(
+            table.shape(),
+            self.table.value.shape(),
+            "table shape mismatch"
+        );
         self.table.value = table;
         self.table.frozen = true;
     }

@@ -19,7 +19,9 @@ pub struct OffRamp {
 impl OffRamp {
     /// Creates an off-ramp for a `hidden`-wide stream.
     pub fn new(hidden: usize, num_classes: usize, rng: &mut Rng) -> Self {
-        Self { head: Linear::new(hidden, num_classes, rng) }
+        Self {
+            head: Linear::new(hidden, num_classes, rng),
+        }
     }
 
     /// Number of classes.

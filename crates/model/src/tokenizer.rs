@@ -32,20 +32,48 @@ pub struct HashTokenizer {
 }
 
 const POSITIVE_WORDS: &[&str] = &[
-    "good", "great", "smart", "funny", "brilliant", "excellent", "love",
-    "wonderful", "provocative", "blisteringly", "best", "beautiful",
-    "enjoyable", "delightful", "masterpiece",
+    "good",
+    "great",
+    "smart",
+    "funny",
+    "brilliant",
+    "excellent",
+    "love",
+    "wonderful",
+    "provocative",
+    "blisteringly",
+    "best",
+    "beautiful",
+    "enjoyable",
+    "delightful",
+    "masterpiece",
 ];
 
 const NEGATIVE_WORDS: &[&str] = &[
-    "bad", "boring", "awful", "terrible", "dull", "worst", "hate", "poor",
-    "mediocre", "tedious", "disappointing", "mess", "flat", "lifeless",
+    "bad",
+    "boring",
+    "awful",
+    "terrible",
+    "dull",
+    "worst",
+    "hate",
+    "poor",
+    "mediocre",
+    "tedious",
+    "disappointing",
+    "mess",
+    "flat",
+    "lifeless",
 ];
 
 impl HashTokenizer {
     /// Creates a tokenizer for a task with the standard vocabulary layout.
     pub fn new(task: Task, seq_len: usize) -> Self {
-        Self { task, layout: VocabLayout::standard(), seq_len }
+        Self {
+            task,
+            layout: VocabLayout::standard(),
+            seq_len,
+        }
     }
 
     /// The fixed output length.
@@ -120,7 +148,11 @@ mod tests {
         let tok = HashTokenizer::new(Task::Sst2, 16);
         let t = task_index(Task::Sst2);
         let ids = tok.encode("great");
-        assert!(tok.layout().is_class_keyword(ids[1], t, 1), "token {}", ids[1]);
+        assert!(
+            tok.layout().is_class_keyword(ids[1], t, 1),
+            "token {}",
+            ids[1]
+        );
         let ids = tok.encode("awful");
         assert!(tok.layout().is_class_keyword(ids[1], t, 0));
     }

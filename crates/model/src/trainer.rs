@@ -15,8 +15,8 @@ use crate::config::AlbertConfig;
 use edgebert_nn::losses::{cross_entropy, distillation};
 use edgebert_nn::prune::{PruneMethod, Pruner};
 use edgebert_nn::AdamOptimizer;
-use edgebert_tensor::{Matrix, Rng};
 use edgebert_tasks::{Dataset, VocabLayout};
+use edgebert_tensor::{Matrix, Rng};
 use serde::{Deserialize, Serialize};
 
 /// Hyper-parameters for the two-phase procedure.
@@ -119,8 +119,7 @@ impl Trainer {
                 let ex = &train.examples()[i];
                 model.zero_grad();
                 let (_, cache) = model.forward_train(&ex.tokens);
-                let logits =
-                    Matrix::from_vec(1, self.cfg.num_classes, model.final_logits(&cache));
+                let logits = Matrix::from_vec(1, self.cfg.num_classes, model.final_logits(&cache));
                 let (_, grad) = cross_entropy(&logits, &[ex.label]);
                 let grad_hidden = model.backward_final_classifier(&cache, grad.row(0));
                 model.backward_from_final(&cache, &grad_hidden);
@@ -133,11 +132,7 @@ impl Trainer {
     /// Phase 1: student fine-tuning with KD + pruning + adaptive spans.
     /// Returns the optimized student (off-ramps still untrained except the
     /// final classifier).
-    pub fn train_student_phase1(
-        &self,
-        teacher: &AlbertModel,
-        train: &Dataset,
-    ) -> AlbertModel {
+    pub fn train_student_phase1(&self, teacher: &AlbertModel, train: &Dataset) -> AlbertModel {
         let mut rng = Rng::seed_from(self.opts.seed ^ 0x5EED);
         let mut model = AlbertModel::pretrained(self.cfg, &self.layout, &mut rng);
         // Spans train via their dedicated SGD rate below, not via Adam.
@@ -157,8 +152,11 @@ impl Trainer {
                 p.enable_movement_tracking();
             }
         }
-        let embedding_pruner =
-            Pruner::new(PruneMethod::Magnitude, self.opts.embedding_sparsity, total_steps);
+        let embedding_pruner = Pruner::new(
+            PruneMethod::Magnitude,
+            self.opts.embedding_sparsity,
+            total_steps,
+        );
 
         let mut order: Vec<usize> = (0..train.len()).collect();
         let mut step = 0usize;
@@ -169,8 +167,7 @@ impl Trainer {
                 let ex = &train.examples()[i];
                 model.zero_grad();
                 let (_, cache) = model.forward_train(&ex.tokens);
-                let logits =
-                    Matrix::from_vec(1, self.cfg.num_classes, model.final_logits(&cache));
+                let logits = Matrix::from_vec(1, self.cfg.num_classes, model.final_logits(&cache));
                 // Task loss.
                 let (_, ce_grad) = cross_entropy(&logits, &[ex.label]);
                 // Distillation against the teacher's final logits.
@@ -192,7 +189,10 @@ impl Trainer {
                 // otherwise weakly-learning tasks lose every head before
                 // the gradient can defend the useful ones.
                 if step >= total_steps / 3 {
-                    model.encoder.attention.apply_span_penalty(self.opts.span_penalty);
+                    model
+                        .encoder
+                        .attention
+                        .apply_span_penalty(self.opts.span_penalty);
                 }
 
                 // Movement scores use the pre-step (weight, grad) pair.
@@ -235,8 +235,9 @@ impl Trainer {
         model.set_backbone_frozen(true);
         let layers = self.cfg.num_layers;
         // Collect per-layer CLS features with one forward pass per example.
-        let mut features: Vec<Matrix> =
-            (0..layers).map(|_| Matrix::zeros(train.len(), self.cfg.hidden_size)).collect();
+        let mut features: Vec<Matrix> = (0..layers)
+            .map(|_| Matrix::zeros(train.len(), self.cfg.hidden_size))
+            .collect();
         let labels = train.labels();
         for (i, ex) in train.iter().enumerate() {
             let out = model.forward_layers(&ex.tokens);
@@ -313,7 +314,10 @@ mod tests {
     #[test]
     fn teacher_learns_above_chance() {
         let (cfg, layout, train, dev) = tiny_setup(Task::Sst2, 100);
-        let opts = TrainOptions { epochs: 3, ..Default::default() };
+        let opts = TrainOptions {
+            epochs: 3,
+            ..Default::default()
+        };
         let trainer = Trainer::new(cfg, layout, opts);
         let teacher = trainer.train_teacher(&train);
         let acc = teacher.evaluate_accuracy(&dev);
@@ -332,9 +336,21 @@ mod tests {
         };
         let trainer = Trainer::new(cfg, layout, opts);
         let (student, summary) = trainer.run(&train, &dev);
-        assert!((summary.encoder_sparsity - 0.5).abs() < 0.05, "{}", summary.encoder_sparsity);
-        assert!((summary.embedding_sparsity - 0.6).abs() < 0.05, "{}", summary.embedding_sparsity);
-        assert!(summary.student_accuracy > 0.55, "{}", summary.student_accuracy);
+        assert!(
+            (summary.encoder_sparsity - 0.5).abs() < 0.05,
+            "{}",
+            summary.encoder_sparsity
+        );
+        assert!(
+            (summary.embedding_sparsity - 0.6).abs() < 0.05,
+            "{}",
+            summary.embedding_sparsity
+        );
+        assert!(
+            summary.student_accuracy > 0.55,
+            "{}",
+            summary.student_accuracy
+        );
         // Off-ramps produce finite entropies at every layer.
         let out = student.forward_layers(&train.examples()[0].tokens);
         assert!(out.entropies.iter().all(|h| h.is_finite()));
@@ -343,7 +359,11 @@ mod tests {
     #[test]
     fn phase2_improves_intermediate_offramps() {
         let (cfg, layout, train, _dev) = tiny_setup(Task::Sst2, 100);
-        let opts = TrainOptions { epochs: 2, offramp_steps: 120, ..Default::default() };
+        let opts = TrainOptions {
+            epochs: 2,
+            offramp_steps: 120,
+            ..Default::default()
+        };
         let trainer = Trainer::new(cfg, layout, opts.clone());
         let teacher = trainer.train_teacher(&train);
         let mut student = trainer.train_student_phase1(&teacher, &train);

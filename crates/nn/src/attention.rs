@@ -70,7 +70,11 @@ impl MultiHeadAttention {
     ///
     /// Panics if `hidden` is not divisible by `num_heads`.
     pub fn new(hidden: usize, num_heads: usize, max_span: usize, rng: &mut Rng) -> Self {
-        assert_eq!(hidden % num_heads, 0, "hidden must divide evenly into heads");
+        assert_eq!(
+            hidden % num_heads,
+            0,
+            "hidden must divide evenly into heads"
+        );
         let ramp = (max_span as f32 / 4.0).max(1.0);
         Self {
             wq: Linear::new(hidden, hidden, rng),
@@ -145,7 +149,21 @@ impl MultiHeadAttention {
             masks.push(mask);
         }
         let (out, co) = self.wo.forward(&concat);
-        (out, AttentionCache { q, k, v, probs, masks, cq, ck, cv, co, seq_len })
+        (
+            out,
+            AttentionCache {
+                q,
+                k,
+                v,
+                probs,
+                masks,
+                cq,
+                ck,
+                cv,
+                co,
+                seq_len,
+            },
+        )
     }
 
     /// Inference-only forward (drops the cache).
@@ -220,7 +238,10 @@ impl MultiHeadAttention {
 
     /// Adds the span penalty to all heads; returns the total penalty value.
     pub fn apply_span_penalty(&mut self, lambda: f32) -> f32 {
-        self.spans.iter_mut().map(|s| s.apply_span_penalty(lambda)).sum()
+        self.spans
+            .iter_mut()
+            .map(|s| s.apply_span_penalty(lambda))
+            .sum()
     }
 
     /// Clears gradients on all parameters.
@@ -317,7 +338,10 @@ mod tests {
         mha.wq.weight.value.set(1, 2, orig);
         let fd = (lp - lm) / (2.0 * eps);
         let an = mha.wq.weight.grad.get(1, 2);
-        assert!((fd - an).abs() < 5e-2 * (1.0 + fd.abs()), "wq fd={fd} an={an}");
+        assert!(
+            (fd - an).abs() < 5e-2 * (1.0 + fd.abs()),
+            "wq fd={fd} an={an}"
+        );
 
         // wv weight gradient.
         let orig = mha.wv.weight.value.get(0, 5);
@@ -328,7 +352,10 @@ mod tests {
         mha.wv.weight.value.set(0, 5, orig);
         let fd = (lp - lm) / (2.0 * eps);
         let an = mha.wv.weight.grad.get(0, 5);
-        assert!((fd - an).abs() < 5e-2 * (1.0 + fd.abs()), "wv fd={fd} an={an}");
+        assert!(
+            (fd - an).abs() < 5e-2 * (1.0 + fd.abs()),
+            "wv fd={fd} an={an}"
+        );
 
         // Input gradient.
         let mut x2 = x.clone();
@@ -339,7 +366,10 @@ mod tests {
         let lm = loss(&mha, &x2);
         let fd = (lp - lm) / (2.0 * eps);
         let an = dx.get(2, 3);
-        assert!((fd - an).abs() < 5e-2 * (1.0 + fd.abs()), "dx fd={fd} an={an}");
+        assert!(
+            (fd - an).abs() < 5e-2 * (1.0 + fd.abs()),
+            "dx fd={fd} an={an}"
+        );
     }
 
     #[test]

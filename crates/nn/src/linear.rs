@@ -53,7 +53,10 @@ impl Linear {
     pub fn from_parts(weight: Matrix, bias: Matrix) -> Self {
         assert_eq!(bias.rows(), 1, "bias must be a row vector");
         assert_eq!(bias.cols(), weight.cols(), "bias width must match weight");
-        Self { weight: Parameter::new(weight), bias: Parameter::new(bias) }
+        Self {
+            weight: Parameter::new(weight),
+            bias: Parameter::new(bias),
+        }
     }
 
     /// Input feature count.
@@ -72,13 +75,16 @@ impl Linear {
     ///
     /// Panics if `x.cols() != in_features`.
     pub fn forward(&self, x: &Matrix) -> (Matrix, LinearCache) {
-        let y = x.matmul(&self.weight.value).add_row_broadcast(self.bias.value.row(0));
+        let y = x
+            .matmul(&self.weight.value)
+            .add_row_broadcast(self.bias.value.row(0));
         (y, LinearCache { input: x.clone() })
     }
 
     /// Inference-only forward pass (no cache allocation).
     pub fn infer(&self, x: &Matrix) -> Matrix {
-        x.matmul(&self.weight.value).add_row_broadcast(self.bias.value.row(0))
+        x.matmul(&self.weight.value)
+            .add_row_broadcast(self.bias.value.row(0))
     }
 
     /// Backward pass. Accumulates parameter gradients and returns `dx`.
@@ -139,7 +145,10 @@ mod tests {
             layer.weight.value.set(i, j, orig);
             let fd = (lp - lm) / (2.0 * eps);
             let an = layer.weight.grad.get(i, j);
-            assert!((fd - an).abs() < 2e-2 * (1.0 + fd.abs()), "dW[{i},{j}]: fd={fd} an={an}");
+            assert!(
+                (fd - an).abs() < 2e-2 * (1.0 + fd.abs()),
+                "dW[{i},{j}]: fd={fd} an={an}"
+            );
         }
         // Check dx.
         let mut x2 = x.clone();

@@ -127,7 +127,11 @@ mod tests {
             lm.set(r, c, logits.get(r, c) - eps);
             let fd =
                 (cross_entropy(&lp, &targets).0 - cross_entropy(&lm, &targets).0) / (2.0 * eps);
-            assert!((fd - grad.get(r, c)).abs() < 1e-2, "fd={fd} an={}", grad.get(r, c));
+            assert!(
+                (fd - grad.get(r, c)).abs() < 1e-2,
+                "fd={fd} an={}",
+                grad.get(r, c)
+            );
         }
     }
 

@@ -46,7 +46,10 @@ impl Mlp {
     ///
     /// Panics if fewer than two sizes are given.
     pub fn new(sizes: &[usize], rng: &mut Rng) -> Self {
-        assert!(sizes.len() >= 2, "an MLP needs at least input and output sizes");
+        assert!(
+            sizes.len() >= 2,
+            "an MLP needs at least input and output sizes"
+        );
         let layers = sizes
             .windows(2)
             .map(|w| Linear::new(w[0], w[1], rng))
@@ -85,7 +88,13 @@ impl Mlp {
                 h = y;
             }
         }
-        (h, MlpCache { linear_caches, relu_caches })
+        (
+            h,
+            MlpCache {
+                linear_caches,
+                relu_caches,
+            },
+        )
     }
 
     /// Inference-only forward.
@@ -161,9 +170,8 @@ mod tests {
         let mut mlp = Mlp::new(&[3, 5, 2], &mut rng);
         let x = rng.gaussian_matrix(4, 3, 1.0);
         let coeff = rng.gaussian_matrix(4, 2, 1.0);
-        let loss = |m: &Mlp, x: &Matrix| -> f32 {
-            m.infer(x).hadamard(&coeff).as_slice().iter().sum()
-        };
+        let loss =
+            |m: &Mlp, x: &Matrix| -> f32 { m.infer(x).hadamard(&coeff).as_slice().iter().sum() };
         let (_, cache) = mlp.forward(&x);
         let dx = mlp.backward(&cache, &coeff);
         let eps = 1e-2f32;

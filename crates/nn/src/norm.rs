@@ -110,14 +110,19 @@ impl LayerNorm {
             // dx = (1/sigma) * (dxhat - mean(dxhat) - xhat * mean(dxhat*xhat))
             let dxhat: Vec<f32> = (0..cols).map(|c| go[c] * gamma[c]).collect();
             let mean_dxhat: f32 = dxhat.iter().sum::<f32>() / n;
-            let mean_dxhat_xhat: f32 =
-                dxhat.iter().zip(xh.iter()).map(|(&d, &x)| d * x).sum::<f32>() / n;
+            let mean_dxhat_xhat: f32 = dxhat
+                .iter()
+                .zip(xh.iter())
+                .map(|(&d, &x)| d * x)
+                .sum::<f32>()
+                / n;
             let is = cache.inv_std[r];
             for c in 0..cols {
                 dx.set(r, c, is * (dxhat[c] - mean_dxhat - xh[c] * mean_dxhat_xhat));
             }
         }
-        self.gamma.accumulate_grad(&Matrix::from_vec(1, cols, dgamma));
+        self.gamma
+            .accumulate_grad(&Matrix::from_vec(1, cols, dgamma));
         self.beta.accumulate_grad(&Matrix::from_vec(1, cols, dbeta));
         dx
     }
@@ -147,7 +152,12 @@ mod tests {
         let (y, _) = ln.forward(&x);
         for r in 0..y.rows() {
             let mean: f32 = y.row(r).iter().sum::<f32>() / 8.0;
-            let var: f32 = y.row(r).iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / 8.0;
+            let var: f32 = y
+                .row(r)
+                .iter()
+                .map(|v| (v - mean) * (v - mean))
+                .sum::<f32>()
+                / 8.0;
             assert!(mean.abs() < 1e-4);
             assert!((var - 1.0).abs() < 1e-2);
         }

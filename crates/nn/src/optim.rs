@@ -40,7 +40,14 @@ pub struct AdamOptimizer {
 impl AdamOptimizer {
     /// Creates an Adam optimizer with standard betas (0.9, 0.999).
     pub fn new(lr: f32) -> Self {
-        Self { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, weight_decay: 0.0, t: 0 }
+        Self {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            weight_decay: 0.0,
+            t: 0,
+        }
     }
 
     /// Builder-style weight decay setter.

@@ -95,8 +95,7 @@ impl Parameter {
     /// Enables movement-score tracking (allocates a zeroed score tensor).
     pub fn enable_movement_tracking(&mut self) {
         if self.movement_scores.is_none() {
-            self.movement_scores =
-                Some(Matrix::zeros(self.value.rows(), self.value.cols()));
+            self.movement_scores = Some(Matrix::zeros(self.value.rows(), self.value.cols()));
         }
     }
 

@@ -49,7 +49,10 @@ pub fn sparsity_schedule(step: usize, total_steps: usize, final_sparsity: f32) -
 ///
 /// Panics if `sparsity` is outside `[0, 1]`.
 pub fn topk_mask(scores: &Matrix, sparsity: f32) -> Matrix {
-    assert!((0.0..=1.0).contains(&sparsity), "sparsity {sparsity} out of range");
+    assert!(
+        (0.0..=1.0).contains(&sparsity),
+        "sparsity {sparsity} out of range"
+    );
     let n = scores.len();
     let prune_count = ((n as f32) * sparsity).round() as usize;
     let keep_count = n - prune_count;
@@ -106,7 +109,11 @@ impl Pruner {
             (0.0..1.0).contains(&final_sparsity),
             "final sparsity {final_sparsity} out of range"
         );
-        Self { method, final_sparsity, total_steps }
+        Self {
+            method,
+            final_sparsity,
+            total_steps,
+        }
     }
 
     /// The pruning criterion.
@@ -185,7 +192,10 @@ mod tests {
         for &s in &[0.0f32, 0.25, 0.5, 0.9] {
             let mask = topk_mask(&scores, s);
             let actual = mask.sparsity();
-            assert!((actual - s).abs() < 1.5 / 1024.0, "requested {s} got {actual}");
+            assert!(
+                (actual - s).abs() < 1.5 / 1024.0,
+                "requested {s} got {actual}"
+            );
         }
     }
 

@@ -47,7 +47,11 @@ impl AdaptiveSpan {
     /// Panics if `ramp <= 0`.
     pub fn new(z0: f32, ramp: f32, max_span: usize) -> Self {
         assert!(ramp > 0.0, "ramp must be positive");
-        Self { z: Parameter::new(Matrix::filled(1, 1, z0)), ramp, max_span }
+        Self {
+            z: Parameter::new(Matrix::filled(1, 1, z0)),
+            ramp,
+            max_span,
+        }
     }
 
     /// Ramp width `R` of the soft mask.
@@ -67,7 +71,9 @@ impl AdaptiveSpan {
 
     /// Overwrites `z` (clamped to the legal range `[-R, max_span]`).
     pub fn set_z(&mut self, z: f32) {
-        self.z.value.set(0, 0, z.clamp(-self.ramp, self.max_span as f32));
+        self.z
+            .value
+            .set(0, 0, z.clamp(-self.ramp, self.max_span as f32));
     }
 
     /// Mask value for token distance `d`.
@@ -216,7 +222,10 @@ mod tests {
             s.mask_matrix(seq).hadamard(&g).as_slice().iter().sum()
         };
         let fd = (loss(z0 + eps) - loss(z0 - eps)) / (2.0 * eps);
-        assert!((fd - analytic).abs() < 1e-2 * (1.0 + fd.abs()), "fd={fd} an={analytic}");
+        assert!(
+            (fd - analytic).abs() < 1e-2 * (1.0 + fd.abs()),
+            "fd={fd} an={analytic}"
+        );
     }
 
     #[test]

@@ -58,7 +58,10 @@ impl Fixed16 {
     /// Panics if the Q formats differ.
     pub fn saturating_add(self, rhs: Fixed16) -> Fixed16 {
         assert_eq!(self.frac_bits, rhs.frac_bits, "Q-format mismatch");
-        Fixed16 { raw: self.raw.saturating_add(rhs.raw), frac_bits: self.frac_bits }
+        Fixed16 {
+            raw: self.raw.saturating_add(rhs.raw),
+            frac_bits: self.frac_bits,
+        }
     }
 
     /// Saturating multiplication (result keeps the same Q format).

@@ -43,17 +43,18 @@ impl QuantizedTensor {
     pub fn quantize_with_bias(m: &Matrix, exp_bits: u8, bias: i32) -> Self {
         let format = Fp8Format::new(exp_bits, bias);
         let bytes = m.as_slice().iter().map(|&x| format.encode(x)).collect();
-        Self { rows: m.rows(), cols: m.cols(), format, bytes }
+        Self {
+            rows: m.rows(),
+            cols: m.cols(),
+            format,
+            bytes,
+        }
     }
 
     /// The AdaptivFloat bias for a tensor: aligns the top of the exponent
     /// range with the tensor's largest magnitude.
     pub fn optimal_bias(m: &Matrix, exp_bits: u8) -> i32 {
-        let max_abs = m
-            .as_slice()
-            .iter()
-            .map(|x| x.abs())
-            .fold(0.0f32, f32::max);
+        let max_abs = m.as_slice().iter().map(|x| x.abs()).fold(0.0f32, f32::max);
         if max_abs == 0.0 {
             return 7;
         }
@@ -199,6 +200,9 @@ mod tests {
     fn fake_quantize_matches_quantize_dequantize() {
         let mut rng = Rng::seed_from(5);
         let m = rng.gaussian_matrix(4, 4, 1.0);
-        assert_eq!(fake_quantize(&m, 4), QuantizedTensor::quantize(&m, 4).dequantize());
+        assert_eq!(
+            fake_quantize(&m, 4),
+            QuantizedTensor::quantize(&m, 4).dequantize()
+        );
     }
 }

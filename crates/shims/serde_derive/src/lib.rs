@@ -1,0 +1,271 @@
+//! Derive macros for the vendored `serde` shim.
+//!
+//! Supports the item shapes this workspace serializes: structs with
+//! named fields (as ordered maps keyed by field name) and enums with
+//! unit variants (as their variant-name string). Anything else gets a
+//! `compile_error!` pointing here rather than a silent wrong impl.
+//!
+//! Implemented directly over `proc_macro::TokenStream` (no `syn`/
+//! `quote`, which are unavailable offline).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// What the derive input turned out to be.
+enum Item {
+    /// Struct with named fields.
+    Struct { name: String, fields: Vec<String> },
+    /// Enum with unit variants only.
+    Enum { name: String, variants: Vec<String> },
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(Item::Struct { name, fields }) => {
+            let entries = fields
+                .iter()
+                .map(|f| format!("(\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f}))"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::Map(vec![{entries}])\n\
+                     }}\n\
+                 }}"
+            )
+            .parse()
+            .expect("generated Serialize impl parses")
+        }
+        Ok(Item::Enum { name, variants }) => {
+            let arms = variants
+                .iter()
+                .map(|v| format!("{name}::{v} => \"{v}\","))
+                .collect::<String>();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::Str(match self {{ {arms} }}.to_string())\n\
+                     }}\n\
+                 }}"
+            )
+            .parse()
+            .expect("generated Serialize impl parses")
+        }
+        Err(msg) => error(&msg),
+    }
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(Item::Struct { name, fields }) => {
+            let inits = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::Deserialize::from_value(value.field(\"{f}\")?)?,"))
+                .collect::<String>();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(value: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                         Ok(Self {{ {inits} }})\n\
+                     }}\n\
+                 }}"
+            )
+            .parse()
+            .expect("generated Deserialize impl parses")
+        }
+        Ok(Item::Enum { name, variants }) => {
+            let arms = variants
+                .iter()
+                .map(|v| format!("\"{v}\" => Ok({name}::{v}),"))
+                .collect::<String>();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(value: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                         match value {{\n\
+                             ::serde::Value::Str(s) => match s.as_str() {{\n\
+                                 {arms}\n\
+                                 other => Err(::serde::Error::new(format!(\n\
+                                     \"unknown {name} variant `{{other}}`\"))),\n\
+                             }},\n\
+                             other => Err(::serde::Error::new(format!(\n\
+                                 \"expected {name} variant string, found {{other:?}}\"))),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+            .parse()
+            .expect("generated Deserialize impl parses")
+        }
+        Err(msg) => error(&msg),
+    }
+}
+
+fn error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});")
+        .parse()
+        .expect("error stream parses")
+}
+
+/// Parses a derive input item into its name and field/variant lists.
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let mut tokens = input.into_iter().peekable();
+    let mut kind: Option<&'static str> = None;
+    let mut name = None;
+
+    while let Some(tree) = tokens.next() {
+        match tree {
+            // Outer attributes arrive as `#` followed by a bracket group.
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                tokens.next();
+            }
+            TokenTree::Ident(ident) => {
+                let text = ident.to_string();
+                match text.as_str() {
+                    "pub" => {
+                        // Skip a possible `pub(crate)` scope group.
+                        if let Some(TokenTree::Group(g)) = tokens.peek() {
+                            if g.delimiter() == Delimiter::Parenthesis {
+                                tokens.next();
+                            }
+                        }
+                    }
+                    "struct" | "enum" => {
+                        kind = Some(if text == "struct" { "struct" } else { "enum" });
+                        match tokens.next() {
+                            Some(TokenTree::Ident(n)) => name = Some(n.to_string()),
+                            other => return Err(format!("expected item name, found {other:?}")),
+                        }
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            _ => {}
+        }
+    }
+
+    let kind = kind.ok_or("derive input is not a struct or enum")?;
+    let name = name.ok_or("item has no name")?;
+
+    // Generics are unsupported (and unused by this workspace).
+    if let Some(TokenTree::Punct(p)) = tokens.peek() {
+        if p.as_char() == '<' {
+            return Err(format!(
+                "serde shim derive does not support generic item `{name}`"
+            ));
+        }
+    }
+
+    let body = loop {
+        match tokens.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => break g,
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => {
+                return Err(format!(
+                    "serde shim derive does not support unit/tuple struct `{name}`"
+                ))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                return Err(format!(
+                    "serde shim derive does not support tuple struct `{name}`"
+                ))
+            }
+            Some(_) => {}
+            None => return Err(format!("item `{name}` has no body")),
+        }
+    };
+
+    if kind == "struct" {
+        parse_named_fields(body.stream(), &name).map(|fields| Item::Struct { name, fields })
+    } else {
+        parse_unit_variants(body.stream(), &name).map(|variants| Item::Enum { name, variants })
+    }
+}
+
+/// Extracts field names from a named-field struct body.
+fn parse_named_fields(body: TokenStream, item: &str) -> Result<Vec<String>, String> {
+    let mut fields = Vec::new();
+    let mut tokens = body.into_iter().peekable();
+    loop {
+        // Skip attributes and visibility before the field name.
+        loop {
+            match tokens.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    tokens.next();
+                    tokens.next();
+                }
+                Some(TokenTree::Ident(ident)) if ident.to_string() == "pub" => {
+                    tokens.next();
+                    if let Some(TokenTree::Group(g)) = tokens.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            tokens.next();
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+        let Some(tree) = tokens.next() else { break };
+        let TokenTree::Ident(field) = tree else {
+            return Err(format!("unexpected token in fields of `{item}`: {tree}"));
+        };
+        fields.push(field.to_string());
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => {
+                return Err(format!(
+                    "expected `:` after field `{}` of `{item}`, found {other:?}",
+                    fields.last().expect("just pushed")
+                ))
+            }
+        }
+        // Consume the type up to the next top-level comma. Generic
+        // angle-bracket depth must be tracked: `Vec<(f64, f32)>` has
+        // commas inside.
+        let mut depth = 0i32;
+        for tree in tokens.by_ref() {
+            match &tree {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => break,
+                _ => {}
+            }
+        }
+    }
+    Ok(fields)
+}
+
+/// Extracts variant names from an enum body, requiring unit variants.
+fn parse_unit_variants(body: TokenStream, item: &str) -> Result<Vec<String>, String> {
+    let mut variants = Vec::new();
+    let mut tokens = body.into_iter().peekable();
+    loop {
+        loop {
+            match tokens.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    tokens.next();
+                    tokens.next();
+                }
+                _ => break,
+            }
+        }
+        let Some(tree) = tokens.next() else { break };
+        let TokenTree::Ident(variant) = tree else {
+            return Err(format!("unexpected token in variants of `{item}`: {tree}"));
+        };
+        variants.push(variant.to_string());
+        match tokens.next() {
+            None => break,
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => {}
+            Some(TokenTree::Group(_)) => {
+                return Err(format!(
+                    "serde shim derive supports unit enum variants only; \
+                     `{item}::{}` carries data",
+                    variants.last().expect("just pushed")
+                ))
+            }
+            Some(other) => return Err(format!("unexpected token after variant: {other}")),
+        }
+    }
+    Ok(variants)
+}

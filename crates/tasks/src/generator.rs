@@ -51,7 +51,10 @@ impl DifficultyProfile {
     ///
     /// Panics if the fractions are negative or sum above 1.
     pub fn new(easy: f32, hard: f32) -> Self {
-        assert!(easy >= 0.0 && hard >= 0.0 && easy + hard <= 1.0, "invalid fractions");
+        assert!(
+            easy >= 0.0 && hard >= 0.0 && easy + hard <= 1.0,
+            "invalid fractions"
+        );
         Self { easy, hard }
     }
 
@@ -164,7 +167,11 @@ impl TaskGenerator {
         let difficulty = self.profile.sample(rng);
         let label = rng.below(self.task.num_classes());
         let tokens = self.sentence(label, difficulty, rng);
-        Example { tokens, label, difficulty }
+        Example {
+            tokens,
+            label,
+            difficulty,
+        }
     }
 
     /// Difficulty above which a sentence's evidence is *negated*: its
@@ -196,7 +203,11 @@ impl TaskGenerator {
         let content_len = min_len + rng.below((self.seq_len - 1 - min_len).max(1));
         let negated = difficulty > Self::NEGATION_DIFFICULTY;
         let far_only = difficulty > Self::FAR_EVIDENCE_DIFFICULTY;
-        let evidence_class = if negated { (label + 1) % classes } else { label };
+        let evidence_class = if negated {
+            (label + 1) % classes
+        } else {
+            label
+        };
 
         // Background filler with ambiguous noise scaled by difficulty.
         let p_amb = self.ambiguous_rate * difficulty;
@@ -224,9 +235,9 @@ impl TaskGenerator {
         };
         for _ in 0..kw_count {
             let pos = zone_start + rng.below(zone_len);
-            tokens[pos] = self
-                .layout
-                .class_keyword(t, evidence_class as u32, rng.below(kpc as usize) as u32);
+            tokens[pos] =
+                self.layout
+                    .class_keyword(t, evidence_class as u32, rng.below(kpc as usize) as u32);
         }
         // Distractor keywords of other classes, scattered anywhere.
         let wrong_count =
@@ -234,9 +245,9 @@ impl TaskGenerator {
         for _ in 0..wrong_count {
             let wrong = (evidence_class + 1 + rng.below(classes - 1)) % classes;
             let pos = 1 + rng.below(content_len);
-            tokens[pos] = self
-                .layout
-                .class_keyword(t, wrong as u32, rng.below(kpc as usize) as u32);
+            tokens[pos] =
+                self.layout
+                    .class_keyword(t, wrong as u32, rng.below(kpc as usize) as u32);
         }
         if negated {
             // One negator inside the evidence zone; the model must
@@ -317,9 +328,15 @@ mod tests {
             let h = g.sentence(1, 0.95, &mut rng);
             hard_negators += h.iter().filter(|&&x| x == neg).count();
         }
-        assert!(easy_direct > 100, "easy sentences carry direct keywords: {easy_direct}");
+        assert!(
+            easy_direct > 100,
+            "easy sentences carry direct keywords: {easy_direct}"
+        );
         assert_eq!(easy_negators, 0, "easy sentences have no negators");
-        assert!(hard_negators >= 50, "hard sentences carry negators: {hard_negators}");
+        assert!(
+            hard_negators >= 50,
+            "hard sentences carry negators: {hard_negators}"
+        );
     }
 
     #[test]

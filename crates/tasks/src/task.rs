@@ -101,10 +101,18 @@ impl Task {
     /// Learned per-head spans from the paper's Table 1 (12 heads).
     pub fn paper_head_spans(self) -> [f32; 12] {
         match self {
-            Task::Mnli => [20.0, 0.0, 0.0, 0.0, 0.0, 0.0, 36.0, 81.0, 0.0, 0.0, 0.0, 10.0],
-            Task::Qqp => [16.0, 0.0, 0.0, 0.0, 0.0, 0.0, 40.0, 75.0, 0.0, 0.0, 0.0, 2.0],
-            Task::Sst2 => [31.0, 0.0, 0.0, 0.0, 0.0, 101.0, 14.0, 5.0, 0.0, 36.0, 0.0, 0.0],
-            Task::Qnli => [39.0, 0.0, 0.0, 0.0, 0.0, 105.0, 22.0, 19.0, 0.0, 51.0, 0.0, 0.0],
+            Task::Mnli => [
+                20.0, 0.0, 0.0, 0.0, 0.0, 0.0, 36.0, 81.0, 0.0, 0.0, 0.0, 10.0,
+            ],
+            Task::Qqp => [
+                16.0, 0.0, 0.0, 0.0, 0.0, 0.0, 40.0, 75.0, 0.0, 0.0, 0.0, 2.0,
+            ],
+            Task::Sst2 => [
+                31.0, 0.0, 0.0, 0.0, 0.0, 101.0, 14.0, 5.0, 0.0, 36.0, 0.0, 0.0,
+            ],
+            Task::Qnli => [
+                39.0, 0.0, 0.0, 0.0, 0.0, 105.0, 22.0, 19.0, 0.0, 51.0, 0.0, 0.0,
+            ],
         }
     }
 }
@@ -145,7 +153,11 @@ mod tests {
     #[test]
     fn more_than_half_heads_off_in_paper_spans() {
         for task in Task::all() {
-            let off = task.paper_head_spans().iter().filter(|&&s| s == 0.0).count();
+            let off = task
+                .paper_head_spans()
+                .iter()
+                .filter(|&&s| s == 0.0)
+                .count();
             assert!(off >= 7, "{task} has only {off} heads off");
         }
     }

@@ -44,12 +44,7 @@ impl VocabLayout {
     /// Creates a layout with `keywords_per_class` strong keywords for each
     /// (task, class) pair, `ambiguous_per_task` weak tokens per task, and
     /// `background` neutral tokens.
-    pub fn new(
-        num_tasks: u32,
-        max_classes: u32,
-        keywords_per_class: u32,
-        background: u32,
-    ) -> Self {
+    pub fn new(num_tasks: u32, max_classes: u32, keywords_per_class: u32, background: u32) -> Self {
         Self {
             num_tasks,
             max_classes,
@@ -87,9 +82,7 @@ impl VocabLayout {
         assert!(task_idx < self.num_tasks, "task index out of range");
         assert!(class < self.max_classes, "class out of range");
         assert!(k < self.keywords_per_class, "keyword index out of range");
-        NUM_SPECIAL
-            + (task_idx * self.max_classes + class) * self.keywords_per_class
-            + k
+        NUM_SPECIAL + (task_idx * self.max_classes + class) * self.keywords_per_class + k
     }
 
     /// Whether `token` is a keyword of `(task_idx, class)`.

@@ -24,9 +24,11 @@ use crate::matrix::Matrix;
 /// assert!((lse - (1000.0 + (2.0f32).ln())).abs() < 1e-3);
 /// ```
 pub fn logsumexp(x: &[f32]) -> f32 {
-    let max = match x.iter().cloned().fold(None, |m: Option<f32>, v| {
-        Some(m.map_or(v, |m| m.max(v)))
-    }) {
+    let max = match x
+        .iter()
+        .cloned()
+        .fold(None, |m: Option<f32>, v| Some(m.map_or(v, |m| m.max(v))))
+    {
         Some(m) => m,
         None => return f32::NEG_INFINITY,
     };

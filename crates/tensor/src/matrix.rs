@@ -61,12 +61,20 @@ pub struct Matrix {
 impl Matrix {
     /// Creates a `rows x cols` matrix filled with zeros.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Self { rows, cols, data: vec![0.0; rows * cols] }
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Creates a `rows x cols` matrix filled with `value`.
     pub fn filled(rows: usize, cols: usize, value: f32) -> Self {
-        Self { rows, cols, data: vec![value; rows * cols] }
+        Self {
+            rows,
+            cols,
+            data: vec![value; rows * cols],
+        }
     }
 
     /// Creates the `n x n` identity matrix.
@@ -106,7 +114,11 @@ impl Matrix {
             assert_eq!(r.len(), cols, "all rows must have the same length");
             data.extend_from_slice(r);
         }
-        Self { rows: rows.len(), cols, data }
+        Self {
+            rows: rows.len(),
+            cols,
+            data,
+        }
     }
 
     /// Number of rows.
@@ -417,7 +429,8 @@ impl Matrix {
         assert!(start + width <= self.cols, "column slice out of range");
         let mut out = Matrix::zeros(self.rows, width);
         for r in 0..self.rows {
-            out.row_mut(r).copy_from_slice(&self.row(r)[start..start + width]);
+            out.row_mut(r)
+                .copy_from_slice(&self.row(r)[start..start + width]);
         }
         out
     }
@@ -573,7 +586,10 @@ mod tests {
     fn broadcast_and_sum_rows() {
         let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
         let with_bias = a.add_row_broadcast(&[10.0, 20.0]);
-        assert_eq!(with_bias, Matrix::from_rows(&[&[11.0, 22.0], &[13.0, 24.0]]));
+        assert_eq!(
+            with_bias,
+            Matrix::from_rows(&[&[11.0, 22.0], &[13.0, 24.0]])
+        );
         assert_eq!(a.sum_rows(), vec![4.0, 6.0]);
     }
 

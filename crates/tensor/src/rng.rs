@@ -30,7 +30,10 @@ pub struct Rng {
 impl Rng {
     /// Creates a generator from a 64-bit seed.
     pub fn seed_from(seed: u64) -> Self {
-        Self { inner: StdRng::seed_from_u64(seed), spare_gaussian: None }
+        Self {
+            inner: StdRng::seed_from_u64(seed),
+            spare_gaussian: None,
+        }
     }
 
     /// Uniform sample in `[0, 1)`.

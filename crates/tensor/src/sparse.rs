@@ -47,7 +47,12 @@ impl BitmaskMatrix {
                 values.push(v);
             }
         }
-        Self { rows, cols, mask, values }
+        Self {
+            rows,
+            cols,
+            mask,
+            values,
+        }
     }
 
     /// Decodes back to a dense matrix (the PU decoder path): walks the

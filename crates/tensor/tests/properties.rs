@@ -5,8 +5,7 @@ use proptest::prelude::*;
 
 fn matrix_strategy(max_dim: usize) -> impl Strategy<Value = Matrix> {
     (1..max_dim, 1..max_dim).prop_flat_map(|(r, c)| {
-        prop::collection::vec(-50.0f32..50.0, r * c)
-            .prop_map(move |v| Matrix::from_vec(r, c, v))
+        prop::collection::vec(-50.0f32..50.0, r * c).prop_map(move |v| Matrix::from_vec(r, c, v))
     })
 }
 

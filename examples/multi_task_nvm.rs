@@ -13,8 +13,8 @@
 use edgebert::pipeline::{Scale, TaskArtifacts};
 use edgebert_envm::{CampaignResult, CellTech, FaultInjector, StoredEmbedding};
 use edgebert_hw::memory::{sentence_embedding_bits, BootComparison};
-use edgebert_tensor::Rng;
 use edgebert_tasks::Task;
+use edgebert_tensor::Rng;
 
 fn main() {
     println!("== multi-task eNVM embedding storage ==\n");
@@ -32,7 +32,7 @@ fn main() {
 
     // Fault-injection across cell technologies.
     let mut rng = Rng::seed_from(7);
-    let mut eval_model = artifacts.model.clone();
+    let mut eval_model = edgebert_model::AlbertModel::clone(&artifacts.model);
     println!("\nfault injection (20 trials each, dev accuracy %):");
     for tech in CellTech::all() {
         let injector = FaultInjector::new(tech);

@@ -1,4 +1,5 @@
-//! Quickstart: classify one sentence with latency-aware inference.
+//! Quickstart: classify one sentence with latency-aware inference
+//! through the request/response serving API.
 //!
 //! Reproduces the paper's Fig. 1 narrative: the review snippet
 //! "smart, provocative and blisteringly funny" is tokenized, the model
@@ -10,6 +11,7 @@
 //! cargo run --release --example quickstart
 //! ```
 
+use edgebert::engine::{DropTarget, InferenceMode, InferenceRequest};
 use edgebert::pipeline::{Scale, TaskArtifacts};
 use edgebert_model::HashTokenizer;
 use edgebert_tasks::Task;
@@ -28,10 +30,16 @@ fn main() {
         artifacts.summary.encoder_sparsity * 100.0,
     );
 
-    // An inference engine bound to a 50 ms per-sentence latency target,
-    // on the energy-optimal (n = 16) accelerator with AAS + sparse
-    // execution enabled.
-    let engine = artifacts.engine_at(50e-3, 0, true);
+    // An owned inference engine on the energy-optimal (n = 16)
+    // accelerator with AAS + sparse execution, defaulting to a 50 ms
+    // per-sentence deadline at the 1 %-drop tier. Individual requests
+    // can override both.
+    let engine = artifacts
+        .engine_builder()
+        .workload(artifacts.hardware_workload(true))
+        .latency_target(50e-3)
+        .drop_target(DropTarget::OnePercent)
+        .build();
 
     let tokenizer = HashTokenizer::new(Task::Sst2, artifacts.model.config.max_seq_len);
     for text in [
@@ -39,8 +47,13 @@ fn main() {
         "a dull , lifeless and disappointing mess",
     ] {
         let tokens = tokenizer.encode(text);
-        let result = engine.run_latency_aware(&tokens);
-        let sentiment = if result.prediction == 1 { "positive" } else { "negative" };
+        let response = engine.serve(&InferenceRequest::new(tokens.clone()));
+        let result = &response.result;
+        let sentiment = if result.prediction == 1 {
+            "positive"
+        } else {
+            "negative"
+        };
         println!("\"{text}\"");
         println!(
             "  -> {sentiment} | exit layer {}/{} (predictor forecast {:?})",
@@ -49,20 +62,23 @@ fn main() {
             result.predicted_layer,
         );
         println!(
-            "  -> {:.2} ms at {:.3} V / {:.0} MHz, {:.2} uJ, deadline {}",
+            "  -> {:.2} ms at {:.3} V / {:.0} MHz, {:.2} uJ, deadline ({:.0} ms) {}",
             result.latency_s * 1e3,
             result.voltage,
             result.freq_hz / 1e6,
             result.energy_j * 1e6,
+            response.latency_target_s * 1e3,
             if result.deadline_met { "met" } else { "MISSED" },
         );
-        // Compare against the unbounded baselines.
-        let base = engine.run_base(&tokens);
-        let ee = engine.run_conventional_ee(&tokens);
+        // Compare against the unbounded baselines on the same engine.
+        let base =
+            engine.serve(&InferenceRequest::new(tokens.clone()).with_mode(InferenceMode::Base));
+        let ee =
+            engine.serve(&InferenceRequest::new(tokens).with_mode(InferenceMode::ConventionalEe));
         println!(
             "  -> energy vs Base {:.1}x, vs conventional EE {:.1}x\n",
-            base.energy_j / result.energy_j,
-            ee.energy_j / result.energy_j,
+            base.result.energy_j / result.energy_j,
+            ee.result.energy_j / result.energy_j,
         );
     }
 }

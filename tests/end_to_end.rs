@@ -2,7 +2,7 @@
 //! corpus to latency-aware inference, asserting the paper's qualitative
 //! claims (shape, not absolute numbers).
 
-use edgebert::engine::InferenceMode;
+use edgebert::engine::{DropTarget, InferenceMode};
 use edgebert::pipeline::{Scale, TaskArtifacts};
 use edgebert_tasks::Task;
 use std::sync::OnceLock;
@@ -15,12 +15,20 @@ fn artifacts() -> &'static TaskArtifacts {
 #[test]
 fn training_produces_a_working_optimized_student() {
     let art = artifacts();
-    assert!(art.summary.student_accuracy > 0.55, "{}", art.summary.student_accuracy);
+    assert!(
+        art.summary.student_accuracy > 0.55,
+        "{}",
+        art.summary.student_accuracy
+    );
     assert!((art.summary.encoder_sparsity - 0.5).abs() < 0.06);
     assert!((art.summary.embedding_sparsity - 0.6).abs() < 0.06);
     // Spans have moved off their fully-open initialisation.
     let max_span = art.model.config.max_seq_len as f32;
-    assert!(art.summary.avg_span < max_span, "avg span {}", art.summary.avg_span);
+    assert!(
+        art.summary.avg_span < max_span,
+        "avg span {}",
+        art.summary.avg_span
+    );
 }
 
 #[test]
@@ -28,7 +36,7 @@ fn headline_energy_ordering_holds() {
     // Paper Fig. 9: per-sentence energy Base >= EE >= LAI (loose target
     // so DVFS has headroom), with multi-x gaps between Base and LAI.
     let art = artifacts();
-    let engine = art.engine_at(100e-3, 0, true);
+    let engine = art.engine_at(100e-3, DropTarget::OnePercent, true);
     let base = engine.evaluate(&art.dev, InferenceMode::Base);
     let ee = engine.evaluate(&art.dev, InferenceMode::ConventionalEe);
     let lai = engine.evaluate(&art.dev, InferenceMode::LatencyAware);
@@ -43,7 +51,7 @@ fn headline_energy_ordering_holds() {
 #[test]
 fn latency_aware_accuracy_stays_within_calibrated_drop() {
     let art = artifacts();
-    let engine = art.engine_at(100e-3, 2, false); // 5%-drop calibration
+    let engine = art.engine_at(100e-3, DropTarget::FivePercent, false);
     let full = engine.evaluate(&art.dev, InferenceMode::Base);
     let lai = engine.evaluate(&art.dev, InferenceMode::LatencyAware);
     assert!(
@@ -59,10 +67,10 @@ fn dvfs_tightens_with_the_latency_target() {
     // A looser target must never require a higher voltage.
     let art = artifacts();
     let tight = art
-        .engine_at(20e-3, 0, true)
+        .engine_at(20e-3, DropTarget::OnePercent, true)
         .evaluate(&art.dev, InferenceMode::LatencyAware);
     let loose = art
-        .engine_at(200e-3, 0, true)
+        .engine_at(200e-3, DropTarget::OnePercent, true)
         .evaluate(&art.dev, InferenceMode::LatencyAware);
     assert!(loose.avg_voltage <= tight.avg_voltage + 1e-5);
     assert!(loose.avg_energy_j <= tight.avg_energy_j * 1.001);
@@ -75,7 +83,9 @@ fn predictor_lut_forecasts_are_usable() {
     let layers = art.model.num_layers();
     for i in 0..=20 {
         let h = i as f32 * 0.05;
-        let p = art.lut.predict_exit_layer(h, art.calib_lai[0].entropy_threshold);
+        let p = art
+            .lut
+            .predict_exit_layer(h, art.calib_lai[0].entropy_threshold);
         assert!((1..=layers).contains(&p), "forecast {p} at entropy {h}");
     }
     // Predicted exits are conservative relative to actual on average
@@ -90,7 +100,7 @@ fn quantized_model_matches_fp32_predictions_mostly() {
     // FP8 weights+activations should agree with FP32 on the large
     // majority of dev sentences (paper: "no accuracy degradation").
     let art = artifacts();
-    let mut fp32 = art.model.clone();
+    let mut fp32 = edgebert_model::AlbertModel::clone(&art.model);
     fp32.activation_fp8 = None;
     // Note: weights are already quantized in `art.model`; compare the
     // activation-quantized and activation-fp32 paths.
@@ -110,7 +120,7 @@ fn quantized_model_matches_fp32_predictions_mostly() {
 #[test]
 fn mgpu_gap_is_orders_of_magnitude() {
     let art = artifacts();
-    let engine = art.engine_at(100e-3, 0, true);
+    let engine = art.engine_at(100e-3, DropTarget::OnePercent, true);
     let lai = engine.evaluate(&art.dev, InferenceMode::LatencyAware);
     let (gpu_lat, gpu_energy) = engine.mgpu_cost(12, 1.0);
     assert!(gpu_energy / lai.avg_energy_j > 20.0);

@@ -2,6 +2,7 @@
 //! *shape* of its table/figure: who wins, by roughly what factor, and
 //! where the crossovers fall.
 
+use edgebert::engine::DropTarget;
 use edgebert::experiments::{fig10, fig11, fig7, fig8, fig9, table1, table2, table3, table4};
 use edgebert::pipeline::{Scale, TaskArtifacts};
 use edgebert_tasks::Task;
@@ -70,7 +71,7 @@ fn table2_elevated_error_rates_degrade_accuracy() {
     let art = &artifacts()[0];
     let stored = StoredEmbedding::encode(&art.model.embedding.table.value, 4);
     let mut rng = Rng::seed_from(3);
-    let mut eval_model = art.model.clone();
+    let mut eval_model = edgebert_model::AlbertModel::clone(&art.model);
     let clean = art.model.evaluate_accuracy(&art.dev);
     let hot = FaultInjector::new(CellTech::Mlc3).with_error_rate(0.2);
     let result = CampaignResult::run(&stored, &hot, 8, &mut rng, |img| {
@@ -111,7 +112,7 @@ fn table4_specs_match_paper() {
 fn fig7_waveform_tracks_dvfs() {
     let arts = artifacts();
     let art = &arts[0];
-    let engine = art.engine_at(50e-3, 0, true);
+    let engine = art.engine_at(50e-3, DropTarget::OnePercent, true);
     let f = fig7::run(art, &engine, 3);
     assert_eq!(f.sentences.len(), 3);
     // The waveform touches both nominal (layer 1) and a scaled level.
@@ -158,19 +159,31 @@ fn fig8_shape_n16_optimal_and_mgpu_crossover() {
         .map(|p| p.energy_j)
         .expect("point exists");
     let ratio = f.mgpu_base[0].2 / acc_energy;
-    assert!((20.0..200.0).contains(&ratio), "mGPU/accelerator energy {ratio}");
+    assert!(
+        (20.0..200.0).contains(&ratio),
+        "mGPU/accelerator energy {ratio}"
+    );
 }
 
 #[test]
 fn fig9_lai_saves_energy_within_deadline() {
     let f = fig9::run(artifacts());
-    for (task, _, _) in
-        f.bars.iter().map(|b| (b.task.clone(), 0, 0)).collect::<std::collections::BTreeSet<_>>()
+    for (task, _, _) in f
+        .bars
+        .iter()
+        .map(|b| (b.task.clone(), 0, 0))
+        .collect::<std::collections::BTreeSet<_>>()
     {
         let vs_base = fig9::savings_vs(&f, &task, "base");
-        assert!(vs_base > 1.3, "{task}: LAI saves only {vs_base:.2}x vs Base");
+        assert!(
+            vs_base > 1.3,
+            "{task}: LAI saves only {vs_base:.2}x vs Base"
+        );
         let vs_ee = fig9::savings_vs(&f, &task, "ee");
-        assert!(vs_ee >= 1.0, "{task}: LAI must not cost more than EE ({vs_ee:.2}x)");
+        assert!(
+            vs_ee >= 1.0,
+            "{task}: LAI must not cost more than EE ({vs_ee:.2}x)"
+        );
     }
     // No deadline misses anywhere in the sweep.
     for b in &f.bars {
@@ -181,7 +194,11 @@ fn fig9_lai_saves_energy_within_deadline() {
 #[test]
 fn fig10_and_fig11_shapes() {
     let f10 = fig10::run();
-    let mac = f10.breakdown.iter().find(|r| r.name == "MACs").expect("MAC row");
+    let mac = f10
+        .breakdown
+        .iter()
+        .find(|r| r.name == "MACs")
+        .expect("MAC row");
     assert!(mac.latency_frac > 0.85);
     assert!(mac.energy_frac > 0.93);
     assert!((f10.total_area_mm2 - 1.39).abs() < 0.01);
