@@ -8,6 +8,8 @@
 //! [`bench_artifacts`]/[`bench_artifact_suite`] so Criterion measures the
 //! experiment computation, not model training.
 
+pub mod load;
+
 use edgebert::pipeline::{Scale, TaskArtifacts};
 use edgebert_tasks::Task;
 use std::sync::OnceLock;

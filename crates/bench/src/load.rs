@@ -1,0 +1,240 @@
+//! Mixed-deadline load generation and tail-latency reporting for the
+//! scheduler benchmarks.
+//!
+//! The generator produces the traffic shape the EDF scheduler exists
+//! for: requests across the served tasks arriving as a Poisson-like
+//! process, each drawn from a weighted set of [`TrafficClass`]es (a
+//! tight voice-assistant budget mixed with relaxed translation
+//! traffic). [`TailReport`] folds a drained schedule into the numbers
+//! that matter under load — p50/p95/p99 sojourn latency and the
+//! deadline-violation rate — per class, so an EDF-vs-FIFO comparison
+//! shows exactly who head-of-line blocking was hurting.
+
+use edgebert::scheduler::{DeadlineScheduler, ScheduledResponse, SchedulerConfig};
+use edgebert::{InferenceRequest, MultiTaskRuntime};
+use edgebert_tasks::{Task, TaskGenerator};
+use edgebert_tensor::stats::percentile;
+use edgebert_tensor::Rng;
+
+/// One deadline tier of the generated traffic mix.
+#[derive(Debug, Clone)]
+pub struct TrafficClass {
+    /// Label used in reports (e.g. `"tight"`).
+    pub name: &'static str,
+    /// Per-request latency target, seconds.
+    pub latency_target_s: f64,
+    /// Relative share of the traffic in this class.
+    pub weight: f32,
+}
+
+/// A generated load: the arrival process the scheduler replays.
+#[derive(Debug, Clone)]
+pub struct LoadSpec {
+    /// Number of requests to generate.
+    pub requests: usize,
+    /// Mean exponential inter-arrival gap, seconds.
+    pub mean_interarrival_s: f64,
+    /// The deadline mix.
+    pub classes: Vec<TrafficClass>,
+    /// RNG seed (arrivals, class draws, and sentences are all
+    /// deterministic in it).
+    pub seed: u64,
+}
+
+/// One generated request with its arrival time and traffic class.
+#[derive(Debug, Clone)]
+pub struct LoadRequest {
+    /// Task the request routes to.
+    pub task: Task,
+    /// The request (tokens + latency target of its class).
+    pub request: InferenceRequest,
+    /// Arrival timestamp on the virtual clock, seconds.
+    pub arrival_s: f64,
+    /// Index into [`LoadSpec::classes`].
+    pub class: usize,
+}
+
+/// Mean modeled compute latency over a few sentences of every served
+/// task — the service-time scale to size deadlines and arrival rates
+/// against.
+///
+/// Probed at a zero latency target: the DVFS controller then runs at
+/// nominal V/F (maximum performance), so this is the *floor* service
+/// time. Relaxed-deadline requests may legitimately take longer —
+/// latency-aware inference stretches compute into whatever slack the
+/// sentence carries.
+pub fn estimate_service_s(runtime: &MultiTaskRuntime, seed: u64) -> f64 {
+    let mut total = 0.0;
+    let mut count = 0usize;
+    for task in runtime.tasks() {
+        let rt = runtime.runtime(task).expect("served task");
+        let gen = TaskGenerator::standard(task, rt.model().config.max_seq_len);
+        for ex in gen.generate(4, seed).iter() {
+            let resp = rt.serve(&InferenceRequest::new(ex.tokens.clone()).with_latency_target(0.0));
+            total += resp.result.latency_s;
+            count += 1;
+        }
+    }
+    total / count.max(1) as f64
+}
+
+/// Generates a mixed-task, mixed-deadline arrival process: tasks drawn
+/// round-robin across the runtime's served set, classes drawn by
+/// weight, inter-arrival gaps exponential with the spec's mean.
+pub fn generate(runtime: &MultiTaskRuntime, spec: &LoadSpec) -> Vec<LoadRequest> {
+    let tasks = runtime.tasks();
+    assert!(!tasks.is_empty(), "runtime serves no tasks");
+    assert!(!spec.classes.is_empty(), "load needs at least one class");
+    let mut rng = Rng::seed_from(spec.seed);
+    let weights: Vec<f32> = spec.classes.iter().map(|c| c.weight).collect();
+    let mut pools: Vec<(Task, Vec<Vec<u32>>)> = tasks
+        .iter()
+        .map(|&task| {
+            let rt = runtime.runtime(task).expect("served task");
+            let gen = TaskGenerator::standard(task, rt.model().config.max_seq_len);
+            let toks = gen
+                .generate(
+                    spec.requests.div_ceil(tasks.len()).max(1),
+                    spec.seed ^ task as u64,
+                )
+                .examples()
+                .iter()
+                .map(|ex| ex.tokens.clone())
+                .collect();
+            (task, toks)
+        })
+        .collect();
+    let mut load = Vec::with_capacity(spec.requests);
+    let mut clock = 0.0f64;
+    for i in 0..spec.requests {
+        // Exponential inter-arrival: -mean * ln(1 - U), U ∈ [0, 1).
+        let u = rng.uniform().min(0.999_999) as f64;
+        clock += -spec.mean_interarrival_s * (1.0 - u).ln();
+        let class = rng.weighted_index(&weights);
+        let (task, pool) = &mut pools[i % tasks.len()];
+        let tokens = pool[i / tasks.len() % pool.len()].clone();
+        load.push(LoadRequest {
+            task: *task,
+            request: InferenceRequest::new(tokens)
+                .with_latency_target(spec.classes[class].latency_target_s),
+            arrival_s: clock,
+            class,
+        });
+    }
+    load
+}
+
+/// Drains one generated load through a scheduler at `cfg`, returning
+/// responses in submission order. Every generated task is served by
+/// construction, so the options are unwrapped here.
+pub fn drain_load(
+    runtime: &MultiTaskRuntime,
+    load: &[LoadRequest],
+    cfg: SchedulerConfig,
+) -> Vec<ScheduledResponse> {
+    let mut scheduler = DeadlineScheduler::new(runtime, cfg);
+    for r in load {
+        scheduler.submit(r.task, r.request.clone(), r.arrival_s);
+    }
+    scheduler
+        .drain()
+        .into_iter()
+        .map(|r| r.expect("generated load only targets served tasks"))
+        .collect()
+}
+
+/// Tail-latency summary of a set of scheduled responses.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TailReport {
+    /// Number of responses folded in.
+    pub count: usize,
+    /// Mean sojourn (queue + compute), milliseconds.
+    pub mean_ms: f64,
+    /// Median sojourn, milliseconds.
+    pub p50_ms: f64,
+    /// 95th-percentile sojourn, milliseconds.
+    pub p95_ms: f64,
+    /// 99th-percentile sojourn, milliseconds.
+    pub p99_ms: f64,
+    /// Fraction of responses whose sojourn missed the deadline.
+    pub violation_rate: f64,
+}
+
+impl TailReport {
+    /// Folds responses into the report. Empty input yields zeros.
+    pub fn from_scheduled<'a>(responses: impl IntoIterator<Item = &'a ScheduledResponse>) -> Self {
+        let mut sojourns_ms: Vec<f32> = Vec::new();
+        let mut violations = 0usize;
+        for r in responses {
+            sojourns_ms.push((r.sojourn_s * 1e3) as f32);
+            if !r.deadline_met {
+                violations += 1;
+            }
+        }
+        if sojourns_ms.is_empty() {
+            return Self {
+                count: 0,
+                mean_ms: 0.0,
+                p50_ms: 0.0,
+                p95_ms: 0.0,
+                p99_ms: 0.0,
+                violation_rate: 0.0,
+            };
+        }
+        let count = sojourns_ms.len();
+        Self {
+            count,
+            mean_ms: sojourns_ms.iter().map(|&x| x as f64).sum::<f64>() / count as f64,
+            p50_ms: percentile(&sojourns_ms, 50.0) as f64,
+            p95_ms: percentile(&sojourns_ms, 95.0) as f64,
+            p99_ms: percentile(&sojourns_ms, 99.0) as f64,
+            violation_rate: violations as f64 / count as f64,
+        }
+    }
+}
+
+/// Per-class tail reports for one drained load, in class order, plus
+/// the overall report as a final row.
+pub fn class_reports(
+    load: &[LoadRequest],
+    responses: &[ScheduledResponse],
+    classes: &[TrafficClass],
+) -> Vec<(String, TailReport)> {
+    assert_eq!(load.len(), responses.len(), "one response per request");
+    let mut rows = Vec::with_capacity(classes.len() + 1);
+    for (c, class) in classes.iter().enumerate() {
+        let members = load
+            .iter()
+            .zip(responses)
+            .filter(|(l, _)| l.class == c)
+            .map(|(_, r)| r);
+        rows.push((class.name.to_string(), TailReport::from_scheduled(members)));
+    }
+    rows.push(("all".to_string(), TailReport::from_scheduled(responses)));
+    rows
+}
+
+/// Renders an EDF-vs-FIFO comparison table over per-class reports.
+pub fn render_comparison(fifo: &[(String, TailReport)], edf: &[(String, TailReport)]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<8} {:<6} {:>5} {:>9} {:>9} {:>9} {:>9} {:>10}\n",
+        "class", "policy", "n", "mean", "p50", "p95", "p99", "violations"
+    ));
+    for ((name, f), (_, e)) in fifo.iter().zip(edf) {
+        for (policy, r) in [("FIFO", f), ("EDF", e)] {
+            out.push_str(&format!(
+                "{:<8} {:<6} {:>5} {:>7.2}ms {:>7.2}ms {:>7.2}ms {:>7.2}ms {:>9.1}%\n",
+                name,
+                policy,
+                r.count,
+                r.mean_ms,
+                r.p50_ms,
+                r.p95_ms,
+                r.p99_ms,
+                r.violation_rate * 100.0,
+            ));
+        }
+    }
+    out
+}

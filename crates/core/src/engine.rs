@@ -36,6 +36,25 @@ use edgebert_tensor::stats::argmax;
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 
+/// Relative tolerance applied when judging a latency against its
+/// deadline (see [`deadline_met`]).
+pub const DEADLINE_REL_TOLERANCE: f64 = 1e-4;
+
+/// The single deadline-met rule: `latency ≤ target · (1 + 1e-4)`.
+///
+/// The DVFS controller solves `Freq_opt = N_cycles / (T − T_elapsed)`
+/// exactly, so a feasible sentence's modeled finish time lands *on* the
+/// target up to f32 V/F-grid rounding; a strict `latency ≤ target`
+/// would misclassify those exactly-on-time sentences as violations.
+/// The 1e-4 relative tolerance absorbs that grid rounding and nothing
+/// more — a real overrun is orders of magnitude larger. Every
+/// deadline judgment in the engine, the serving runtimes, and the
+/// scheduler goes through this helper so violation rates are computed
+/// under one rule regardless of code path.
+pub fn deadline_met(latency_s: f64, target_s: f64) -> bool {
+    latency_s <= target_s * (1.0 + DEADLINE_REL_TOLERANCE)
+}
+
 /// Which inference scheme to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum InferenceMode {
@@ -336,6 +355,12 @@ impl EngineBuilder {
         self
     }
 
+    /// The hardware workload currently wired into the builder — the
+    /// shapes any engine built from it will cost against.
+    pub fn workload_params(&self) -> &WorkloadParams {
+        &self.workload
+    }
+
     /// Sets the eNVM cell technology and capacity backing the embedding
     /// buffer.
     pub fn envm_cell(mut self, tech: CellTech, capacity_mb: f64) -> Self {
@@ -500,9 +525,9 @@ impl EdgeBertEngine {
         // The engine-level Base/EE paths are the paper's *unbounded*
         // baselines and always report `deadline_met = true`; a response
         // echoes the request's target, so it judges every mode against
-        // it honestly.
+        // it honestly — under the same rule as the LAI paths.
         if request.mode != InferenceMode::LatencyAware {
-            result.deadline_met = result.latency_s <= target_s;
+            result.deadline_met = deadline_met(result.latency_s, target_s);
         }
         InferenceResponse {
             result,
@@ -623,7 +648,7 @@ impl EdgeBertEngine {
                 energy_j: energy,
                 voltage: cfg.vdd_nominal,
                 freq_hz: cfg.freq_max_hz,
-                deadline_met: latency <= latency_target_s,
+                deadline_met: deadline_met(latency, latency_target_s),
             };
         }
 
@@ -635,9 +660,7 @@ impl EdgeBertEngine {
         // accounting then charges the actual transition.
         let predicted = self.lut.predict_exit_layer(h1, et).clamp(2, num_layers);
         let remaining_cycles = self.layer_cycles * (predicted as u64 - 1);
-        let worst_transition_s =
-            ldo.transition_time_ns(cfg.vdd_nominal, cfg.vdd_min) * 1e-9 + pll.relock_ns() * 1e-9;
-        let remaining_budget = latency_target_s - latency - worst_transition_s;
+        let remaining_budget = latency_target_s - latency - self.dvfs.floor_transition_s();
         let decision = self.dvfs.decide(remaining_cycles, remaining_budget);
         let transition_s = ldo.transition_time_ns(cfg.vdd_nominal, decision.voltage) * 1e-9
             + if decision.freq_hz == cfg.freq_max_hz {
@@ -670,7 +693,7 @@ impl EdgeBertEngine {
             energy_j: energy,
             voltage: decision.voltage,
             freq_hz: decision.freq_hz,
-            deadline_met: decision.feasible && latency <= latency_target_s * 1.0001,
+            deadline_met: decision.feasible && deadline_met(latency, latency_target_s),
         }
     }
 
@@ -747,12 +770,20 @@ pub fn task_hardware_workload(task: edgebert_tasks::Task, optimized: bool) -> Wo
 }
 
 /// Worker-thread count for a work list: one slot per item, capped at
-/// the machine's parallelism.
+/// the machine's parallelism. The `EDGEBERT_THREADS` environment
+/// variable overrides the machine parallelism (CI forces `1` to check
+/// the chunked/scheduled paths against sequential aggregates).
 pub(crate) fn default_threads(items: usize) -> usize {
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
-        .min(items.max(1))
+    let parallelism = std::env::var("EDGEBERT_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        });
+    parallelism.min(items.max(1))
 }
 
 /// Maps `f` over `items` across `threads` scoped workers, each filling a
@@ -829,6 +860,74 @@ mod tests {
             .uniform_thresholds(EntropyThresholds::uniform(et))
             .latency_target(target_s)
             .build()
+    }
+
+    #[test]
+    fn deadline_tolerance_is_pinned() {
+        // The one deadline rule: latency ≤ target · (1 + 1e-4). Half the
+        // tolerance passes, double it fails — pinning the semantics so a
+        // drive-by edit can't silently reshape every violation rate.
+        assert_eq!(DEADLINE_REL_TOLERANCE, 1e-4);
+        for target in [1e-6, 50e-3, 2.0] {
+            assert!(deadline_met(target, target));
+            assert!(deadline_met(target * (1.0 + 0.5e-4), target));
+            assert!(!deadline_met(target * (1.0 + 2.0e-4), target));
+        }
+        assert!(deadline_met(0.0, 0.0));
+        assert!(!deadline_met(1e-9, 0.0));
+    }
+
+    #[test]
+    fn all_paths_judge_deadlines_identically() {
+        // Regression: the layer-1 exit path used strict `<=`, the DVFS
+        // path used `target * 1.0001`, and `serve()` re-judged Base/EE
+        // strictly. All three must now agree with `deadline_met`.
+        let f = fixture();
+        let tokens = f.data.examples()[0].tokens.clone();
+
+        // Layer-1 exit path (huge threshold exits immediately).
+        let eng = engine(&f, 50e-3, 100.0);
+        let r = eng.run_latency_aware(&tokens);
+        assert_eq!(r.exit_layer, 1);
+        let on_time = eng.run_latency_aware_at(&tokens, r.latency_s, DropTarget::OnePercent);
+        assert!(on_time.deadline_met, "exactly-on-time layer-1 exit is met");
+        let edge = r.latency_s / (1.0 + 0.5e-4);
+        assert_eq!(
+            eng.run_latency_aware_at(&tokens, edge, DropTarget::OnePercent)
+                .deadline_met,
+            deadline_met(r.latency_s, edge),
+        );
+
+        // DVFS path (et = 0 never exits early).
+        let eng = engine(&f, 50e-3, 0.0);
+        let r = eng.run_latency_aware(&tokens);
+        assert!(r.exit_layer > 1);
+        assert_eq!(r.deadline_met, deadline_met(r.latency_s, 50e-3));
+
+        // serve() re-judging the unbounded Base baseline.
+        let base = eng.run_base(&tokens);
+        for target in [base.latency_s, base.latency_s / (1.0 + 2.0e-4)] {
+            let resp = eng.serve(
+                &InferenceRequest::new(tokens.clone())
+                    .with_mode(InferenceMode::Base)
+                    .with_latency_target(target),
+            );
+            assert_eq!(
+                resp.result.deadline_met,
+                deadline_met(base.latency_s, target)
+            );
+        }
+    }
+
+    #[test]
+    fn builder_reports_wired_workload() {
+        let f = fixture();
+        let mut custom = WorkloadParams::albert_base();
+        custom.seq_len = 64;
+        custom.weight_density = 0.25;
+        let b =
+            EngineBuilder::new(Arc::clone(&f.model), Arc::clone(&f.lut)).workload(custom.clone());
+        assert_eq!(b.workload_params(), &custom);
     }
 
     #[test]

@@ -51,9 +51,17 @@ impl TaskRuntime {
         let builder = artifacts
             .engine_builder()
             .workload(artifacts.hardware_workload(true));
+        Self::from_builder(artifacts.task, builder)
+    }
+
+    /// Builds a runtime for `task` directly from a preloaded builder —
+    /// the path for serving at a custom design point (accelerator,
+    /// workload, eNVM cell, request defaults) without re-deriving
+    /// artifacts.
+    pub fn from_builder(task: Task, builder: EngineBuilder) -> Self {
         let engine = builder.clone().build();
         Self {
-            task: artifacts.task,
+            task,
             builder,
             engine,
         }
@@ -82,10 +90,13 @@ impl TaskRuntime {
         self.builder.clone()
     }
 
-    /// The task's hardware workload, optionally with its published
-    /// optimizations (Table 1 spans, Table 3 sparsity) applied.
-    pub fn hardware_workload(&self, optimized: bool) -> WorkloadParams {
-        crate::engine::task_hardware_workload(self.task, optimized)
+    /// The hardware workload actually wired into this runtime's builder
+    /// — the shapes its engines cost against. A runtime assembled at a
+    /// custom design point reports that point, not the task defaults;
+    /// for the published defaults use
+    /// [`task_hardware_workload`](crate::engine::task_hardware_workload).
+    pub fn hardware_workload(&self) -> &WorkloadParams {
+        self.builder.workload_params()
     }
 
     /// Serves one request on the default engine.
@@ -171,16 +182,32 @@ impl MultiTaskRuntime {
         self.runtime(task).map(|rt| rt.serve(request))
     }
 
-    /// Serves a mixed-task batch across worker threads, preserving
-    /// order. Entries whose task is not served come back as `None`.
+    /// Serves a mixed-task batch, preserving order. Entries whose task
+    /// is not served come back as `None`.
+    ///
+    /// This is a thin wrapper over
+    /// [`DeadlineScheduler`](crate::scheduler::DeadlineScheduler): all
+    /// requests arrive at once (time 0) and drain through one batched
+    /// engine pass per task, fanned across worker threads. Per-request
+    /// responses are bit-identical to [`serve`](Self::serve); for
+    /// staggered arrivals, queueing-delay accounting, and EDF-vs-FIFO
+    /// policy control, drive the scheduler directly.
     pub fn serve_batch(
         &self,
         requests: &[(Task, InferenceRequest)],
     ) -> Vec<Option<InferenceResponse>> {
-        let threads = crate::engine::default_threads(requests.len());
-        crate::engine::run_chunked(requests, threads, |(task, request)| {
-            self.serve(*task, request)
-        })
+        let mut scheduler = crate::scheduler::DeadlineScheduler::new(
+            self,
+            crate::scheduler::SchedulerConfig::default(),
+        );
+        for (task, request) in requests {
+            scheduler.submit(*task, request.clone(), 0.0);
+        }
+        scheduler
+            .drain()
+            .into_iter()
+            .map(|scheduled| scheduled.map(|s| s.response))
+            .collect()
     }
 }
 
@@ -246,6 +273,31 @@ mod tests {
         assert!(out[2].is_some());
         // Routing in a batch matches routing one by one.
         assert_eq!(out[0], mt.serve(Task::Sst2, &batch[0].1));
+    }
+
+    #[test]
+    fn hardware_workload_reports_the_wired_workload() {
+        // Regression: `hardware_workload` used to recompute the task
+        // defaults, so a runtime built at a custom design point
+        // misreported the shapes its engines actually cost against.
+        let art = artifacts(Task::Sst2, 0x5E45);
+        let rt = TaskRuntime::from_artifacts(&art);
+        assert_eq!(rt.hardware_workload(), &art.hardware_workload(true));
+
+        let mut custom = art.hardware_workload(false);
+        custom.seq_len = 32;
+        custom.weight_density = 0.125;
+        let custom_rt =
+            TaskRuntime::from_builder(Task::Sst2, rt.builder().workload(custom.clone()));
+        assert_eq!(custom_rt.hardware_workload(), &custom);
+        // And the reported workload is the one the engine was built on:
+        // a sparser workload costs strictly less per layer.
+        assert!(
+            custom_rt.engine().layer_cycles() < rt.engine().layer_cycles(),
+            "custom {} vs default {}",
+            custom_rt.engine().layer_cycles(),
+            rt.engine().layer_cycles(),
+        );
     }
 
     #[test]

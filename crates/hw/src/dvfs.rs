@@ -12,7 +12,9 @@
 //! If even the peak frequency cannot meet the target the controller runs
 //! at nominal V/F and flags the violation.
 
+use crate::adpll::Adpll;
 use crate::config::AcceleratorConfig;
+use crate::ldo::Ldo;
 use crate::vf::VfTable;
 use serde::{Deserialize, Serialize};
 
@@ -58,6 +60,18 @@ impl DvfsController {
         &self.vf
     }
 
+    /// Time to move the rail and clock from nominal V/F to the floor
+    /// (`vdd_min`): LDO slew plus ADPLL relock, in seconds. This is the
+    /// worst-case transition an engine must reserve out of its budget
+    /// before asking for a decision, and the window [`decide`]
+    /// (Self::decide) holds nominal inside when no work remains.
+    pub fn floor_transition_s(&self) -> f64 {
+        let ldo = Ldo::new(self.cfg.vdd_nominal);
+        let pll = Adpll::new(self.cfg.freq_max_hz);
+        ldo.transition_time_ns(self.cfg.vdd_nominal, self.cfg.vdd_min) * 1e-9
+            + pll.relock_ns() * 1e-9
+    }
+
     /// Decides the V/F point for `remaining_cycles` of work within
     /// `remaining_seconds`. A non-positive budget forces nominal V/F with
     /// `feasible = false`.
@@ -71,10 +85,23 @@ impl DvfsController {
             return nominal;
         }
         if remaining_cycles == 0 {
-            return DvfsDecision {
-                voltage: self.cfg.vdd_min,
-                freq_hz: self.vf.freq_at_voltage(self.cfg.vdd_min),
-                feasible: true,
+            // No work remains, so the deadline is met wherever the rail
+            // sits — but resting at the floor is only reachable if the
+            // remaining budget covers the nominal → vdd_min transition
+            // (LDO slew + ADPLL relock). Inside that window the
+            // controller holds nominal V/F rather than starting a
+            // transition it cannot finish.
+            return if remaining_seconds > self.floor_transition_s() {
+                DvfsDecision {
+                    voltage: self.cfg.vdd_min,
+                    freq_hz: self.vf.freq_at_voltage(self.cfg.vdd_min),
+                    feasible: true,
+                }
+            } else {
+                DvfsDecision {
+                    feasible: true,
+                    ..nominal
+                }
             };
         }
         let freq_req = remaining_cycles as f64 / remaining_seconds;
@@ -173,6 +200,30 @@ mod tests {
         let d = ctl.decide(0, 10e-3);
         assert!(d.feasible);
         assert_eq!(d.voltage, 0.50);
+    }
+
+    #[test]
+    fn zero_work_inside_transition_window_holds_nominal() {
+        // Regression: zero remaining cycles used to return the floor
+        // voltage as feasible even when the remaining budget could not
+        // cover the nominal → vdd_min LDO slew + ADPLL relock. The
+        // deadline is still met (there is no work), but the rail must
+        // not start a transition it cannot finish.
+        let ctl = controller();
+        let cfg = AcceleratorConfig::energy_optimal();
+        let transition_s = ctl.floor_transition_s();
+        assert!(transition_s > 0.0);
+
+        // Budget inside the transition window: hold nominal, feasible.
+        let d = ctl.decide(0, transition_s * 0.5);
+        assert!(d.feasible);
+        assert_eq!(d.voltage, cfg.vdd_nominal);
+        assert_eq!(d.freq_hz, cfg.freq_max_hz);
+
+        // Budget past the window: rest at the floor as before.
+        let d = ctl.decide(0, transition_s * 2.0);
+        assert!(d.feasible);
+        assert_eq!(d.voltage, cfg.vdd_min);
     }
 
     #[test]

@@ -1,0 +1,226 @@
+//! Integration tests for the EDF slack-aware batch scheduler: queue
+//! ordering, output-order preservation, bit-identity with unscheduled
+//! serving, the `serve_batch` wrapper, the load generator, and the
+//! tail-latency report.
+
+use edgebert::engine::{deadline_met, InferenceRequest, InferenceResponse};
+use edgebert::pipeline::{Scale, TaskArtifacts};
+use edgebert::scheduler::{DeadlineScheduler, SchedulePolicy, SchedulerConfig};
+use edgebert::serving::{MultiTaskRuntime, TaskRuntime};
+use edgebert_bench::load::{
+    class_reports, drain_load, estimate_service_s, generate, LoadSpec, TailReport, TrafficClass,
+};
+use edgebert_tasks::{Task, TaskGenerator};
+use std::sync::OnceLock;
+
+fn runtime() -> &'static MultiTaskRuntime {
+    static CELL: OnceLock<MultiTaskRuntime> = OnceLock::new();
+    CELL.get_or_init(|| {
+        MultiTaskRuntime::from_runtimes([
+            TaskRuntime::from_artifacts(&TaskArtifacts::build(Task::Sst2, Scale::Test, 0x5CED)),
+            TaskRuntime::from_artifacts(&TaskArtifacts::build(Task::Qnli, Scale::Test, 0x5CEE)),
+        ])
+    })
+}
+
+fn tokens_for(task: Task, n: usize, seed: u64) -> Vec<Vec<u32>> {
+    let rt = runtime().runtime(task).expect("served");
+    let gen = TaskGenerator::standard(task, rt.model().config.max_seq_len);
+    gen.generate(n, seed)
+        .examples()
+        .iter()
+        .map(|ex| ex.tokens.clone())
+        .collect()
+}
+
+fn cfg(policy: SchedulePolicy) -> SchedulerConfig {
+    SchedulerConfig {
+        workers: 1,
+        max_batch: 4,
+        policy,
+        task_switch_s: 0.0,
+    }
+}
+
+#[test]
+fn edf_orders_mixed_deadlines_fifo_orders_arrivals() {
+    let rt = runtime();
+    let toks = tokens_for(Task::Sst2, 5, 21);
+    // Submission order carries *descending* targets: the EDF dispatch
+    // order must be the exact reverse of the FIFO one.
+    let submit_all = |sched: &mut DeadlineScheduler| {
+        for (i, tok) in toks.iter().enumerate() {
+            sched.submit(
+                Task::Sst2,
+                InferenceRequest::new(tok.clone()).with_latency_target(0.5 - 0.1 * i as f64),
+                0.0,
+            );
+        }
+    };
+    let starts = |policy| {
+        let mut sched = DeadlineScheduler::new(rt, cfg(policy));
+        submit_all(&mut sched);
+        sched
+            .drain()
+            .into_iter()
+            .map(|r| r.expect("served").start_s)
+            .collect::<Vec<f64>>()
+    };
+    let fifo = starts(SchedulePolicy::Fifo);
+    let edf = starts(SchedulePolicy::EarliestDeadline);
+    for i in 0..toks.len() - 1 {
+        assert!(fifo[i] < fifo[i + 1], "FIFO dispatches in arrival order");
+        assert!(edf[i] > edf[i + 1], "EDF dispatches tightest-first");
+    }
+}
+
+#[test]
+fn drain_preserves_submission_order_and_serve_bit_identity() {
+    let rt = runtime();
+    let sst = tokens_for(Task::Sst2, 4, 22);
+    let qnli = tokens_for(Task::Qnli, 4, 23);
+    let mut sched = DeadlineScheduler::new(rt, cfg(SchedulePolicy::EarliestDeadline));
+    let mut expected: Vec<InferenceResponse> = Vec::new();
+    for (i, tok) in sst.iter().chain(&qnli).enumerate() {
+        let task = if i < sst.len() {
+            Task::Sst2
+        } else {
+            Task::Qnli
+        };
+        let req = InferenceRequest::new(tok.clone()).with_latency_target(20e-3 + 9e-3 * i as f64);
+        let idx = sched.submit(task, req.clone(), 0.7e-3 * i as f64);
+        assert_eq!(idx, i, "submission index is the output slot");
+        expected.push(rt.serve(task, &req).expect("served task"));
+    }
+    let out = sched.drain();
+    assert_eq!(out.len(), expected.len());
+    for (i, (got, want)) in out.iter().zip(&expected).enumerate() {
+        let got = got.as_ref().expect("served");
+        assert_eq!(
+            &got.response, want,
+            "slot {i}: scheduling must not change what a sentence computes"
+        );
+        assert_eq!(
+            got.deadline_met,
+            deadline_met(got.sojourn_s, got.response.latency_target_s),
+            "sojourn verdict uses the unified deadline rule"
+        );
+    }
+}
+
+#[test]
+fn serve_batch_is_a_scheduler_wrapper_with_old_semantics() {
+    let rt = runtime();
+    let toks = tokens_for(Task::Sst2, 3, 24);
+    let batch: Vec<(Task, InferenceRequest)> = vec![
+        (Task::Sst2, InferenceRequest::new(toks[0].clone())),
+        (Task::Mnli, InferenceRequest::new(vec![1, 2, 3])), // unserved
+        (
+            Task::Qnli,
+            InferenceRequest::new(tokens_for(Task::Qnli, 1, 25)[0].clone())
+                .with_latency_target(120e-3),
+        ),
+        (Task::Sst2, InferenceRequest::new(toks[1].clone())),
+    ];
+    let out = rt.serve_batch(&batch);
+    assert_eq!(out.len(), batch.len());
+    assert!(out[1].is_none(), "unserved task comes back None");
+    for (i, (task, req)) in batch.iter().enumerate() {
+        assert_eq!(out[i], rt.serve(*task, req), "slot {i}");
+    }
+    // Empty batch edge.
+    assert!(rt.serve_batch(&[]).is_empty());
+}
+
+#[test]
+fn load_generator_is_deterministic_and_well_formed() {
+    let rt = runtime();
+    let spec = LoadSpec {
+        requests: 40,
+        mean_interarrival_s: 2e-3,
+        classes: vec![
+            TrafficClass {
+                name: "tight",
+                latency_target_s: 8e-3,
+                weight: 0.5,
+            },
+            TrafficClass {
+                name: "relaxed",
+                latency_target_s: 80e-3,
+                weight: 0.5,
+            },
+        ],
+        seed: 0x10AD,
+    };
+    let a = generate(rt, &spec);
+    let b = generate(rt, &spec);
+    assert_eq!(a.len(), 40);
+    for (x, y) in a.iter().zip(&b) {
+        assert_eq!(x.task, y.task);
+        assert_eq!(x.request, y.request);
+        assert_eq!(x.arrival_s, y.arrival_s);
+        assert_eq!(x.class, y.class);
+    }
+    let mut last = 0.0;
+    for r in &a {
+        assert!(r.arrival_s >= last, "arrivals are nondecreasing");
+        last = r.arrival_s;
+        assert!(r.class < spec.classes.len());
+        assert_eq!(
+            r.request.latency_target_s,
+            Some(spec.classes[r.class].latency_target_s)
+        );
+        assert!(
+            rt.runtime(r.task).is_some(),
+            "load only targets served tasks"
+        );
+    }
+}
+
+#[test]
+fn tail_report_percentiles_are_ordered_and_edf_protects_tight_traffic() {
+    let rt = runtime();
+    let service_s = estimate_service_s(rt, 0x5CED);
+    let spec = LoadSpec {
+        requests: 80,
+        mean_interarrival_s: service_s * 1.15,
+        classes: vec![
+            TrafficClass {
+                name: "tight",
+                latency_target_s: service_s * 3.0,
+                weight: 0.35,
+            },
+            TrafficClass {
+                name: "relaxed",
+                latency_target_s: service_s * 25.0,
+                weight: 0.65,
+            },
+        ],
+        seed: 0x5CED,
+    };
+    let load = generate(rt, &spec);
+    let fifo = drain_load(rt, &load, cfg(SchedulePolicy::Fifo));
+    let edf = drain_load(rt, &load, cfg(SchedulePolicy::EarliestDeadline));
+    for (a, b) in fifo.iter().zip(&edf) {
+        assert_eq!(a.response, b.response, "policy changes timing, not results");
+    }
+    let fifo_rows = class_reports(&load, &fifo, &spec.classes);
+    let edf_rows = class_reports(&load, &edf, &spec.classes);
+    for (name, r) in fifo_rows.iter().chain(&edf_rows) {
+        assert!(
+            r.p50_ms <= r.p95_ms && r.p95_ms <= r.p99_ms,
+            "{name}: {r:?}"
+        );
+        assert!((0.0..=1.0).contains(&r.violation_rate), "{name}");
+    }
+    // The acceptance bar: EDF must not worsen the tight class's tail
+    // or violation rate under mixed near-capacity traffic.
+    let (tight_fifo, tight_edf) = (&fifo_rows[0].1, &edf_rows[0].1);
+    assert!(tight_edf.p99_ms <= tight_fifo.p99_ms);
+    assert!(tight_edf.violation_rate <= tight_fifo.violation_rate);
+
+    // Empty report edge.
+    let empty = TailReport::from_scheduled(&fifo[0..0]);
+    assert_eq!(empty.count, 0);
+    assert_eq!(empty.violation_rate, 0.0);
+}
