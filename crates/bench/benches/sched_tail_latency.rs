@@ -36,16 +36,19 @@ fn bench(c: &mut Criterion) {
         // Near-capacity lane: bursts form queues and the scheduling
         // policy decides who eats the delay.
         mean_interarrival_s: service_s * 1.15,
+        paced: false,
         classes: vec![
             TrafficClass {
                 name: "tight",
                 latency_target_s: service_s * 3.0,
                 weight: 0.35,
+                task: None,
             },
             TrafficClass {
                 name: "relaxed",
                 latency_target_s: service_s * 25.0,
                 weight: 0.65,
+                task: None,
             },
         ],
         seed: 0x10AD,
@@ -56,6 +59,7 @@ fn bench(c: &mut Criterion) {
         max_batch: 8,
         policy,
         task_switch_s: 0.0,
+        queue_aware_slack: false,
     };
     let fifo = drain_load(&runtime, &load, cfg(SchedulePolicy::Fifo));
     let edf = drain_load(&runtime, &load, cfg(SchedulePolicy::EarliestDeadline));

@@ -1,0 +1,142 @@
+//! Wall-clock server bench: queue-aware DVFS slack vs the slack-blind
+//! EDF baseline, with the virtual-timeline scheduler as the reference.
+//!
+//! Two frame-paced, task-bound request streams (tight on SST-2,
+//! relaxed on QNLI) drive the real `Server` — worker threads, bounded
+//! EDF lanes, service-time emulation — at ≥80 % per-lane offered
+//! utilization of the floor service rate. The headline: the slack-blind
+//! server stretches every sentence's compute into its full target, so
+//! the backlog compounds and queued sentences miss by construction;
+//! the queue-aware server hands DVFS the remaining slack, the lanes
+//! settle at the arrival cadence, and the tight class's p99 sojourn
+//! and violation rate collapse. The same load through the
+//! `DeadlineScheduler`'s queue-aware virtual drain cross-checks the
+//! wall-clock result against the deterministic model.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use edgebert::engine::EntropyThresholds;
+use edgebert::pipeline::{Scale, TaskArtifacts};
+use edgebert::scheduler::{SchedulePolicy, SchedulerConfig};
+use edgebert::server::ServerConfig;
+use edgebert::serving::{MultiTaskRuntime, TaskRuntime};
+use edgebert_bench::load::{
+    class_reports, drain_load, drain_load_wall_clock, estimate_service_s, generate_paced_streams,
+    offered_utilization, render_comparison_labeled, TrafficClass,
+};
+use edgebert_tasks::Task;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    // Strict thresholds: every sentence engages the DVFS controller,
+    // the regime where the compute budget matters most. Artifacts come
+    // from the disk cache, so repeat runs skip training.
+    let runtime = MultiTaskRuntime::from_runtimes([Task::Sst2, Task::Qnli].map(|task| {
+        let art = TaskArtifacts::cached(task, Scale::Test, 0x5CED + task as u64);
+        TaskRuntime::from_builder(
+            task,
+            art.engine_builder()
+                .uniform_thresholds(EntropyThresholds::uniform(0.0))
+                .workload(art.hardware_workload(true)),
+        )
+    }));
+    let service_s = estimate_service_s(&runtime, 0x10AD);
+    let lane_interarrival_s = service_s * 1.2;
+    let classes = vec![
+        TrafficClass {
+            name: "tight",
+            latency_target_s: service_s * 3.0,
+            weight: 0.5,
+            task: Some(Task::Sst2),
+        },
+        TrafficClass {
+            name: "relaxed",
+            latency_target_s: service_s * 6.0,
+            weight: 0.5,
+            task: Some(Task::Qnli),
+        },
+    ];
+    let load = generate_paced_streams(&runtime, &classes, lane_interarrival_s, 40, 0x10AD);
+    let utilization = offered_utilization(service_s, lane_interarrival_s, 1, 1);
+    println!(
+        "floor service {:.2} ms, per-lane inter-arrival {:.2} ms, \
+         per-lane offered utilization {:.0}%, {} requests\n",
+        service_s * 1e3,
+        lane_interarrival_s * 1e3,
+        utilization * 100.0,
+        load.len(),
+    );
+    assert!(utilization >= 0.8, "bench must run under load");
+
+    let cfg = |queue_aware_slack| ServerConfig {
+        shards_per_task: 1,
+        queue_capacity: load.len(),
+        policy: SchedulePolicy::EarliestDeadline,
+        queue_aware_slack,
+        slack_floor_s: 1e-3,
+        emulate_service_time: true,
+    };
+    let blind = drain_load_wall_clock(&runtime, &load, cfg(false));
+    let aware = drain_load_wall_clock(&runtime, &load, cfg(true));
+    let blind_rows = class_reports(&load, &blind, &classes);
+    let aware_rows = class_reports(&load, &aware, &classes);
+    println!(
+        "{}",
+        render_comparison_labeled("blind", &blind_rows, "aware", &aware_rows)
+    );
+
+    // Acceptance: at ≥80 % utilization, queue-aware slack beats the
+    // slack-blind EDF baseline on the tight class — strictly — for
+    // both p99 sojourn and violation rate.
+    let (tight_blind, tight_aware) = (&blind_rows[0].1, &aware_rows[0].1);
+    assert!(
+        tight_aware.p99_ms < tight_blind.p99_ms,
+        "tight p99 {:.2} ms (aware) vs {:.2} ms (blind)",
+        tight_aware.p99_ms,
+        tight_blind.p99_ms,
+    );
+    assert!(
+        tight_aware.violation_rate < tight_blind.violation_rate,
+        "tight violations {:.1}% (aware) vs {:.1}% (blind)",
+        tight_aware.violation_rate * 100.0,
+        tight_blind.violation_rate * 100.0,
+    );
+
+    // Cross-check against the deterministic virtual timeline: the same
+    // load through the scheduler's queue-aware drain shows the same
+    // direction. (The scheduler's two lanes are task-agnostic where
+    // the server's are task-bound, so the absolute numbers differ;
+    // what must agree is that deducting queueing delay from the DVFS
+    // budget converts blind violations into met deadlines.)
+    let virt = |queue_aware_slack| {
+        let responses = drain_load(
+            &runtime,
+            &load,
+            SchedulerConfig {
+                workers: 2,
+                max_batch: 1,
+                policy: SchedulePolicy::EarliestDeadline,
+                task_switch_s: 0.0,
+                queue_aware_slack,
+            },
+        );
+        class_reports(&load, &responses, &classes)
+    };
+    let virt_blind = virt(false);
+    let virt_aware = virt(true);
+    println!(
+        "virtual-timeline reference:\n{}",
+        render_comparison_labeled("blind", &virt_blind, "aware", &virt_aware)
+    );
+    assert!(virt_aware[0].1.violation_rate < virt_blind[0].1.violation_rate);
+
+    let mut g = c.benchmark_group("server_tail_latency");
+    g.sample_size(10);
+    let short = generate_paced_streams(&runtime, &classes, lane_interarrival_s, 10, 0x10AE);
+    g.bench_function("wall_clock_drain_aware_20req", |b| {
+        b.iter(|| black_box(drain_load_wall_clock(&runtime, &short, cfg(true))))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

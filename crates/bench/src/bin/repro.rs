@@ -65,13 +65,20 @@ fn main() {
     });
 
     let artifacts: Vec<TaskArtifacts> = if needs_artifacts {
-        println!("== building task artifacts (scale {scale:?}) ==");
+        println!(
+            "== building task artifacts (scale {scale:?}; cache: {}) ==",
+            TaskArtifacts::artifact_dir().display()
+        );
         Task::all()
             .iter()
             .enumerate()
             .map(|(i, &task)| {
                 let t0 = Instant::now();
-                let art = TaskArtifacts::build(task, scale, 0xED6E + i as u64);
+                // Disk-cached by (task, scale, seed): repeat runs load in
+                // milliseconds instead of retraining. Point
+                // EDGEBERT_ARTIFACT_DIR elsewhere (or wipe the dir) to
+                // force a rebuild.
+                let art = TaskArtifacts::cached(task, scale, 0xED6E + i as u64);
                 println!(
                     "  {task}: teacher {:.1}% student {:.1}% (enc sparsity {:.0}%, emb sparsity {:.0}%, {} heads off) [{:.1}s]",
                     art.summary.teacher_accuracy * 100.0,

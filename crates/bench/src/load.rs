@@ -11,10 +11,12 @@
 //! shows exactly who head-of-line blocking was hurting.
 
 use edgebert::scheduler::{DeadlineScheduler, ScheduledResponse, SchedulerConfig};
+use edgebert::server::{Server, ServerConfig, ServerResponse};
 use edgebert::{InferenceRequest, MultiTaskRuntime};
 use edgebert_tasks::{Task, TaskGenerator};
 use edgebert_tensor::stats::percentile;
 use edgebert_tensor::Rng;
+use std::time::{Duration, Instant};
 
 /// One deadline tier of the generated traffic mix.
 #[derive(Debug, Clone)]
@@ -25,6 +27,12 @@ pub struct TrafficClass {
     pub latency_target_s: f64,
     /// Relative share of the traffic in this class.
     pub weight: f32,
+    /// Route this class's requests to one task (the deployment shape
+    /// where an application ↔ task ↔ deadline tier, e.g. the voice
+    /// assistant is SST-2 and the translator is QNLI). `None` draws
+    /// tasks round-robin across the runtime's served set, mixing
+    /// classes within each task.
+    pub task: Option<Task>,
 }
 
 /// A generated load: the arrival process the scheduler replays.
@@ -32,8 +40,12 @@ pub struct TrafficClass {
 pub struct LoadSpec {
     /// Number of requests to generate.
     pub requests: usize,
-    /// Mean exponential inter-arrival gap, seconds.
+    /// Mean inter-arrival gap, seconds.
     pub mean_interarrival_s: f64,
+    /// Deterministic gaps exactly at the mean (a frame-paced edge
+    /// pipeline: fixed sensor or audio cadence). `false` draws
+    /// exponential gaps (Poisson arrivals, the bursty open-loop case).
+    pub paced: bool,
     /// The deadline mix.
     pub classes: Vec<TrafficClass>,
     /// RNG seed (arrivals, class draws, and sentences are all
@@ -107,11 +119,24 @@ pub fn generate(runtime: &MultiTaskRuntime, spec: &LoadSpec) -> Vec<LoadRequest>
     let mut load = Vec::with_capacity(spec.requests);
     let mut clock = 0.0f64;
     for i in 0..spec.requests {
-        // Exponential inter-arrival: -mean * ln(1 - U), U ∈ [0, 1).
-        let u = rng.uniform().min(0.999_999) as f64;
-        clock += -spec.mean_interarrival_s * (1.0 - u).ln();
+        // Paced: fixed gaps. Poisson: -mean * ln(1 - U), U ∈ [0, 1).
+        clock += if spec.paced {
+            spec.mean_interarrival_s
+        } else {
+            let u = rng.uniform().min(0.999_999) as f64;
+            -spec.mean_interarrival_s * (1.0 - u).ln()
+        };
         let class = rng.weighted_index(&weights);
-        let (task, pool) = &mut pools[i % tasks.len()];
+        let pool_at = match spec.classes[class].task {
+            // Class-bound traffic routes to its task's pool.
+            Some(task) => tasks
+                .iter()
+                .position(|&t| t == task)
+                .expect("class-bound task must be served by the runtime"),
+            // Unbound traffic draws tasks round-robin.
+            None => i % tasks.len(),
+        };
+        let (task, pool) = &mut pools[pool_at];
         let tokens = pool[i / tasks.len() % pool.len()].clone();
         load.push(LoadRequest {
             task: *task,
@@ -121,6 +146,52 @@ pub fn generate(runtime: &MultiTaskRuntime, spec: &LoadSpec) -> Vec<LoadRequest>
             class,
         });
     }
+    load
+}
+
+/// Generates deterministic per-class paced streams: every class must
+/// be bound to its task ([`TrafficClass::task`]), and class `c`'s
+/// requests arrive every `lane_interarrival_s` seconds with a phase
+/// offset of `c / classes · lane_interarrival_s` staggering the
+/// streams. This is the fixed-cadence counterpart of [`generate`]'s
+/// Poisson mix — the shape of frame-paced edge pipelines, where each
+/// application (sensor, microphone, camera) ticks on its own clock —
+/// and the per-lane offered utilization is exactly
+/// `floor service / lane_interarrival_s`. Class weights are ignored:
+/// each class contributes `requests_per_class` requests.
+pub fn generate_paced_streams(
+    runtime: &MultiTaskRuntime,
+    classes: &[TrafficClass],
+    lane_interarrival_s: f64,
+    requests_per_class: usize,
+    seed: u64,
+) -> Vec<LoadRequest> {
+    assert!(!classes.is_empty(), "load needs at least one class");
+    let mut load: Vec<LoadRequest> = Vec::with_capacity(classes.len() * requests_per_class);
+    for (c, class) in classes.iter().enumerate() {
+        let task = class
+            .task
+            .expect("paced streams require task-bound classes");
+        let rt = runtime.runtime(task).expect("served task");
+        let gen = TaskGenerator::standard(task, rt.model().config.max_seq_len);
+        let toks: Vec<Vec<u32>> = gen
+            .generate(requests_per_class.max(1), seed ^ task as u64)
+            .examples()
+            .iter()
+            .map(|ex| ex.tokens.clone())
+            .collect();
+        let phase = c as f64 / classes.len() as f64;
+        for (i, tokens) in toks.iter().take(requests_per_class).cloned().enumerate() {
+            load.push(LoadRequest {
+                task,
+                request: InferenceRequest::new(tokens).with_latency_target(class.latency_target_s),
+                arrival_s: (phase + i as f64) * lane_interarrival_s,
+                class: c,
+            });
+        }
+    }
+    // Stable by arrival: simultaneous ticks keep class order.
+    load.sort_by(|a, b| a.arrival_s.total_cmp(&b.arrival_s));
     load
 }
 
@@ -143,6 +214,58 @@ pub fn drain_load(
         .collect()
 }
 
+/// Replays one generated load against a wall-clock [`Server`]:
+/// requests are submitted at their real arrival times (the calling
+/// thread sleeps out each inter-arrival gap), then every handle is
+/// awaited in submission order.
+///
+/// This is the serving counterpart of [`drain_load`]: the same traffic
+/// through real worker threads instead of the virtual timeline, with
+/// queueing delays *measured* rather than replayed. Run it with
+/// [`ServerConfig::emulate_service_time`] on so shards hold their lanes
+/// for the modeled compute latency and utilization is physically
+/// meaningful. The lane capacity must cover the spec's backlog — a
+/// rejected submission is a panic here, not silent load shedding.
+pub fn drain_load_wall_clock(
+    runtime: &MultiTaskRuntime,
+    load: &[LoadRequest],
+    cfg: ServerConfig,
+) -> Vec<ServerResponse> {
+    let server = Server::start(runtime, cfg);
+    let epoch = Instant::now();
+    let mut handles = Vec::with_capacity(load.len());
+    for r in load {
+        let due = epoch + Duration::from_secs_f64(r.arrival_s);
+        if let Some(gap) = due.checked_duration_since(Instant::now()) {
+            std::thread::sleep(gap);
+        }
+        handles.push(
+            server
+                .submit(r.task, r.request.clone())
+                .expect("lane capacity must cover the generated load"),
+        );
+    }
+    let responses = handles.into_iter().map(|h| h.wait()).collect();
+    server.shutdown();
+    responses
+}
+
+/// Offered per-lane utilization of a load spec against a floor service
+/// time: `service / (inter-arrival · lanes · shards)`. Tasks are drawn
+/// round-robin, so each of the `lanes` task lanes sees `1/lanes` of the
+/// arrival rate, spread over its `shards` engines. Values are relative
+/// to the *floor* (nominal-V/F) service time — slack-blind DVFS
+/// stretches real service beyond it, which is exactly the failure mode
+/// the queue-aware server exists to contain.
+pub fn offered_utilization(
+    service_floor_s: f64,
+    mean_interarrival_s: f64,
+    lanes: usize,
+    shards_per_lane: usize,
+) -> f64 {
+    service_floor_s / (mean_interarrival_s * lanes.max(1) as f64 * shards_per_lane.max(1) as f64)
+}
+
 /// Tail-latency summary of a set of scheduled responses.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TailReport {
@@ -160,14 +283,45 @@ pub struct TailReport {
     pub violation_rate: f64,
 }
 
+/// Anything with a sojourn time and a deadline verdict folds into a
+/// [`TailReport`] — the virtual-timeline scheduler's responses and the
+/// wall-clock server's alike.
+pub trait SojournSample {
+    /// End-to-end response time (queue + compute), seconds.
+    fn sojourn_s(&self) -> f64;
+    /// Whether the sojourn met the request's latency target.
+    fn deadline_met(&self) -> bool;
+}
+
+impl SojournSample for ScheduledResponse {
+    fn sojourn_s(&self) -> f64 {
+        self.sojourn_s
+    }
+    fn deadline_met(&self) -> bool {
+        self.deadline_met
+    }
+}
+
+impl SojournSample for ServerResponse {
+    fn sojourn_s(&self) -> f64 {
+        self.sojourn_s
+    }
+    fn deadline_met(&self) -> bool {
+        self.deadline_met
+    }
+}
+
 impl TailReport {
-    /// Folds responses into the report. Empty input yields zeros.
-    pub fn from_scheduled<'a>(responses: impl IntoIterator<Item = &'a ScheduledResponse>) -> Self {
+    /// Folds any sojourn samples into the report. Empty input yields
+    /// zeros.
+    pub fn from_samples<'a, S: SojournSample + 'a>(
+        samples: impl IntoIterator<Item = &'a S>,
+    ) -> Self {
         let mut sojourns_ms: Vec<f32> = Vec::new();
         let mut violations = 0usize;
-        for r in responses {
-            sojourns_ms.push((r.sojourn_s * 1e3) as f32);
-            if !r.deadline_met {
+        for r in samples {
+            sojourns_ms.push((r.sojourn_s() * 1e3) as f32);
+            if !r.deadline_met() {
                 violations += 1;
             }
         }
@@ -191,13 +345,21 @@ impl TailReport {
             violation_rate: violations as f64 / count as f64,
         }
     }
+
+    /// Folds scheduled responses into the report (alias of
+    /// [`from_samples`](Self::from_samples), kept for callers written
+    /// against the PR 2 API).
+    pub fn from_scheduled<'a>(responses: impl IntoIterator<Item = &'a ScheduledResponse>) -> Self {
+        Self::from_samples(responses)
+    }
 }
 
 /// Per-class tail reports for one drained load, in class order, plus
-/// the overall report as a final row.
-pub fn class_reports(
+/// the overall report as a final row. Works over scheduled (virtual
+/// timeline) and server (wall clock) responses alike.
+pub fn class_reports<S: SojournSample>(
     load: &[LoadRequest],
-    responses: &[ScheduledResponse],
+    responses: &[S],
     classes: &[TrafficClass],
 ) -> Vec<(String, TailReport)> {
     assert_eq!(load.len(), responses.len(), "one response per request");
@@ -208,25 +370,32 @@ pub fn class_reports(
             .zip(responses)
             .filter(|(l, _)| l.class == c)
             .map(|(_, r)| r);
-        rows.push((class.name.to_string(), TailReport::from_scheduled(members)));
+        rows.push((class.name.to_string(), TailReport::from_samples(members)));
     }
-    rows.push(("all".to_string(), TailReport::from_scheduled(responses)));
+    rows.push(("all".to_string(), TailReport::from_samples(responses)));
     rows
 }
 
-/// Renders an EDF-vs-FIFO comparison table over per-class reports.
-pub fn render_comparison(fifo: &[(String, TailReport)], edf: &[(String, TailReport)]) -> String {
+/// Renders a two-system comparison table over per-class reports, with
+/// caller-chosen system labels (e.g. `"FIFO"`/`"EDF"`, or
+/// `"blind"`/`"aware"` for the server's slack modes).
+pub fn render_comparison_labeled(
+    label_a: &str,
+    rows_a: &[(String, TailReport)],
+    label_b: &str,
+    rows_b: &[(String, TailReport)],
+) -> String {
     let mut out = String::new();
     out.push_str(&format!(
         "{:<8} {:<6} {:>5} {:>9} {:>9} {:>9} {:>9} {:>10}\n",
-        "class", "policy", "n", "mean", "p50", "p95", "p99", "violations"
+        "class", "system", "n", "mean", "p50", "p95", "p99", "violations"
     ));
-    for ((name, f), (_, e)) in fifo.iter().zip(edf) {
-        for (policy, r) in [("FIFO", f), ("EDF", e)] {
+    for ((name, a), (_, b)) in rows_a.iter().zip(rows_b) {
+        for (label, r) in [(label_a, a), (label_b, b)] {
             out.push_str(&format!(
                 "{:<8} {:<6} {:>5} {:>7.2}ms {:>7.2}ms {:>7.2}ms {:>7.2}ms {:>9.1}%\n",
                 name,
-                policy,
+                label,
                 r.count,
                 r.mean_ms,
                 r.p50_ms,
@@ -237,4 +406,9 @@ pub fn render_comparison(fifo: &[(String, TailReport)], edf: &[(String, TailRepo
         }
     }
     out
+}
+
+/// Renders an EDF-vs-FIFO comparison table over per-class reports.
+pub fn render_comparison(fifo: &[(String, TailReport)], edf: &[(String, TailReport)]) -> String {
+    render_comparison_labeled("FIFO", fifo, "EDF", edf)
 }

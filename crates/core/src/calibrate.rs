@@ -34,7 +34,7 @@ pub struct Calibration {
 
 /// Precomputed per-sentence layerwise outputs so threshold sweeps don't
 /// re-run the model.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct SweepCache {
     /// Per sentence: entropies at every layer.
     pub entropies: Vec<Vec<f32>>,

@@ -143,7 +143,7 @@ impl EntropyThresholds {
 /// `latency_target_s` and `drop_target` override the engine defaults
 /// when set; a request built with [`InferenceRequest::new`] inherits
 /// both from the engine that serves it.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct InferenceRequest {
     /// Token ids of the sentence.
     pub tokens: Vec<u32>,
@@ -153,6 +153,32 @@ pub struct InferenceRequest {
     pub latency_target_s: Option<f64>,
     /// Per-request accuracy-drop tier (None → engine default).
     pub drop_target: Option<DropTarget>,
+    /// Time this request already spent queued before reaching the
+    /// engine, seconds. The engine deducts it from the latency target
+    /// before sizing the DVFS compute budget, so voltage/frequency
+    /// scaling sees the *true remaining slack* rather than the full
+    /// target, and judges the deadline on `elapsed + compute`. Zero
+    /// (the default) reproduces unqueued serving bit for bit.
+    pub elapsed_queue_s: f64,
+}
+
+// Hand-written (not derived) so the queue stamp stays optional on the
+// wire: requests serialized before `elapsed_queue_s` existed — or sent
+// by clients that have no business knowing about queues — parse with a
+// zero stamp instead of failing on the missing field.
+impl serde::Deserialize for InferenceRequest {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::Error> {
+        Ok(Self {
+            tokens: serde::Deserialize::from_value(value.field("tokens")?)?,
+            mode: serde::Deserialize::from_value(value.field("mode")?)?,
+            latency_target_s: serde::Deserialize::from_value(value.field("latency_target_s")?)?,
+            drop_target: serde::Deserialize::from_value(value.field("drop_target")?)?,
+            elapsed_queue_s: match value.field("elapsed_queue_s") {
+                Ok(stamp) => serde::Deserialize::from_value(stamp)?,
+                Err(_) => 0.0,
+            },
+        })
+    }
 }
 
 impl InferenceRequest {
@@ -163,6 +189,7 @@ impl InferenceRequest {
             mode: InferenceMode::LatencyAware,
             latency_target_s: None,
             drop_target: None,
+            elapsed_queue_s: 0.0,
         }
     }
 
@@ -182,6 +209,25 @@ impl InferenceRequest {
     pub fn with_drop_target(mut self, drop: DropTarget) -> Self {
         self.drop_target = Some(drop);
         self
+    }
+
+    /// Records time already spent queued (seconds). Serving front-ends
+    /// measure the wait between admission and dispatch and stamp it
+    /// here, so the engine budgets DVFS against the remaining slack.
+    pub fn with_elapsed_queue_s(mut self, seconds: f64) -> Self {
+        self.elapsed_queue_s = seconds;
+        self
+    }
+
+    /// The queueing delay as the engine will account it: non-finite or
+    /// negative stamps sanitize to zero rather than poisoning the DVFS
+    /// budget (requests arrive from the wire).
+    pub fn effective_elapsed_queue_s(&self) -> f64 {
+        if self.elapsed_queue_s.is_finite() && self.elapsed_queue_s > 0.0 {
+            self.elapsed_queue_s
+        } else {
+            0.0
+        }
     }
 }
 
@@ -510,24 +556,37 @@ impl EdgeBertEngine {
     /// Requests arrive from the wire, so degenerate token lists must not
     /// take the engine down: an empty sentence is served as a single
     /// padding token rather than panicking inside the embedding lookup.
+    ///
+    /// A request stamped with [`InferenceRequest::with_elapsed_queue_s`]
+    /// is served against its *remaining* slack: the DVFS budget shrinks
+    /// by the queueing delay and the deadline verdict judges
+    /// `elapsed + compute` against the target. A zero stamp (the
+    /// default) is bit-identical to unqueued serving.
     pub fn serve(&self, request: &InferenceRequest) -> InferenceResponse {
         let target_s = request
             .latency_target_s
             .unwrap_or(self.default_latency_target_s);
         let drop = request.drop_target.unwrap_or(self.default_drop);
+        let elapsed_s = request.effective_elapsed_queue_s();
         let pad = [edgebert_tasks::vocab::PAD];
         let tokens: &[u32] = if request.tokens.is_empty() {
             &pad
         } else {
             &request.tokens
         };
-        let mut result = self.run_at(tokens, request.mode, target_s, drop);
+        let mut result = match request.mode {
+            InferenceMode::LatencyAware => {
+                self.run_latency_aware_queued(tokens, target_s, drop, elapsed_s)
+            }
+            mode => self.run_at(tokens, mode, target_s, drop),
+        };
         // The engine-level Base/EE paths are the paper's *unbounded*
         // baselines and always report `deadline_met = true`; a response
         // echoes the request's target, so it judges every mode against
-        // it honestly — under the same rule as the LAI paths.
+        // it honestly — under the same rule as the LAI paths, queueing
+        // delay included.
         if request.mode != InferenceMode::LatencyAware {
-            result.deadline_met = deadline_met(result.latency_s, target_s);
+            result.deadline_met = deadline_met(elapsed_s + result.latency_s, target_s);
         }
         InferenceResponse {
             result,
@@ -620,6 +679,28 @@ impl EdgeBertEngine {
         latency_target_s: f64,
         drop: DropTarget,
     ) -> SentenceResult {
+        self.run_latency_aware_queued(tokens, latency_target_s, drop, 0.0)
+    }
+
+    /// Algorithm 2 for a sentence that already burned `elapsed_queue_s`
+    /// of its target waiting in a queue: the DVFS compute budget is the
+    /// target minus the wait (paper §5.2's `T − T_elapsed` with the
+    /// queueing delay folded into `T_elapsed`), and the deadline verdict
+    /// judges `elapsed + compute` against the full target. With
+    /// `elapsed_queue_s = 0.0` every arithmetic step is identical to
+    /// [`run_latency_aware_at`](Self::run_latency_aware_at), bit for
+    /// bit.
+    pub fn run_latency_aware_queued(
+        &self,
+        tokens: &[u32],
+        latency_target_s: f64,
+        drop: DropTarget,
+        elapsed_queue_s: f64,
+    ) -> SentenceResult {
+        assert!(
+            elapsed_queue_s.is_finite() && elapsed_queue_s >= 0.0,
+            "queueing delay must be finite and non-negative, got {elapsed_queue_s}"
+        );
         let et = self.thresholds(drop).latency_aware;
         let out = self.model.forward_layers(tokens);
         let num_layers = self.model.num_layers();
@@ -648,7 +729,7 @@ impl EdgeBertEngine {
                 energy_j: energy,
                 voltage: cfg.vdd_nominal,
                 freq_hz: cfg.freq_max_hz,
-                deadline_met: deadline_met(latency, latency_target_s),
+                deadline_met: deadline_met(elapsed_queue_s + latency, latency_target_s),
             };
         }
 
@@ -661,7 +742,9 @@ impl EdgeBertEngine {
         let predicted = self.lut.predict_exit_layer(h1, et).clamp(2, num_layers);
         let remaining_cycles = self.layer_cycles * (predicted as u64 - 1);
         let remaining_budget = latency_target_s - latency - self.dvfs.floor_transition_s();
-        let decision = self.dvfs.decide(remaining_cycles, remaining_budget);
+        let decision =
+            self.dvfs
+                .decide_with_elapsed(remaining_cycles, remaining_budget, elapsed_queue_s);
         let transition_s = ldo.transition_time_ns(cfg.vdd_nominal, decision.voltage) * 1e-9
             + if decision.freq_hz == cfg.freq_max_hz {
                 0.0
@@ -693,7 +776,8 @@ impl EdgeBertEngine {
             energy_j: energy,
             voltage: decision.voltage,
             freq_hz: decision.freq_hz,
-            deadline_met: decision.feasible && deadline_met(latency, latency_target_s),
+            deadline_met: decision.feasible
+                && deadline_met(elapsed_queue_s + latency, latency_target_s),
         }
     }
 
@@ -1116,6 +1200,85 @@ mod tests {
         let parallel = eng.serve_batch(&requests);
         let sequential: Vec<InferenceResponse> = requests.iter().map(|r| eng.serve(r)).collect();
         assert_eq!(parallel, sequential);
+    }
+
+    #[test]
+    fn zero_queue_slack_is_bit_identical_to_unqueued_serving() {
+        let f = fixture();
+        let eng = engine(&f, 60e-3, 0.0); // et=0: the DVFS path always engages
+        for ex in f.data.iter().take(6) {
+            assert_eq!(
+                eng.run_latency_aware_queued(&ex.tokens, 60e-3, DropTarget::OnePercent, 0.0),
+                eng.run_latency_aware_at(&ex.tokens, 60e-3, DropTarget::OnePercent),
+            );
+            for mode in InferenceMode::all() {
+                let req = InferenceRequest::new(ex.tokens.clone()).with_mode(mode);
+                assert_eq!(
+                    eng.serve(&req.clone().with_elapsed_queue_s(0.0)),
+                    eng.serve(&req),
+                    "mode {mode:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn queue_slack_raises_the_operating_point_and_judges_the_sojourn() {
+        let f = fixture();
+        let eng = engine(&f, 200e-3, 0.0); // et=0: never exits early
+        let tokens = f.data.examples()[0].tokens.clone();
+        let fresh = eng.run_latency_aware_queued(&tokens, 200e-3, DropTarget::OnePercent, 0.0);
+        assert!(fresh.voltage < 0.8, "loose target scales down");
+        // Burn most of the budget in queue: the engine must speed up
+        // rather than keep stretching compute into the full target.
+        let queued = eng.run_latency_aware_queued(&tokens, 200e-3, DropTarget::OnePercent, 185e-3);
+        assert!(
+            queued.voltage > fresh.voltage,
+            "queued {} V vs fresh {} V",
+            queued.voltage,
+            fresh.voltage
+        );
+        assert!(queued.latency_s < fresh.latency_s);
+        assert_eq!(
+            queued.deadline_met,
+            deadline_met(185e-3 + queued.latency_s, 200e-3),
+            "verdict is on the sojourn, not compute alone"
+        );
+        // Queueing past the whole target: compute still runs (at
+        // nominal), but the verdict is a violation.
+        let hopeless = eng.run_latency_aware_queued(&tokens, 200e-3, DropTarget::OnePercent, 0.3);
+        assert!(!hopeless.deadline_met);
+        assert_eq!(hopeless.voltage, 0.8);
+
+        // Base/EE responses fold the wait into the verdict too.
+        let resp = eng.serve(
+            &InferenceRequest::new(tokens.clone())
+                .with_mode(InferenceMode::Base)
+                .with_latency_target(1.0),
+        );
+        let base_latency = resp.result.latency_s;
+        let queued_resp = eng.serve(
+            &InferenceRequest::new(tokens)
+                .with_mode(InferenceMode::Base)
+                .with_latency_target(1.0)
+                .with_elapsed_queue_s(1.0),
+        );
+        assert!(resp.result.deadline_met);
+        assert!(!queued_resp.result.deadline_met);
+        assert_eq!(queued_resp.result.latency_s, base_latency);
+    }
+
+    #[test]
+    fn wire_garbage_queue_stamps_sanitize_to_zero() {
+        let f = fixture();
+        let eng = engine(&f, 50e-3, 0.3);
+        let tokens = f.data.examples()[0].tokens.clone();
+        let clean = eng.serve(&InferenceRequest::new(tokens.clone()));
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY, -1.0] {
+            let req = InferenceRequest::new(tokens.clone()).with_elapsed_queue_s(bad);
+            assert_eq!(req.effective_elapsed_queue_s(), 0.0);
+            assert_eq!(eng.serve(&req), clean, "stamp {bad}");
+        }
     }
 
     #[test]

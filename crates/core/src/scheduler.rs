@@ -67,17 +67,31 @@ pub struct SchedulerConfig {
     /// Time charged when a worker switches tasks (per-task encoder
     /// weights must be re-fetched; `0.0` models resident weights).
     pub task_switch_s: f64,
+    /// Deduct each sentence's virtual queueing delay from the compute
+    /// budget handed to the engine (stamped through
+    /// [`InferenceRequest::with_elapsed_queue_s`]), so DVFS scales
+    /// against the *remaining* slack instead of the full target.
+    ///
+    /// Off (the default), compute is independent of the timeline and a
+    /// drain's per-request responses are bit-identical to unscheduled
+    /// `serve` calls — the PR 2 contract. On, a sentence's compute
+    /// depends on when it was dispatched, so the drain computes each
+    /// sentence *at* its dispatch point on the virtual timeline
+    /// (sequentially — the timeline itself is the data dependency) and
+    /// stays fully deterministic.
+    pub queue_aware_slack: bool,
 }
 
 impl Default for SchedulerConfig {
     /// One accelerator lane, EDF ordering, packs of up to 8, free task
-    /// switches.
+    /// switches, slack-blind compute (the PR 2 bit-identity contract).
     fn default() -> Self {
         Self {
             workers: 1,
             max_batch: 8,
             policy: SchedulePolicy::EarliestDeadline,
             task_switch_s: 0.0,
+            queue_aware_slack: false,
         }
     }
 }
@@ -99,7 +113,9 @@ pub struct ScheduledResponse {
     pub completion_s: f64,
     /// Time spent queued: `start_s - arrival_s`.
     pub queue_delay_s: f64,
-    /// End-to-end response time: `completion_s - arrival_s`.
+    /// End-to-end response time: `completion_s - arrival_s`, plus any
+    /// queueing the submitter pre-stamped on the request before it
+    /// reached this scheduler.
     pub sojourn_s: f64,
     /// Whether the *sojourn* met the request's latency target under the
     /// [`deadline_met`] rule. The inner
@@ -195,44 +211,69 @@ impl DeadlineScheduler {
     /// Serves every pending submission and clears the queue.
     ///
     /// The returned vector is in submission order; an entry is `None`
-    /// when its task is not served by this scheduler. Engine results
+    /// when its task is not served by this scheduler.
+    ///
+    /// With [`SchedulerConfig::queue_aware_slack`] off, engine results
     /// are computed first (one batched pass per task, fanned across
     /// worker threads), then the queue is replayed on the virtual
     /// timeline under the configured policy — so per-request responses
     /// are bit-identical to unscheduled `serve` calls no matter the
-    /// policy, worker count, or packing.
+    /// policy, worker count, or packing. With it on, each sentence is
+    /// computed *at* its dispatch point with its virtual queueing delay
+    /// stamped into the request, so DVFS budgets against the remaining
+    /// slack; the replay is then sequential (the timeline is the data
+    /// dependency) but still deterministic.
     pub fn drain(&mut self) -> Vec<Option<ScheduledResponse>> {
         let pending = std::mem::take(&mut self.pending);
         if pending.is_empty() {
             return Vec::new();
         }
 
-        // Phase 1 — compute: one batched engine pass per task, fanned
-        // across worker threads, serving by reference (no request
-        // copies).
+        // Which engine serves each submission (None → unserved task).
+        let engine_of: Vec<Option<usize>> = pending
+            .iter()
+            .map(|s| self.engines.iter().position(|(t, _)| *t == s.task))
+            .collect();
+
+        // Phase 1 — slack-blind compute: one batched engine pass per
+        // task, fanned across worker threads, serving by reference (no
+        // request copies). Skipped under queue-aware slack, where
+        // compute depends on dispatch time and happens in the replay.
         let mut responses: Vec<Option<InferenceResponse>> = vec![None; pending.len()];
-        for (task, engine) in &self.engines {
-            let members: Vec<&Submission> = pending.iter().filter(|s| s.task == *task).collect();
-            if members.is_empty() {
-                continue;
-            }
-            let threads = crate::engine::default_threads(members.len());
-            let batch = crate::engine::run_chunked(&members, threads, |s| engine.serve(&s.request));
-            for (member, response) in members.iter().zip(batch) {
-                responses[member.index] = Some(response);
+        if !self.cfg.queue_aware_slack {
+            for (task, engine) in &self.engines {
+                let members: Vec<&Submission> =
+                    pending.iter().filter(|s| s.task == *task).collect();
+                if members.is_empty() {
+                    continue;
+                }
+                let threads = crate::engine::default_threads(members.len());
+                let batch =
+                    crate::engine::run_chunked(&members, threads, |s| engine.serve(&s.request));
+                for (member, response) in members.iter().zip(batch) {
+                    responses[member.index] = Some(response);
+                }
             }
         }
 
         // Phase 2 — replay the queue on the virtual timeline. Served
         // submissions are sorted by the policy key once; each dispatch
-        // round scans that order for the first arrived sentence.
+        // round scans that order for the first arrived sentence. The
+        // absolute deadline is `arrival + target` after default
+        // resolution against the task's engine — identical to what the
+        // engine echoes in its response.
         let deadline_abs: Vec<f64> = pending
             .iter()
             .map(|s| {
-                s.arrival_s
-                    + responses[s.index]
-                        .as_ref()
-                        .map_or(0.0, |r| r.latency_target_s)
+                // A pre-stamped submission already burned part of its
+                // target upstream: its true deadline is that much
+                // earlier, and EDF must rank it accordingly.
+                s.arrival_s - s.request.effective_elapsed_queue_s()
+                    + engine_of[s.index].map_or(0.0, |e| {
+                        s.request
+                            .latency_target_s
+                            .unwrap_or_else(|| self.engines[e].1.default_latency_target_s())
+                    })
             })
             .collect();
         let key = |s: &Submission| match self.cfg.policy {
@@ -241,7 +282,7 @@ impl DeadlineScheduler {
         };
         let mut served: Vec<&Submission> = pending
             .iter()
-            .filter(|s| responses[s.index].is_some())
+            .filter(|s| engine_of[s.index].is_some())
             .collect();
         served.sort_by(|a, b| key(a).partial_cmp(&key(b)).expect("finite keys"));
 
@@ -296,11 +337,25 @@ impl DeadlineScheduler {
                 };
             for &i in &pack {
                 let start = cursor;
-                cursor += responses[i]
-                    .as_ref()
-                    .expect("served member")
-                    .result
-                    .latency_s;
+                let latency_s = match &responses[i] {
+                    // Slack-blind: the precomputed response's latency.
+                    Some(r) => r.result.latency_s,
+                    // Queue-aware: compute now, with the virtual wait
+                    // (on top of any stamp the submitter carried in)
+                    // deducted from the DVFS budget.
+                    None => {
+                        let sub = &pending[i];
+                        let waited =
+                            sub.request.effective_elapsed_queue_s() + (start - sub.arrival_s);
+                        let engine = &self.engines[engine_of[i].expect("served member")].1;
+                        let response =
+                            engine.serve(&sub.request.clone().with_elapsed_queue_s(waited));
+                        let latency_s = response.result.latency_s;
+                        responses[i] = Some(response);
+                        latency_s
+                    }
+                };
+                cursor += latency_s;
                 timeline[i] = Some((w, start, cursor));
                 dispatched[i] = true;
                 remaining -= 1;
@@ -315,7 +370,14 @@ impl DeadlineScheduler {
                 let response = responses[s.index].take()?;
                 let (worker, start_s, completion_s) =
                     timeline[s.index].expect("served sentences were dispatched");
-                let sojourn_s = completion_s - s.arrival_s;
+                // A submitter pre-stamp (upstream queueing measured
+                // before the submission reached this scheduler) counts
+                // in the sojourn and against the deadline exactly as
+                // the engine counted it against the DVFS budget — and
+                // exactly as the wall-clock `Server` reports it, so
+                // tail reports stay comparable across the two systems.
+                let sojourn_s =
+                    s.request.effective_elapsed_queue_s() + (completion_s - s.arrival_s);
                 let met = deadline_met(sojourn_s, response.latency_target_s);
                 Some(ScheduledResponse {
                     response,
@@ -363,6 +425,7 @@ mod tests {
                 max_batch: 4,
                 policy: SchedulePolicy::EarliestDeadline,
                 task_switch_s: 0.0,
+                queue_aware_slack: false,
             },
         )
     }
@@ -440,7 +503,7 @@ mod tests {
             let req =
                 InferenceRequest::new(tok.clone()).with_latency_target(30e-3 + 17e-3 * i as f64);
             sched.submit(task, req.clone(), 1e-3 * i as f64);
-            expected.push(rt.serve(task, &req).expect("served task"));
+            expected.push(rt.try_serve(task, &req).expect("served task"));
         }
         let out = sched.drain();
         assert_eq!(out.len(), expected.len());
@@ -516,6 +579,7 @@ mod tests {
                     max_batch,
                     policy: SchedulePolicy::EarliestDeadline,
                     task_switch_s: 0.0,
+                    queue_aware_slack: false,
                 });
             }
         }
@@ -542,6 +606,113 @@ mod tests {
     }
 
     #[test]
+    fn queue_aware_slack_is_bit_identical_when_nothing_queues() {
+        // Arrivals spaced far beyond any service time: every sentence
+        // dispatches the instant it arrives, the virtual queueing delay
+        // is exactly zero, and the slack-aware drain must be bit-equal
+        // to the slack-blind one — timeline included.
+        let rt = runtime();
+        let toks = tokens_for(&rt, Task::Sst2, 4, 16);
+        let drain = |slack: bool| {
+            let mut sched = DeadlineScheduler::new(
+                &rt,
+                SchedulerConfig {
+                    queue_aware_slack: slack,
+                    ..SchedulerConfig::default()
+                },
+            );
+            for (i, tok) in toks.iter().enumerate() {
+                sched.submit(
+                    Task::Sst2,
+                    InferenceRequest::new(tok.clone()).with_latency_target(50e-3),
+                    10.0 * i as f64,
+                );
+            }
+            sched.drain()
+        };
+        assert_eq!(drain(false), drain(true));
+    }
+
+    #[test]
+    fn queue_aware_slack_compresses_queued_sentences() {
+        // A strict-threshold runtime (no layer-1 exits) with a relaxed
+        // target and a burst of simultaneous arrivals: the slack-blind
+        // engine stretches every sentence's compute into the full
+        // target even though each one queued behind the last, while the
+        // queue-aware drain hands DVFS the remaining slack — later
+        // sentences speed up, the backlog drains sooner, and strictly
+        // fewer sojourn deadlines are violated.
+        let art = TaskArtifacts::build(Task::Sst2, Scale::Test, 0x5C44);
+        let rt = MultiTaskRuntime::from_runtimes([TaskRuntime::from_builder(
+            Task::Sst2,
+            art.engine_builder()
+                .uniform_thresholds(crate::engine::EntropyThresholds::uniform(0.0))
+                .workload(art.hardware_workload(true)),
+        )]);
+        let toks = tokens_for(&rt, Task::Sst2, 6, 17);
+        // A burst at t = 0 with escalating targets (the EDF dispatch
+        // order): sentence i has room for its predecessors *if* they
+        // stop stretching into budget they no longer have. The blind
+        // engine computes each sentence for its full target, so every
+        // successor's queue delay alone blows its deadline; the aware
+        // engine compresses compute to `target − waited` and the whole
+        // burst lands exactly on its deadlines.
+        let target_of = |i: usize| 80e-3 * (i + 1) as f64;
+        let drain = |slack: bool| {
+            let mut sched = DeadlineScheduler::new(
+                &rt,
+                SchedulerConfig {
+                    queue_aware_slack: slack,
+                    max_batch: 1,
+                    ..SchedulerConfig::default()
+                },
+            );
+            for (i, tok) in toks.iter().enumerate() {
+                sched.submit(
+                    Task::Sst2,
+                    InferenceRequest::new(tok.clone()).with_latency_target(target_of(i)),
+                    0.0,
+                );
+            }
+            sched
+                .drain()
+                .into_iter()
+                .map(|r| r.expect("served"))
+                .collect::<Vec<_>>()
+        };
+        let blind = drain(false);
+        let aware = drain(true);
+
+        // The first dispatched sentence saw no queue in either mode.
+        let first_blind = blind.iter().find(|r| r.queue_delay_s == 0.0).expect("head");
+        let first_aware = aware.iter().find(|r| r.queue_delay_s == 0.0).expect("head");
+        assert_eq!(first_blind.response, first_aware.response);
+
+        let makespan =
+            |rs: &[ScheduledResponse]| rs.iter().map(|r| r.completion_s).fold(0.0f64, f64::max);
+        let violations = |rs: &[ScheduledResponse]| rs.iter().filter(|r| !r.deadline_met).count();
+        assert!(
+            makespan(&aware) < makespan(&blind),
+            "compressed compute must drain the backlog sooner: {} vs {}",
+            makespan(&aware),
+            makespan(&blind),
+        );
+        assert!(
+            violations(&aware) < violations(&blind),
+            "queue-aware slack must convert blind violations into met deadlines \
+             ({} vs {} of {})",
+            violations(&aware),
+            violations(&blind),
+            blind.len(),
+        );
+        // Queued sentences ran at or above the blind operating point,
+        // never below it.
+        for (a, b) in aware.iter().zip(&blind) {
+            assert!(a.response.result.voltage >= b.response.result.voltage - 1e-6);
+        }
+    }
+
+    #[test]
     fn edf_groups_same_task_deadlines_amortizing_switches() {
         let rt = runtime();
         let sst = tokens_for(&rt, Task::Sst2, 3, 14);
@@ -554,6 +725,7 @@ mod tests {
                     max_batch: 8,
                     policy,
                     task_switch_s: 5e-3,
+                    queue_aware_slack: false,
                 },
             );
             // Tight deadlines all on SST-2, relaxed all on QNLI,

@@ -1,0 +1,199 @@
+//! One task's admission lane: a bounded, policy-ordered queue drained
+//! by that task's engine shards.
+//!
+//! A lane is the synchronization point between client threads calling
+//! [`Server::submit`](super::Server::submit) and the worker threads
+//! owning the task's engine clones: a `Mutex`-guarded job list with a
+//! `Condvar` for wakeups. Jobs are *popped* in policy order (EDF pops
+//! the earliest absolute deadline, FIFO the earliest admission), so the
+//! queue itself stays in admission order and backpressure is a plain
+//! length check against the configured capacity.
+
+use crate::engine::InferenceRequest;
+use crate::scheduler::SchedulePolicy;
+use edgebert_tasks::Task;
+use std::sync::mpsc::SyncSender;
+use std::sync::{Condvar, Mutex};
+use std::time::Instant;
+
+use super::ServerResponse;
+
+/// One admitted request waiting for a shard.
+pub(super) struct Job {
+    /// Admission order within the lane (FIFO key and EDF tie-break).
+    pub seq: u64,
+    /// Absolute deadline on the server clock, seconds since the server
+    /// epoch: admission time + resolved latency target (the EDF key).
+    pub deadline_s: f64,
+    /// When the job entered the lane (queueing delay is measured from
+    /// here at pop time).
+    pub enqueued_at: Instant,
+    /// The request as submitted.
+    pub request: InferenceRequest,
+    /// Where the serving shard delivers the response.
+    pub reply: SyncSender<ServerResponse>,
+}
+
+/// Queue state behind the lane mutex.
+pub(super) struct LaneQueue {
+    /// Admitted jobs in admission order; popped in policy order.
+    pub jobs: Vec<Job>,
+    /// Set once by shutdown: admission closes, workers drain what is
+    /// left and exit.
+    pub shutting_down: bool,
+    /// Next admission sequence number.
+    pub next_seq: u64,
+    /// Deepest the queue has been since start.
+    pub high_water: usize,
+    /// Requests admitted (excludes rejections).
+    pub submitted: u64,
+    /// Requests refused because the lane was at capacity.
+    pub rejected: u64,
+}
+
+/// Worker-side tallies, folded into [`LaneStats`](super::LaneStats).
+#[derive(Debug, Clone, Copy, Default)]
+pub(super) struct ServedTally {
+    /// Requests served to completion.
+    pub served: u64,
+    /// Served requests whose sojourn missed the deadline.
+    pub violations: u64,
+    /// Sum of measured queueing delays, seconds.
+    pub queue_delay_total_s: f64,
+    /// Largest measured queueing delay, seconds.
+    pub queue_delay_max_s: f64,
+    /// Sum of the slack actually deducted from DVFS budgets, seconds.
+    pub slack_deducted_total_s: f64,
+}
+
+/// One task's bounded admission lane.
+pub(super) struct Lane {
+    /// The task this lane admits.
+    pub task: Task,
+    /// Admission bound: `jobs.len()` never exceeds it.
+    pub capacity: usize,
+    /// Pop-order policy.
+    pub policy: SchedulePolicy,
+    /// Queue state.
+    pub queue: Mutex<LaneQueue>,
+    /// Signaled on every admission and on shutdown.
+    pub available: Condvar,
+    /// Worker-side tallies (separate lock: held only for a few loads
+    /// and stores after a sentence completes, never while serving).
+    pub tally: Mutex<ServedTally>,
+}
+
+impl Lane {
+    pub fn new(task: Task, capacity: usize, policy: SchedulePolicy) -> Self {
+        Self {
+            task,
+            capacity,
+            policy,
+            queue: Mutex::new(LaneQueue {
+                jobs: Vec::new(),
+                shutting_down: false,
+                next_seq: 0,
+                high_water: 0,
+                submitted: 0,
+                rejected: 0,
+            }),
+            available: Condvar::new(),
+            tally: Mutex::new(ServedTally::default()),
+        }
+    }
+
+    /// Blocks until a job is available (returning it popped in policy
+    /// order) or the lane is shutting down with nothing left to drain
+    /// (returning `None`). The worker-thread entry point.
+    pub fn next_job(&self) -> Option<Job> {
+        let mut queue = self.queue.lock().expect("lane mutex");
+        loop {
+            if let Some(job) = Self::pop(&mut queue, self.policy) {
+                return Some(job);
+            }
+            if queue.shutting_down {
+                return None;
+            }
+            queue = self.available.wait(queue).expect("lane mutex");
+        }
+    }
+
+    /// Pops the next job under `policy`: FIFO takes the earliest
+    /// admission, EDF the earliest absolute deadline (ties to the
+    /// earlier admission). Deterministic in the queue contents.
+    fn pop(queue: &mut LaneQueue, policy: SchedulePolicy) -> Option<Job> {
+        if queue.jobs.is_empty() {
+            return None;
+        }
+        let at = match policy {
+            // Jobs are stored in admission order, so FIFO is the head.
+            SchedulePolicy::Fifo => 0,
+            SchedulePolicy::EarliestDeadline => queue
+                .jobs
+                .iter()
+                .enumerate()
+                .min_by(|(_, a), (_, b)| {
+                    (a.deadline_s, a.seq)
+                        .partial_cmp(&(b.deadline_s, b.seq))
+                        .expect("finite deadlines")
+                })
+                .map(|(i, _)| i)
+                .expect("non-empty queue"),
+        };
+        // `remove` keeps admission order for the survivors.
+        Some(queue.jobs.remove(at))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::mpsc::sync_channel;
+
+    fn lane_with(
+        policy: SchedulePolicy,
+        deadlines: &[f64],
+    ) -> (Lane, Vec<std::sync::mpsc::Receiver<ServerResponse>>) {
+        let lane = Lane::new(Task::Sst2, deadlines.len(), policy);
+        let mut receivers = Vec::new();
+        {
+            let mut queue = lane.queue.lock().expect("lane mutex");
+            for (seq, &deadline_s) in deadlines.iter().enumerate() {
+                let (tx, rx) = sync_channel(1);
+                receivers.push(rx);
+                queue.jobs.push(Job {
+                    seq: seq as u64,
+                    deadline_s,
+                    enqueued_at: Instant::now(),
+                    request: InferenceRequest::new(vec![seq as u32]),
+                    reply: tx,
+                });
+            }
+        }
+        (lane, receivers)
+    }
+
+    fn pop_order(lane: &Lane) -> Vec<u64> {
+        let mut queue = lane.queue.lock().expect("lane mutex");
+        let mut order = Vec::new();
+        while let Some(job) = Lane::pop(&mut queue, lane.policy) {
+            order.push(job.seq);
+        }
+        order
+    }
+
+    #[test]
+    fn edf_pops_earliest_deadline_ties_to_admission_order() {
+        let (lane, _rx) = lane_with(
+            SchedulePolicy::EarliestDeadline,
+            &[0.5, 0.1, 0.3, 0.1, 0.05],
+        );
+        assert_eq!(pop_order(&lane), vec![4, 1, 3, 2, 0]);
+    }
+
+    #[test]
+    fn fifo_pops_admission_order_regardless_of_deadlines() {
+        let (lane, _rx) = lane_with(SchedulePolicy::Fifo, &[0.5, 0.1, 0.3, 0.1, 0.05]);
+        assert_eq!(pop_order(&lane), vec![0, 1, 2, 3, 4]);
+    }
+}

@@ -1,0 +1,74 @@
+//! Serving statistics: per-lane and whole-server snapshots.
+
+use edgebert_tasks::Task;
+use serde::{Deserialize, Serialize};
+
+/// A snapshot of one task lane's counters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LaneStats {
+    /// The task the lane serves.
+    pub task: Task,
+    /// Engine shards (worker threads) draining the lane.
+    pub shards: usize,
+    /// Requests admitted into the queue.
+    pub submitted: u64,
+    /// Requests refused at admission because the queue was full.
+    pub rejected: u64,
+    /// Requests served to completion.
+    pub served: u64,
+    /// Served requests whose sojourn (measured wait + modeled compute)
+    /// missed the deadline.
+    pub violations: u64,
+    /// Requests admitted but not yet served.
+    pub queued: usize,
+    /// Deepest the queue has been since start.
+    pub queue_high_water: usize,
+    /// Mean measured queueing delay over served requests, seconds.
+    pub queue_delay_mean_s: f64,
+    /// Largest measured queueing delay, seconds.
+    pub queue_delay_max_s: f64,
+    /// Mean elapsed queue time charged to served requests' DVFS
+    /// budgets, seconds (just the submitter pre-stamps — usually zero
+    /// — when queue-aware slack is off or waits stayed under the
+    /// noise floor).
+    pub slack_deducted_mean_s: f64,
+}
+
+/// A snapshot of the whole server's counters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServerStats {
+    /// Per-lane snapshots, in the server's task order.
+    pub lanes: Vec<LaneStats>,
+}
+
+impl ServerStats {
+    /// Requests admitted across all lanes.
+    pub fn submitted(&self) -> u64 {
+        self.lanes.iter().map(|l| l.submitted).sum()
+    }
+
+    /// Requests refused at admission across all lanes.
+    pub fn rejected(&self) -> u64 {
+        self.lanes.iter().map(|l| l.rejected).sum()
+    }
+
+    /// Requests served across all lanes.
+    pub fn served(&self) -> u64 {
+        self.lanes.iter().map(|l| l.served).sum()
+    }
+
+    /// Sojourn deadline violations across all lanes.
+    pub fn violations(&self) -> u64 {
+        self.lanes.iter().map(|l| l.violations).sum()
+    }
+
+    /// Requests admitted but not yet served, across all lanes.
+    pub fn queued(&self) -> usize {
+        self.lanes.iter().map(|l| l.queued).sum()
+    }
+
+    /// The lane snapshot for one task, if served.
+    pub fn lane(&self, task: Task) -> Option<&LaneStats> {
+        self.lanes.iter().find(|l| l.task == task)
+    }
+}

@@ -117,6 +117,28 @@ impl TaskRuntime {
     }
 }
 
+/// A routing failure from the multi-task runtime: the typed form of
+/// the old `Option`-returning `serve`/`serve_batch` contract, so
+/// serving front-ends surface *why* a request went unserved instead of
+/// silently dropping it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServeError {
+    /// The request routed to a task no runtime is loaded for.
+    TaskNotServed(Task),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::TaskNotServed(task) => {
+                write!(f, "task {task} is not served by this runtime")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
 /// A runtime serving all tasks of the paper's multi-task scenario,
 /// routing each request to its task's engine.
 #[derive(Debug, Clone, Default)]
@@ -176,26 +198,33 @@ impl MultiTaskRuntime {
         self.runtimes.iter().find(|r| r.task() == task)
     }
 
-    /// Routes one request to its task's engine. Returns `None` when the
-    /// task is not served.
-    pub fn serve(&self, task: Task, request: &InferenceRequest) -> Option<InferenceResponse> {
-        self.runtime(task).map(|rt| rt.serve(request))
+    /// Routes one request to its task's engine, or reports the routing
+    /// failure as a typed [`ServeError`].
+    pub fn try_serve(
+        &self,
+        task: Task,
+        request: &InferenceRequest,
+    ) -> Result<InferenceResponse, ServeError> {
+        self.runtime(task)
+            .map(|rt| rt.serve(request))
+            .ok_or(ServeError::TaskNotServed(task))
     }
 
     /// Serves a mixed-task batch, preserving order. Entries whose task
-    /// is not served come back as `None`.
+    /// is not served come back as `Err(ServeError::TaskNotServed)`.
     ///
     /// This is a thin wrapper over
     /// [`DeadlineScheduler`](crate::scheduler::DeadlineScheduler): all
     /// requests arrive at once (time 0) and drain through one batched
     /// engine pass per task, fanned across worker threads. Per-request
-    /// responses are bit-identical to [`serve`](Self::serve); for
-    /// staggered arrivals, queueing-delay accounting, and EDF-vs-FIFO
-    /// policy control, drive the scheduler directly.
-    pub fn serve_batch(
+    /// responses are bit-identical to [`try_serve`](Self::try_serve);
+    /// for staggered arrivals, queueing-delay accounting, and
+    /// EDF-vs-FIFO policy control, drive the scheduler directly — and
+    /// for wall-clock concurrent serving, [`Server`](crate::server::Server).
+    pub fn try_serve_batch(
         &self,
         requests: &[(Task, InferenceRequest)],
-    ) -> Vec<Option<InferenceResponse>> {
+    ) -> Vec<Result<InferenceResponse, ServeError>> {
         let mut scheduler = crate::scheduler::DeadlineScheduler::new(
             self,
             crate::scheduler::SchedulerConfig::default(),
@@ -206,7 +235,38 @@ impl MultiTaskRuntime {
         scheduler
             .drain()
             .into_iter()
-            .map(|scheduled| scheduled.map(|s| s.response))
+            .zip(requests)
+            .map(|(scheduled, (task, _))| {
+                scheduled
+                    .map(|s| s.response)
+                    .ok_or(ServeError::TaskNotServed(*task))
+            })
+            .collect()
+    }
+
+    /// Routes one request to its task's engine. Returns `None` when the
+    /// task is not served.
+    #[deprecated(
+        since = "0.3.0",
+        note = "use `try_serve`, which reports *why* a request went unserved"
+    )]
+    pub fn serve(&self, task: Task, request: &InferenceRequest) -> Option<InferenceResponse> {
+        self.try_serve(task, request).ok()
+    }
+
+    /// Serves a mixed-task batch, preserving order. Entries whose task
+    /// is not served come back as `None`.
+    #[deprecated(
+        since = "0.3.0",
+        note = "use `try_serve_batch`, which reports *why* an entry went unserved"
+    )]
+    pub fn serve_batch(
+        &self,
+        requests: &[(Task, InferenceRequest)],
+    ) -> Vec<Option<InferenceResponse>> {
+        self.try_serve_batch(requests)
+            .into_iter()
+            .map(Result::ok)
             .collect()
     }
 }
@@ -255,10 +315,13 @@ mod tests {
         assert_eq!(mt.tasks(), vec![Task::Sst2, Task::Qnli]);
 
         let req = InferenceRequest::new(sst_tokens);
-        let ok = mt.serve(Task::Sst2, &req);
-        assert!(ok.is_some());
-        // Unserved task: routed nowhere.
-        assert!(mt.serve(Task::Mnli, &req).is_none());
+        let ok = mt.try_serve(Task::Sst2, &req);
+        assert!(ok.is_ok());
+        // Unserved task: the routing failure is typed, not a silent drop.
+        assert_eq!(
+            mt.try_serve(Task::Mnli, &req),
+            Err(ServeError::TaskNotServed(Task::Mnli))
+        );
 
         // Mixed batch preserves order and flags unserved tasks.
         let batch = [
@@ -266,13 +329,38 @@ mod tests {
             (Task::Mnli, req.clone()),
             (Task::Qnli, req.clone()),
         ];
-        let out = mt.serve_batch(&batch);
+        let out = mt.try_serve_batch(&batch);
         assert_eq!(out.len(), 3);
-        assert!(out[0].is_some());
-        assert!(out[1].is_none());
-        assert!(out[2].is_some());
+        assert!(out[0].is_ok());
+        assert_eq!(out[1], Err(ServeError::TaskNotServed(Task::Mnli)));
+        assert!(out[2].is_ok());
         // Routing in a batch matches routing one by one.
-        assert_eq!(out[0], mt.serve(Task::Sst2, &batch[0].1));
+        assert_eq!(out[0], mt.try_serve(Task::Sst2, &batch[0].1));
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_option_wrappers_mirror_the_typed_api() {
+        let sst = TaskRuntime::from_artifacts(&artifacts(Task::Sst2, 0x5E46));
+        let toks = {
+            let gen =
+                edgebert_tasks::TaskGenerator::standard(Task::Sst2, sst.model().config.max_seq_len);
+            gen.generate(1, 11).examples()[0].tokens.clone()
+        };
+        let mt = MultiTaskRuntime::from_runtimes([sst]);
+        let req = InferenceRequest::new(toks);
+        assert_eq!(
+            mt.serve(Task::Sst2, &req),
+            mt.try_serve(Task::Sst2, &req).ok()
+        );
+        assert_eq!(mt.serve(Task::Qnli, &req), None);
+        let batch = [(Task::Sst2, req.clone()), (Task::Qnli, req)];
+        let wrapped = mt.serve_batch(&batch);
+        let typed = mt.try_serve_batch(&batch);
+        assert_eq!(wrapped.len(), typed.len());
+        for (w, t) in wrapped.into_iter().zip(typed) {
+            assert_eq!(w, t.ok());
+        }
     }
 
     #[test]

@@ -105,6 +105,21 @@ impl DvfsController {
             };
         }
         let freq_req = remaining_cycles as f64 / remaining_seconds;
+        // Degenerate demands off the wire must not reach the clock:
+        // an unbounded budget asks for 0 Hz (rest at the floor point
+        // instead — the clock cannot stop), and a NaN budget has no
+        // meaningful answer (hold nominal, flagged infeasible).
+        if freq_req <= 0.0 || freq_req.is_nan() {
+            return if freq_req == 0.0 {
+                DvfsDecision {
+                    voltage: self.cfg.vdd_min,
+                    freq_hz: self.vf.freq_at_voltage(self.cfg.vdd_min),
+                    feasible: true,
+                }
+            } else {
+                nominal
+            };
+        }
         match self.vf.min_voltage_for_freq(freq_req) {
             // Clamp to the grid voltage's fmax: the lookup tolerates ppm-
             // level f32 grid rounding, and the clock must never outrun the
@@ -116,6 +131,31 @@ impl DvfsController {
             },
             None => nominal,
         }
+    }
+
+    /// [`decide`](Self::decide) with queueing delay deducted from the
+    /// budget: the V/F point for `remaining_cycles` of work when
+    /// `elapsed_queue_s` of the `remaining_seconds` budget was already
+    /// burned waiting in a queue.
+    ///
+    /// This is the serving-stack entry point (paper §5.2 computes
+    /// `Freq_opt = N_cycles / (T − T_elapsed)`): a sentence that sat
+    /// queued has *less* true slack than its target implies, so handing
+    /// the controller the undeducted budget makes it scale V/F as if the
+    /// wait never happened — the sentence then finishes compute "on
+    /// time" while its sojourn blows the deadline. With
+    /// `elapsed_queue_s = 0` this is exactly [`decide`](Self::decide).
+    pub fn decide_with_elapsed(
+        &self,
+        remaining_cycles: u64,
+        remaining_seconds: f64,
+        elapsed_queue_s: f64,
+    ) -> DvfsDecision {
+        debug_assert!(
+            elapsed_queue_s >= 0.0 && elapsed_queue_s.is_finite(),
+            "queueing delay must be finite and non-negative, got {elapsed_queue_s}"
+        );
+        self.decide(remaining_cycles, remaining_seconds - elapsed_queue_s)
     }
 
     /// Convenience: the decision for running `remaining_cycles` at
@@ -224,6 +264,64 @@ mod tests {
         let d = ctl.decide(0, transition_s * 2.0);
         assert!(d.feasible);
         assert_eq!(d.voltage, cfg.vdd_min);
+    }
+
+    #[test]
+    fn degenerate_budgets_never_ask_for_a_stopped_clock() {
+        // Regression: an infinite budget (a "no deadline" request off
+        // the wire) computed Freq_opt = cycles/∞ = 0 Hz, which the
+        // accelerator simulator rejects with a panic. The controller
+        // now rests at the floor point instead; a NaN budget holds
+        // nominal, flagged infeasible.
+        let ctl = controller();
+        let cfg = AcceleratorConfig::energy_optimal();
+        let d = ctl.decide(1_000_000, f64::INFINITY);
+        assert!(d.feasible);
+        assert_eq!(d.voltage, cfg.vdd_min);
+        assert!(d.freq_hz > 0.0);
+        let d = ctl.decide(1_000_000, f64::NAN);
+        assert!(!d.feasible);
+        assert_eq!(d.voltage, cfg.vdd_nominal);
+        assert!(d.freq_hz > 0.0);
+    }
+
+    #[test]
+    fn zero_elapsed_queue_is_bit_identical_to_decide() {
+        let ctl = controller();
+        for &(cycles, secs) in &[
+            (0u64, 10e-3f64),
+            (1_000_000, 100e-3),
+            (40_000_000, 50e-3),
+            (2_000_000_000, 1.0),
+        ] {
+            assert_eq!(
+                ctl.decide_with_elapsed(cycles, secs, 0.0),
+                ctl.decide(cycles, secs),
+                "{cycles} cycles in {secs}s"
+            );
+        }
+    }
+
+    #[test]
+    fn elapsed_queue_shrinks_slack_monotonically() {
+        // More time burned in queue can only push the operating point
+        // up (or leave it unchanged) — never let it relax further.
+        let ctl = controller();
+        let cycles = 40_000_000u64;
+        let target = 100e-3;
+        let mut last_v = 0.0f32;
+        for elapsed in [0.0, 20e-3, 40e-3, 60e-3, 80e-3] {
+            let d = ctl.decide_with_elapsed(cycles, target, elapsed);
+            assert!(
+                d.voltage >= last_v - 1e-6,
+                "elapsed {elapsed}: voltage {} under previous {last_v}",
+                d.voltage
+            );
+            last_v = d.voltage;
+        }
+        // Queueing past the whole budget is an infeasible decision.
+        let d = ctl.decide_with_elapsed(cycles, target, target);
+        assert!(!d.feasible);
     }
 
     #[test]

@@ -66,7 +66,7 @@ impl Default for TrainOptions {
 }
 
 /// Summary statistics of a completed training run.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct TrainingSummary {
     /// Dev accuracy of the dense teacher.
     pub teacher_accuracy: f32,

@@ -281,6 +281,24 @@ impl<T: Deserialize> Deserialize for Box<T> {
     }
 }
 
+// `Arc` serializes transparently as its pointee (upstream serde's
+// `rc` feature semantics): shared ownership is a runtime artifact, not
+// part of the wire format. Deserializing allocates a fresh Arc, so
+// values that were one allocation before a round-trip come back as
+// independent ones — fine for this workspace's read-only shares
+// (models, LUTs).
+impl<T: Serialize + ?Sized> Serialize for std::sync::Arc<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for std::sync::Arc<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        T::from_value(value).map(std::sync::Arc::new)
+    }
+}
+
 macro_rules! impl_tuple {
     ($(($($name:ident . $idx:tt),+ ; $len:expr)),*) => {$(
         impl<$($name: Serialize),+> Serialize for ($($name,)+) {

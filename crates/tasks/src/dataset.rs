@@ -30,7 +30,7 @@ pub struct Example {
 /// assert_eq!(train.len(), 8);
 /// assert_eq!(dev.len(), 2);
 /// ```
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Dataset {
     task: Task,
     examples: Vec<Example>,

@@ -46,7 +46,7 @@ fn main() {
         }
     }
 
-    let responses = runtime.serve_batch(&batch);
+    let responses = runtime.try_serve_batch(&batch);
     println!(
         "{:<8} {:>8} {:>6} {:>5} {:>8} {:>10}  deadline",
         "task", "target", "tier", "exit", "V", "energy"
@@ -66,10 +66,13 @@ fn main() {
         );
     }
 
-    // The routing table is live: an unserved task is refused, not
-    // misrouted.
+    // The routing table is live: an unserved task is refused with a
+    // typed error, not misrouted or silently dropped.
     let stray = InferenceRequest::new(vec![1, 2, 3]);
     let empty = MultiTaskRuntime::default();
-    assert!(empty.serve(Task::Sst2, &stray).is_none());
+    assert_eq!(
+        empty.try_serve(Task::Sst2, &stray),
+        Err(edgebert::serving::ServeError::TaskNotServed(Task::Sst2))
+    );
     println!("\n(an empty runtime refuses requests rather than misrouting them)");
 }

@@ -39,16 +39,19 @@ fn main() {
         // Near-capacity lane (~87 % utilization): bursts form queues,
         // and the policy decides who absorbs the delay.
         mean_interarrival_s: service_s * 1.15,
+        paced: false,
         classes: vec![
             TrafficClass {
                 name: "tight",
                 latency_target_s: service_s * 3.0,
                 weight: 0.35,
+                task: None,
             },
             TrafficClass {
                 name: "relaxed",
                 latency_target_s: service_s * 25.0,
                 weight: 0.65,
+                task: None,
             },
         ],
         seed: 0x5CED,
@@ -67,6 +70,7 @@ fn main() {
         max_batch: 8,
         policy,
         task_switch_s: 0.0,
+        queue_aware_slack: false,
     };
     let fifo = drain_load(&runtime, &load, cfg(SchedulePolicy::Fifo));
     let edf = drain_load(&runtime, &load, cfg(SchedulePolicy::EarliestDeadline));

@@ -6,7 +6,7 @@
 use edgebert::engine::{deadline_met, InferenceRequest, InferenceResponse};
 use edgebert::pipeline::{Scale, TaskArtifacts};
 use edgebert::scheduler::{DeadlineScheduler, SchedulePolicy, SchedulerConfig};
-use edgebert::serving::{MultiTaskRuntime, TaskRuntime};
+use edgebert::serving::{MultiTaskRuntime, ServeError, TaskRuntime};
 use edgebert_bench::load::{
     class_reports, drain_load, estimate_service_s, generate, LoadSpec, TailReport, TrafficClass,
 };
@@ -39,6 +39,7 @@ fn cfg(policy: SchedulePolicy) -> SchedulerConfig {
         max_batch: 4,
         policy,
         task_switch_s: 0.0,
+        queue_aware_slack: false,
     }
 }
 
@@ -90,7 +91,7 @@ fn drain_preserves_submission_order_and_serve_bit_identity() {
         let req = InferenceRequest::new(tok.clone()).with_latency_target(20e-3 + 9e-3 * i as f64);
         let idx = sched.submit(task, req.clone(), 0.7e-3 * i as f64);
         assert_eq!(idx, i, "submission index is the output slot");
-        expected.push(rt.serve(task, &req).expect("served task"));
+        expected.push(rt.try_serve(task, &req).expect("served task"));
     }
     let out = sched.drain();
     assert_eq!(out.len(), expected.len());
@@ -122,14 +123,29 @@ fn serve_batch_is_a_scheduler_wrapper_with_old_semantics() {
         ),
         (Task::Sst2, InferenceRequest::new(toks[1].clone())),
     ];
-    let out = rt.serve_batch(&batch);
+    let out = rt.try_serve_batch(&batch);
     assert_eq!(out.len(), batch.len());
-    assert!(out[1].is_none(), "unserved task comes back None");
+    assert_eq!(
+        out[1],
+        Err(ServeError::TaskNotServed(Task::Mnli)),
+        "unserved task comes back as a typed routing error"
+    );
     for (i, (task, req)) in batch.iter().enumerate() {
-        assert_eq!(out[i], rt.serve(*task, req), "slot {i}");
+        assert_eq!(out[i], rt.try_serve(*task, req), "slot {i}");
     }
     // Empty batch edge.
-    assert!(rt.serve_batch(&[]).is_empty());
+    assert!(rt.try_serve_batch(&[]).is_empty());
+
+    // The deprecated Option wrappers stay as thin views of the typed
+    // API until external callers migrate.
+    #[allow(deprecated)]
+    {
+        let wrapped = rt.serve_batch(&batch);
+        for (w, t) in wrapped.into_iter().zip(&out) {
+            assert_eq!(w, t.clone().ok());
+        }
+        assert!(rt.serve_batch(&[]).is_empty());
+    }
 }
 
 #[test]
@@ -138,16 +154,19 @@ fn load_generator_is_deterministic_and_well_formed() {
     let spec = LoadSpec {
         requests: 40,
         mean_interarrival_s: 2e-3,
+        paced: false,
         classes: vec![
             TrafficClass {
                 name: "tight",
                 latency_target_s: 8e-3,
                 weight: 0.5,
+                task: None,
             },
             TrafficClass {
                 name: "relaxed",
                 latency_target_s: 80e-3,
                 weight: 0.5,
+                task: None,
             },
         ],
         seed: 0x10AD,
@@ -184,16 +203,19 @@ fn tail_report_percentiles_are_ordered_and_edf_protects_tight_traffic() {
     let spec = LoadSpec {
         requests: 80,
         mean_interarrival_s: service_s * 1.15,
+        paced: false,
         classes: vec![
             TrafficClass {
                 name: "tight",
                 latency_target_s: service_s * 3.0,
                 weight: 0.35,
+                task: None,
             },
             TrafficClass {
                 name: "relaxed",
                 latency_target_s: service_s * 25.0,
                 weight: 0.65,
+                task: None,
             },
         ],
         seed: 0x5CED,

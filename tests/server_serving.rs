@@ -1,0 +1,291 @@
+//! Integration tests for the `edgebert::server` subsystem and the
+//! queue-aware slack plumbing: bit-identity with `TaskRuntime::serve`
+//! and `DeadlineScheduler::drain`, typed admission errors, graceful
+//! shutdown under load, end-to-end slack compression, and the
+//! zero-slack property.
+
+use edgebert::engine::{
+    DropTarget, EntropyThresholds, InferenceMode, InferenceRequest, InferenceResponse,
+};
+use edgebert::pipeline::{Scale, TaskArtifacts};
+use edgebert::scheduler::{DeadlineScheduler, SchedulerConfig};
+use edgebert::server::{Server, ServerConfig, SubmitError};
+use edgebert::serving::{MultiTaskRuntime, ServeError, TaskRuntime};
+use edgebert_tasks::{Task, TaskGenerator};
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+fn runtime() -> &'static MultiTaskRuntime {
+    static CELL: OnceLock<MultiTaskRuntime> = OnceLock::new();
+    CELL.get_or_init(|| {
+        MultiTaskRuntime::from_runtimes([
+            TaskRuntime::from_artifacts(&TaskArtifacts::build(Task::Sst2, Scale::Test, 0x5ED0)),
+            TaskRuntime::from_artifacts(&TaskArtifacts::build(Task::Qnli, Scale::Test, 0x5ED1)),
+        ])
+    })
+}
+
+fn tokens_for(task: Task, n: usize, seed: u64) -> Vec<Vec<u32>> {
+    let rt = runtime().runtime(task).expect("served");
+    let gen = TaskGenerator::standard(task, rt.model().config.max_seq_len);
+    gen.generate(n, seed)
+        .examples()
+        .iter()
+        .map(|ex| ex.tokens.clone())
+        .collect()
+}
+
+fn blind_config() -> ServerConfig {
+    ServerConfig {
+        queue_aware_slack: false,
+        ..ServerConfig::default()
+    }
+}
+
+/// The acceptance contract: server submissions with zero queueing
+/// delay (slack-blind mode pins the stamp to zero) produce responses
+/// bit-identical to `TaskRuntime::serve` *and* to a
+/// `DeadlineScheduler::drain` of the same submissions. Runs under any
+/// `EDGEBERT_THREADS` setting — the CI determinism job forces 1.
+#[test]
+fn server_responses_match_serve_and_scheduler_drain_bitwise() {
+    let rt = runtime();
+    let sst = tokens_for(Task::Sst2, 4, 31);
+    let qnli = tokens_for(Task::Qnli, 4, 32);
+    let submissions: Vec<(Task, InferenceRequest)> = sst
+        .iter()
+        .map(|t| (Task::Sst2, t.clone()))
+        .chain(qnli.iter().map(|t| (Task::Qnli, t.clone())))
+        .enumerate()
+        .map(|(i, (task, tokens))| {
+            let req = InferenceRequest::new(tokens).with_latency_target(25e-3 + 11e-3 * i as f64);
+            (task, req)
+        })
+        .collect();
+
+    // Reference 1: direct serve on each task runtime.
+    let direct: Vec<InferenceResponse> = submissions
+        .iter()
+        .map(|(task, req)| rt.try_serve(*task, req).expect("served task"))
+        .collect();
+
+    // Reference 2: the virtual-timeline scheduler.
+    let mut sched = DeadlineScheduler::new(rt, SchedulerConfig::default());
+    for (task, req) in &submissions {
+        sched.submit(*task, req.clone(), 0.0);
+    }
+    let scheduled: Vec<InferenceResponse> = sched
+        .drain()
+        .into_iter()
+        .map(|r| r.expect("served").response)
+        .collect();
+    assert_eq!(direct, scheduled);
+
+    // The server, slack-blind, with a sharded pool: same bits.
+    let server = Server::start(
+        rt,
+        ServerConfig {
+            shards_per_task: 2,
+            ..blind_config()
+        },
+    );
+    let handles: Vec<_> = submissions
+        .iter()
+        .map(|(task, req)| server.submit(*task, req.clone()).expect("admitted"))
+        .collect();
+    for (handle, want) in handles.into_iter().zip(&direct) {
+        let got = handle.wait();
+        assert_eq!(
+            &got.response, want,
+            "server must not change what a sentence computes"
+        );
+        assert_eq!(got.slack_deducted_s, 0.0);
+    }
+    let stats = server.shutdown();
+    assert_eq!(stats.served(), submissions.len() as u64);
+    assert_eq!(stats.rejected(), 0);
+}
+
+#[test]
+fn admission_errors_are_typed_and_mirror_routing() {
+    let rt = runtime();
+    let server = Server::start(rt, blind_config());
+    let req = InferenceRequest::new(tokens_for(Task::Sst2, 1, 33)[0].clone());
+
+    // Routing failure: same task the typed runtime API reports.
+    assert!(matches!(
+        server.submit(Task::Mnli, req.clone()),
+        Err(SubmitError::TaskNotServed(Task::Mnli))
+    ));
+    assert_eq!(
+        rt.try_serve(Task::Mnli, &req),
+        Err(ServeError::TaskNotServed(Task::Mnli))
+    );
+
+    // Backpressure: a zero-capacity lane refuses deterministically.
+    let full = Server::start(
+        rt,
+        ServerConfig {
+            queue_capacity: 0,
+            ..blind_config()
+        },
+    );
+    assert!(matches!(
+        full.submit(Task::Sst2, req),
+        Err(SubmitError::QueueFull {
+            task: Task::Sst2,
+            capacity: 0
+        })
+    ));
+    assert_eq!(full.shutdown().rejected(), 1);
+}
+
+#[test]
+fn graceful_shutdown_serves_every_admitted_request() {
+    let rt = runtime();
+    let server = Server::start(rt, blind_config());
+    let mut handles = Vec::new();
+    for (i, tokens) in tokens_for(Task::Sst2, 6, 34).into_iter().enumerate() {
+        let req = InferenceRequest::new(tokens).with_latency_target(30e-3 + 5e-3 * i as f64);
+        handles.push(server.submit(Task::Sst2, req).expect("admitted"));
+    }
+    for tokens in tokens_for(Task::Qnli, 6, 35) {
+        handles.push(
+            server
+                .submit(Task::Qnli, InferenceRequest::new(tokens))
+                .expect("admitted"),
+        );
+    }
+    let stats = server.shutdown();
+    assert_eq!(stats.served(), 12);
+    assert_eq!(stats.queued(), 0);
+    assert_eq!(stats.submitted(), 12);
+    assert!(stats.violations() <= stats.served());
+    // Per-lane split is visible.
+    assert_eq!(stats.lane(Task::Sst2).expect("lane").served, 6);
+    assert_eq!(stats.lane(Task::Qnli).expect("lane").served, 6);
+    // Handles resolve after shutdown: responses were delivered in the
+    // drain.
+    for handle in handles {
+        let resp = handle.wait();
+        assert!(resp.response.result.energy_j > 0.0);
+    }
+}
+
+/// End to end through real worker threads with service-time emulation:
+/// a burst of escalating-deadline sentences on one strict-threshold
+/// lane. Slack-blind, every sentence stretches into its full target
+/// and all but the head miss; queue-aware, each compresses to its
+/// remaining slack and strictly fewer miss.
+#[test]
+fn queue_aware_slack_converts_violations_under_real_load() {
+    let art = TaskArtifacts::build(Task::Sst2, Scale::Test, 0x5ED2);
+    let rt = MultiTaskRuntime::from_runtimes([TaskRuntime::from_builder(
+        Task::Sst2,
+        art.engine_builder()
+            .uniform_thresholds(EntropyThresholds::uniform(0.0))
+            .workload(art.hardware_workload(true)),
+    )]);
+    let toks = tokens_for(Task::Sst2, 5, 36);
+    let drain = |queue_aware_slack: bool| -> u64 {
+        let server = Server::start(
+            &rt,
+            ServerConfig {
+                queue_aware_slack,
+                emulate_service_time: true,
+                slack_floor_s: 1e-3,
+                ..ServerConfig::default()
+            },
+        );
+        let handles: Vec<_> = toks
+            .iter()
+            .enumerate()
+            .map(|(i, tokens)| {
+                let req = InferenceRequest::new(tokens.clone())
+                    .with_latency_target(80e-3 * (i + 1) as f64);
+                server.submit(Task::Sst2, req).expect("admitted")
+            })
+            .collect();
+        for handle in handles {
+            handle.wait();
+        }
+        server.shutdown().violations()
+    };
+    let blind = drain(false);
+    let aware = drain(true);
+    assert!(
+        aware < blind,
+        "queue-aware slack must convert violations: {aware} vs {blind} of {}",
+        toks.len()
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The zero-slack property (acceptance): stamping a request with
+    /// zero elapsed queue time never changes its response — bit for
+    /// bit — so a queue-slack deduction of zero can never flip a
+    /// deadline verdict from met to missed. And a *positive* stamp is
+    /// one-way: it can only flip verdicts from met to missed, never
+    /// missed to met.
+    #[test]
+    fn zero_queue_slack_never_changes_a_response(
+        pick in 0usize..8,
+        target_ms in 5.0f64..300.0,
+        elapsed_ms in 0.5f64..400.0,
+        tier in 0usize..3,
+    ) {
+        let rt = runtime().runtime(Task::Sst2).expect("served");
+        let tokens = tokens_for(Task::Sst2, 8, 37)[pick].clone();
+        let drop = DropTarget::all()[tier];
+        let req = InferenceRequest::new(tokens)
+            .with_latency_target(target_ms * 1e-3)
+            .with_drop_target(drop);
+
+        let plain = rt.serve(&req);
+        let zero = rt.serve(&req.clone().with_elapsed_queue_s(0.0));
+        // The zero stamp must be a no-op, bit for bit.
+        prop_assert_eq!(&plain, &zero);
+
+        let queued = rt.serve(&req.clone().with_elapsed_queue_s(elapsed_ms * 1e-3));
+        if queued.result.deadline_met {
+            prop_assert!(
+                plain.result.deadline_met,
+                "a queued sentence meeting its deadline implies the unqueued one does"
+            );
+        }
+        // Service levels resolve identically either way.
+        prop_assert_eq!(queued.latency_target_s, plain.latency_target_s);
+        prop_assert_eq!(queued.drop_target, plain.drop_target);
+        prop_assert_eq!(queued.result.exit_layer, plain.result.exit_layer);
+    }
+
+    /// Base and conventional-EE responses: the queue stamp never
+    /// changes the computation, only the verdict.
+    #[test]
+    fn queue_stamp_only_moves_the_verdict_for_unbounded_modes(
+        target_ms in 1.0f64..100.0,
+        elapsed_ms in 0.0f64..200.0,
+        mode_pick in 0usize..2,
+    ) {
+        let rt = runtime().runtime(Task::Qnli).expect("served");
+        let tokens = tokens_for(Task::Qnli, 1, 38)[0].clone();
+        let mode = if mode_pick == 0 { InferenceMode::Base } else { InferenceMode::ConventionalEe };
+        let req = InferenceRequest::new(tokens)
+            .with_mode(mode)
+            .with_latency_target(target_ms * 1e-3);
+        let plain = rt.serve(&req);
+        let queued = rt.serve(&req.clone().with_elapsed_queue_s(elapsed_ms * 1e-3));
+        prop_assert_eq!(queued.result.latency_s, plain.result.latency_s);
+        prop_assert_eq!(queued.result.energy_j, plain.result.energy_j);
+        prop_assert_eq!(queued.result.prediction, plain.result.prediction);
+        prop_assert_eq!(
+            queued.result.deadline_met,
+            edgebert::deadline_met(
+                elapsed_ms * 1e-3 + plain.result.latency_s,
+                plain.latency_target_s
+            )
+        );
+    }
+}

@@ -41,6 +41,24 @@ fn request_round_trips_through_json() {
 }
 
 #[test]
+fn pre_queue_slack_request_json_still_parses() {
+    // Wire compatibility: requests serialized before `elapsed_queue_s`
+    // existed (or sent by clients that don't know about queues) must
+    // parse with a zero stamp, not fail on the missing field.
+    let old_wire = r#"{"tokens":[3,1,4],"mode":"LatencyAware","latency_target_s":0.05,"drop_target":"TwoPercent"}"#;
+    let req: InferenceRequest = serde::json::from_str(old_wire).expect("old wire shape parses");
+    assert_eq!(req.elapsed_queue_s, 0.0);
+    assert_eq!(req.tokens, vec![3, 1, 4]);
+    assert_eq!(req.latency_target_s, Some(0.05));
+    assert_eq!(req.drop_target, Some(DropTarget::TwoPercent));
+    // And a stamped request round-trips the stamp.
+    let stamped = req.with_elapsed_queue_s(12e-3);
+    let back: InferenceRequest =
+        serde::json::from_str(&serde::json::to_string(&stamped)).expect("stamped parses");
+    assert_eq!(back, stamped);
+}
+
+#[test]
 fn response_round_trips_through_json() {
     let art = artifacts();
     let engine = art.engine(50e-3);
