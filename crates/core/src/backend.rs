@@ -1,0 +1,650 @@
+//! Hardware backends behind one cost-accounting API.
+//!
+//! [`EdgeBertEngine`](crate::engine::EdgeBertEngine) runs the paper's
+//! algorithms (early exit, exit-layer prediction, sentence-level DVFS)
+//! against *some* hardware platform. The paper's headline claims are
+//! comparative — the EdgeBERT accelerator vs. an Nvidia TX2 mobile-GPU
+//! baseline — so the platform must be swappable without the baseline
+//! quietly costing a different workload than the engine it is compared
+//! against. [`InferenceBackend`] is that seam: it covers the per-layer
+//! workload costing, segment execution at an operating point, the
+//! nominal/floor operating points, the DVFS decision, and every
+//! fixed per-sentence cost (wake transition, embedding read, launch
+//! overhead).
+//!
+//! Two implementations ship:
+//!
+//! * [`AcceleratorBackend`] — the paper's 12 nm accelerator:
+//!   [`AcceleratorSim`] op-level costing, per-sentence DVFS through
+//!   [`DvfsController`], LDO/ADPLL transition accounting, and the eNVM
+//!   ReRAM embedding buffer. This is the default, and its outputs are
+//!   bit-identical to the pre-trait engine (pinned by
+//!   `tests/backend_equivalence.rs`).
+//! * [`MobileGpuBackend`] — the TX2-class comparison baseline: fixed
+//!   V/F (no DVFS capability, [`InferenceBackend::can_scale`] is
+//!   `false`), costs derived from the measured [`MobileGpu`] anchor,
+//!   with the AAS FLOP-scale factor derived from the *same*
+//!   [`WorkloadParams`] the engine is wired with — so comparison rows
+//!   can no longer disagree with the engine about what is being priced.
+//!
+//! A cycle-accurate simulator or real-hardware harness slots in through
+//! [`BackendSpec::Custom`] without touching the engine, serving, or
+//! server layers.
+
+use edgebert_envm::{CellTech, ReramArray};
+use edgebert_hw::memory::sentence_embedding_bits;
+use edgebert_hw::workload::EncoderWorkload;
+use edgebert_hw::{
+    AcceleratorConfig, AcceleratorSim, Adpll, DvfsController, Ldo, MobileGpu, WorkloadParams,
+};
+use std::sync::Arc;
+
+/// A `(voltage, frequency)` operating point chosen for an inference
+/// segment, plus whether the deadline that produced it is achievable.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OperatingPoint {
+    /// Supply voltage, volts.
+    pub voltage: f32,
+    /// Clock frequency, Hz.
+    pub freq_hz: f64,
+    /// Whether the latency budget behind this decision is achievable.
+    pub feasible: bool,
+}
+
+/// Latency and energy of one costed segment (layers, an embedding read,
+/// or a fixed overhead).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SegmentCost {
+    /// Wall-clock time, seconds.
+    pub seconds: f64,
+    /// Energy, joules.
+    pub energy_j: f64,
+}
+
+impl SegmentCost {
+    /// A free segment.
+    pub const ZERO: SegmentCost = SegmentCost {
+        seconds: 0.0,
+        energy_j: 0.0,
+    };
+}
+
+/// The hardware platform an [`EdgeBertEngine`](crate::engine::EdgeBertEngine)
+/// costs inferences against.
+///
+/// The engine owns the algorithms (software forward pass, entropy
+/// thresholds, exit-layer forecast) and drives the backend for every
+/// hardware number: per-layer work, segment latency/energy at an
+/// operating point, V/F decisions, and fixed per-sentence costs. A
+/// backend that cannot scale V/F ([`can_scale`](Self::can_scale) is
+/// `false`) still serves latency-aware requests — its
+/// [`decide`](Self::decide) pins the nominal point and reports
+/// feasibility against the fixed clock, so the engine degrades
+/// gracefully to nominal-only scheduling.
+pub trait InferenceBackend: std::fmt::Debug + Send + Sync {
+    /// Short human-readable backend name for reports and benches.
+    fn name(&self) -> &'static str;
+
+    /// Work units (clock cycles on the backend's clock) of one encoder
+    /// layer of the wired workload. The engine multiplies this by the
+    /// forecast remaining depth when asking for a DVFS decision.
+    fn layer_cycles(&self) -> u64;
+
+    /// Whether the backend can move its V/F operating point per
+    /// sentence. Fixed-point backends never transition, and their
+    /// [`decide`](Self::decide) holds the nominal point.
+    fn can_scale(&self) -> bool;
+
+    /// The nominal (maximum-performance) operating point.
+    fn nominal(&self) -> OperatingPoint;
+
+    /// The floor (minimum-energy) operating point. Equals
+    /// [`nominal`](Self::nominal) on fixed-V/F backends.
+    fn floor(&self) -> OperatingPoint;
+
+    /// Worst-case time to transition from nominal to the floor point,
+    /// seconds — the reserve the engine subtracts from a latency budget
+    /// before asking for a decision. Zero on fixed-V/F backends.
+    fn floor_transition_s(&self) -> f64;
+
+    /// Time to bring the platform from standby to the nominal point
+    /// (rail slew + clock relock), charged at the start of a
+    /// latency-aware sentence. Zero when the platform has no modeled
+    /// standby state.
+    fn wake_transition_s(&self) -> f64;
+
+    /// Fixed per-sentence cost charged on every inference regardless of
+    /// mode (e.g. kernel-launch and host-sync overhead on a GPU).
+    fn sentence_overhead(&self) -> SegmentCost;
+
+    /// Cost of reading the sentence's embedding rows from the
+    /// platform's embedding store. Zero when that cost is already
+    /// folded into the measured per-layer anchor.
+    fn embedding_read_cost(&self) -> SegmentCost;
+
+    /// The operating point for `remaining_cycles` of work within
+    /// `remaining_seconds` of budget, of which `elapsed_queue_s` was
+    /// already burned queueing (paper §5.2:
+    /// `Freq_opt = N_cycles / (T − T_elapsed)`).
+    fn decide(
+        &self,
+        remaining_cycles: u64,
+        remaining_seconds: f64,
+        elapsed_queue_s: f64,
+    ) -> OperatingPoint;
+
+    /// Time to transition from the nominal point to `to`, seconds.
+    fn transition_s(&self, to: &OperatingPoint) -> f64;
+
+    /// Runs `layers` encoder layers of the wired workload at an
+    /// operating point.
+    fn run_layers(&self, layers: usize, at: &OperatingPoint) -> SegmentCost;
+
+    /// Runs `layers` encoder layers at the nominal point.
+    fn run_layers_nominal(&self, layers: usize) -> SegmentCost {
+        self.run_layers(layers, &self.nominal())
+    }
+
+    /// The op-level accelerator simulator, when this backend is built on
+    /// one (experiment drivers that trace accelerator internals — e.g.
+    /// the Fig. 7 LDO waveform — require it).
+    fn as_accelerator(&self) -> Option<&AcceleratorSim> {
+        None
+    }
+
+    /// The mobile-GPU baseline model, when this backend *is* one — so
+    /// comparison-row helpers reuse the engine's wired anchor instead
+    /// of silently re-deriving the default.
+    fn as_mobile_gpu(&self) -> Option<&MobileGpuBackend> {
+        None
+    }
+}
+
+/// Which backend an [`EngineBuilder`](crate::engine::EngineBuilder)
+/// wires into the engine it builds.
+#[derive(Debug, Clone, Default)]
+pub enum BackendSpec {
+    /// The paper's accelerator + DVFS on the builder's wired
+    /// accelerator config, workload, and eNVM cell (the default).
+    #[default]
+    Accelerator,
+    /// The mobile-GPU comparison baseline, costing the builder's wired
+    /// workload.
+    MobileGpu(MobileGpu),
+    /// A custom backend (cycle-accurate sim, real hardware), used
+    /// as-is.
+    Custom(Arc<dyn InferenceBackend>),
+}
+
+/// The paper's accelerator platform: op-level simulator, DVFS
+/// controller, LDO/ADPLL transition costs, and the ReRAM embedding
+/// buffer.
+#[derive(Debug, Clone)]
+pub struct AcceleratorBackend {
+    sim: AcceleratorSim,
+    dvfs: DvfsController,
+    layer: EncoderWorkload,
+    layer_cycles: u64,
+    rram: ReramArray,
+    embed_bits: usize,
+}
+
+impl AcceleratorBackend {
+    /// Builds the backend for an accelerator design point, a workload,
+    /// and the eNVM cell technology backing the embedding buffer.
+    pub fn new(
+        accel: AcceleratorConfig,
+        workload: &WorkloadParams,
+        cell_tech: CellTech,
+        envm_capacity_mb: f64,
+    ) -> Self {
+        let sim = AcceleratorSim::new(accel);
+        let layer = sim.layer_workload(workload);
+        let layer_cycles = layer.cycles();
+        let embed_bits = sentence_embedding_bits(workload.seq_len, 128, 0.4);
+        Self {
+            dvfs: DvfsController::new(accel),
+            sim,
+            layer,
+            layer_cycles,
+            rram: ReramArray::new(cell_tech, envm_capacity_mb),
+            embed_bits,
+        }
+    }
+
+    /// The underlying op-level simulator.
+    pub fn simulator(&self) -> &AcceleratorSim {
+        &self.sim
+    }
+
+    /// The DVFS controller.
+    pub fn dvfs(&self) -> &DvfsController {
+        &self.dvfs
+    }
+}
+
+impl InferenceBackend for AcceleratorBackend {
+    fn name(&self) -> &'static str {
+        "accelerator"
+    }
+
+    fn layer_cycles(&self) -> u64 {
+        self.layer_cycles
+    }
+
+    fn can_scale(&self) -> bool {
+        true
+    }
+
+    fn nominal(&self) -> OperatingPoint {
+        let cfg = self.sim.config();
+        OperatingPoint {
+            voltage: cfg.vdd_nominal,
+            freq_hz: cfg.freq_max_hz,
+            feasible: true,
+        }
+    }
+
+    fn floor(&self) -> OperatingPoint {
+        let cfg = self.sim.config();
+        OperatingPoint {
+            voltage: cfg.vdd_min,
+            freq_hz: self.dvfs.vf_table().freq_at_voltage(cfg.vdd_min),
+            feasible: true,
+        }
+    }
+
+    fn floor_transition_s(&self) -> f64 {
+        self.dvfs.floor_transition_s()
+    }
+
+    fn wake_transition_s(&self) -> f64 {
+        let cfg = self.sim.config();
+        let ldo = Ldo::new(cfg.vdd_standby);
+        let pll = Adpll::new(cfg.freq_max_hz);
+        ldo.transition_time_ns(cfg.vdd_standby, cfg.vdd_nominal) * 1e-9 + pll.relock_ns() * 1e-9
+    }
+
+    fn sentence_overhead(&self) -> SegmentCost {
+        SegmentCost::ZERO
+    }
+
+    fn embedding_read_cost(&self) -> SegmentCost {
+        SegmentCost {
+            seconds: self.rram.read_latency_ns(self.embed_bits) * 1e-9,
+            energy_j: self.rram.read_energy_pj(self.embed_bits) * 1e-12,
+        }
+    }
+
+    fn decide(
+        &self,
+        remaining_cycles: u64,
+        remaining_seconds: f64,
+        elapsed_queue_s: f64,
+    ) -> OperatingPoint {
+        let d = self
+            .dvfs
+            .decide_with_elapsed(remaining_cycles, remaining_seconds, elapsed_queue_s);
+        OperatingPoint {
+            voltage: d.voltage,
+            freq_hz: d.freq_hz,
+            feasible: d.feasible,
+        }
+    }
+
+    fn transition_s(&self, to: &OperatingPoint) -> f64 {
+        // The LDO slews from nominal toward the decision voltage while
+        // the ADPLL relocks (relock is free when the clock holds fmax).
+        let cfg = self.sim.config();
+        let ldo = Ldo::new(cfg.vdd_standby);
+        let pll = Adpll::new(cfg.freq_max_hz);
+        ldo.transition_time_ns(cfg.vdd_nominal, to.voltage) * 1e-9
+            + if to.freq_hz == cfg.freq_max_hz {
+                0.0
+            } else {
+                pll.relock_ns() * 1e-9
+            }
+    }
+
+    fn run_layers(&self, layers: usize, at: &OperatingPoint) -> SegmentCost {
+        let cost = self
+            .sim
+            .run_layers(&self.layer, layers, at.voltage, at.freq_hz);
+        SegmentCost {
+            seconds: cost.seconds,
+            energy_j: cost.energy_j,
+        }
+    }
+
+    fn as_accelerator(&self) -> Option<&AcceleratorSim> {
+        Some(&self.sim)
+    }
+}
+
+/// The supply voltage [`MobileGpuBackend`] reports in results: the
+/// board runs a fixed rail the model does not scale, so a single
+/// representative value stands in for it.
+pub const MGPU_RAIL_V: f32 = 1.0;
+
+/// The virtual clock [`MobileGpuBackend`] expresses work units on:
+/// 1 GHz, so one "cycle" is one nanosecond of anchored per-layer time.
+pub const MGPU_VIRTUAL_HZ: f64 = 1.0e9;
+
+/// The TX2-class mobile-GPU comparison baseline as an engine backend.
+///
+/// Fixed V/F: [`can_scale`](InferenceBackend::can_scale) is `false`,
+/// [`decide`](InferenceBackend::decide) always pins the nominal point
+/// (judging feasibility against the fixed clock), and all transition
+/// costs are zero. Latency and energy derive from the measured
+/// [`MobileGpu`] anchor; the AAS FLOP-scale factor is derived from the
+/// wired [`WorkloadParams`] (the GPU benefits from adaptive attention
+/// span, but not from bitmask sparsity), so the baseline prices the
+/// same workload the engine serves. The embedding read costs zero
+/// because the anchor measurement already includes DRAM traffic, and
+/// the fixed kernel-launch/host-sync overhead is charged per sentence
+/// through [`sentence_overhead`](InferenceBackend::sentence_overhead).
+#[derive(Debug, Clone)]
+pub struct MobileGpuBackend {
+    gpu: MobileGpu,
+    flop_scale: f64,
+    layer_cycles: u64,
+}
+
+impl MobileGpuBackend {
+    /// Builds the baseline with an explicit FLOP scale.
+    pub fn with_flop_scale(gpu: MobileGpu, flop_scale: f64) -> Self {
+        let flop_scale = MobileGpu::effective_flop_scale(flop_scale);
+        // Work units on the virtual clock: one cycle per nanosecond of
+        // anchored per-layer compute, floored at 1 so the engine's
+        // remaining-work product never degenerates to zero.
+        let layer_cycles = (gpu.per_layer_latency_s(flop_scale) * MGPU_VIRTUAL_HZ)
+            .round()
+            .max(1.0) as u64;
+        Self {
+            gpu,
+            flop_scale,
+            layer_cycles,
+        }
+    }
+
+    /// Builds the baseline for the workload an engine is wired with,
+    /// deriving the AAS FLOP-scale factor the way the paper's Fig. 8
+    /// does: the cycle ratio between the workload and its dense,
+    /// all-heads-open counterpart on the reference accelerator model,
+    /// clamped to `[0.5, 1.0]`. A workload without AAS derives 1.0.
+    pub fn from_workload(gpu: MobileGpu, workload: &WorkloadParams) -> Self {
+        let mut dense = workload.clone();
+        dense.aas_enabled = false;
+        dense.sparse_enabled = false;
+        let sim = AcceleratorSim::new(AcceleratorConfig::energy_optimal());
+        let c_dense = sim.layer_workload(&dense).cycles() as f64;
+        let c_wired = sim.layer_workload(workload).cycles() as f64;
+        let flop_scale = if c_dense > 0.0 {
+            (c_wired / c_dense).clamp(0.5, 1.0)
+        } else {
+            1.0
+        };
+        Self::with_flop_scale(gpu, flop_scale)
+    }
+
+    /// The anchor model.
+    pub fn gpu(&self) -> &MobileGpu {
+        &self.gpu
+    }
+
+    /// The derived (sanitized) FLOP scale applied to every layer.
+    pub fn flop_scale(&self) -> f64 {
+        self.flop_scale
+    }
+
+    /// A whole `layers`-deep inference: fixed overhead plus the scaled
+    /// per-layer costs — the comparison-row number. Delegates to
+    /// [`MobileGpu::inference_latency_s`]/[`MobileGpu::inference_energy_j`]
+    /// so one formula (the anchor model's) owns the pricing.
+    pub fn full_inference(&self, layers: usize) -> SegmentCost {
+        SegmentCost {
+            seconds: self.gpu.inference_latency_s(layers, self.flop_scale),
+            energy_j: self.gpu.inference_energy_j(layers, self.flop_scale),
+        }
+    }
+}
+
+impl InferenceBackend for MobileGpuBackend {
+    fn name(&self) -> &'static str {
+        "mobile-gpu"
+    }
+
+    fn layer_cycles(&self) -> u64 {
+        self.layer_cycles
+    }
+
+    fn can_scale(&self) -> bool {
+        false
+    }
+
+    fn nominal(&self) -> OperatingPoint {
+        OperatingPoint {
+            voltage: MGPU_RAIL_V,
+            freq_hz: MGPU_VIRTUAL_HZ,
+            feasible: true,
+        }
+    }
+
+    fn floor(&self) -> OperatingPoint {
+        self.nominal()
+    }
+
+    fn floor_transition_s(&self) -> f64 {
+        0.0
+    }
+
+    fn wake_transition_s(&self) -> f64 {
+        0.0
+    }
+
+    fn sentence_overhead(&self) -> SegmentCost {
+        let overhead_s = self.gpu.effective_overhead_s();
+        SegmentCost {
+            seconds: overhead_s,
+            energy_j: overhead_s * self.gpu.effective_power_w(),
+        }
+    }
+
+    fn embedding_read_cost(&self) -> SegmentCost {
+        SegmentCost::ZERO
+    }
+
+    fn decide(
+        &self,
+        remaining_cycles: u64,
+        remaining_seconds: f64,
+        elapsed_queue_s: f64,
+    ) -> OperatingPoint {
+        // No DVFS capability: hold the fixed point and report whether
+        // the remaining work fits the remaining budget at it. A NaN
+        // budget compares false, i.e. infeasible.
+        let mut point = self.nominal();
+        let need_s = remaining_cycles as f64 / point.freq_hz;
+        point.feasible = need_s <= remaining_seconds - elapsed_queue_s;
+        point
+    }
+
+    fn transition_s(&self, _to: &OperatingPoint) -> f64 {
+        0.0
+    }
+
+    fn run_layers(&self, layers: usize, _at: &OperatingPoint) -> SegmentCost {
+        // Fixed V/F: the operating point cannot change the cost.
+        let seconds = self.gpu.per_layer_latency_s(self.flop_scale) * layers as f64;
+        SegmentCost {
+            seconds,
+            energy_j: seconds * self.gpu.effective_power_w(),
+        }
+    }
+
+    fn as_mobile_gpu(&self) -> Option<&MobileGpuBackend> {
+        Some(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn accel() -> AcceleratorBackend {
+        AcceleratorBackend::new(
+            AcceleratorConfig::energy_optimal(),
+            &WorkloadParams::albert_base(),
+            CellTech::Mlc2,
+            2.0,
+        )
+    }
+
+    #[test]
+    fn accelerator_backend_matches_direct_sim() {
+        // The backend is a reshuffling of the same hw calls the engine
+        // used to make inline: segment costs must be bit-identical to
+        // driving the simulator directly.
+        let b = accel();
+        let sim = AcceleratorSim::new(AcceleratorConfig::energy_optimal());
+        let layer = sim.layer_workload(&WorkloadParams::albert_base());
+        assert_eq!(b.layer_cycles(), layer.cycles());
+        for layers in [1usize, 3, 12] {
+            let direct = sim.run_layers_nominal(&layer, layers);
+            let via = b.run_layers_nominal(layers);
+            assert_eq!(via.seconds, direct.seconds);
+            assert_eq!(via.energy_j, direct.energy_j);
+            let scaled = sim.run_layers(&layer, layers, 0.6, 0.5e9);
+            let via = b.run_layers(
+                layers,
+                &OperatingPoint {
+                    voltage: 0.6,
+                    freq_hz: 0.5e9,
+                    feasible: true,
+                },
+            );
+            assert_eq!(via.seconds, scaled.seconds);
+            assert_eq!(via.energy_j, scaled.energy_j);
+        }
+        // Decisions delegate to the DVFS controller verbatim.
+        let d = b.dvfs().decide(40_000_000, 50e-3);
+        let p = b.decide(40_000_000, 50e-3, 0.0);
+        assert_eq!(
+            (p.voltage, p.freq_hz, p.feasible),
+            (d.voltage, d.freq_hz, d.feasible)
+        );
+        assert!(b.can_scale());
+        assert!(b.as_accelerator().is_some());
+        assert_eq!(b.floor_transition_s(), b.dvfs().floor_transition_s());
+    }
+
+    #[test]
+    fn accelerator_points_and_transitions() {
+        let b = accel();
+        let cfg = AcceleratorConfig::energy_optimal();
+        let nom = b.nominal();
+        assert_eq!(nom.voltage, cfg.vdd_nominal);
+        assert_eq!(nom.freq_hz, cfg.freq_max_hz);
+        let floor = b.floor();
+        assert_eq!(floor.voltage, cfg.vdd_min);
+        assert!(floor.freq_hz < nom.freq_hz);
+        // Staying at nominal costs no relock; moving to the floor costs
+        // the worst-case reserve.
+        assert_eq!(b.transition_s(&nom), 0.0);
+        assert!((b.transition_s(&floor) - b.floor_transition_s()).abs() < 1e-15);
+        assert!(b.wake_transition_s() > 0.0);
+        assert_eq!(b.sentence_overhead(), SegmentCost::ZERO);
+        let embed = b.embedding_read_cost();
+        assert!(embed.seconds > 0.0 && embed.energy_j > 0.0);
+    }
+
+    #[test]
+    fn mgpu_backend_prices_the_anchor() {
+        let gpu = MobileGpu::default();
+        let b = MobileGpuBackend::with_flop_scale(gpu, 1.0);
+        let full = b.full_inference(12);
+        assert_eq!(full.seconds, gpu.inference_latency_s(12, 1.0));
+        assert_eq!(full.energy_j, gpu.inference_energy_j(12, 1.0));
+        assert!(!b.can_scale());
+        assert_eq!(b.floor(), b.nominal());
+        assert_eq!(b.wake_transition_s(), 0.0);
+        assert_eq!(b.floor_transition_s(), 0.0);
+        assert_eq!(b.embedding_read_cost(), SegmentCost::ZERO);
+        assert!(b.as_accelerator().is_none());
+        // The operating point cannot change the cost.
+        let slow = OperatingPoint {
+            voltage: 0.5,
+            freq_hz: 1.0,
+            feasible: true,
+        };
+        assert_eq!(b.run_layers(3, &slow), b.run_layers_nominal(3));
+    }
+
+    #[test]
+    fn mgpu_decide_degrades_to_nominal_only() {
+        let b = MobileGpuBackend::with_flop_scale(MobileGpu::default(), 1.0);
+        // Plenty of budget: feasible, still at the fixed point.
+        let loose = b.decide(b.layer_cycles() * 2, 1.0, 0.0);
+        assert!(loose.feasible);
+        assert_eq!(
+            (loose.voltage, loose.freq_hz),
+            (MGPU_RAIL_V, MGPU_VIRTUAL_HZ)
+        );
+        // Impossible budget: same point, flagged infeasible.
+        let tight = b.decide(b.layer_cycles() * 11, 1e-4, 0.0);
+        assert!(!tight.feasible);
+        assert_eq!(
+            (tight.voltage, tight.freq_hz),
+            (MGPU_RAIL_V, MGPU_VIRTUAL_HZ)
+        );
+        // Queueing burns the budget.
+        let queued = b.decide(b.layer_cycles(), 20e-3, 19e-3);
+        assert!(!queued.feasible);
+        // NaN budgets are infeasible, never propagated.
+        let nan = b.decide(b.layer_cycles(), f64::NAN, 0.0);
+        assert!(!nan.feasible);
+    }
+
+    #[test]
+    fn mgpu_flop_scale_derives_from_the_workload() {
+        let gpu = MobileGpu::default();
+        // Dense, all heads open: no AAS benefit.
+        let dense = MobileGpuBackend::from_workload(gpu, &WorkloadParams::albert_base());
+        assert_eq!(dense.flop_scale(), 1.0);
+        // AAS with most heads off: a real reduction, clamped to ≥ 0.5.
+        let mut spans = vec![0.0f32; 12];
+        spans[0] = 20.0;
+        spans[7] = 40.0;
+        let optimized = WorkloadParams::albert_base().with_optimizations(0.6, &spans);
+        let aas = MobileGpuBackend::from_workload(gpu, &optimized);
+        assert!(
+            (0.5..1.0).contains(&aas.flop_scale()),
+            "scale {}",
+            aas.flop_scale()
+        );
+        assert!(aas.full_inference(12).seconds < dense.full_inference(12).seconds);
+        // Garbage explicit scales sanitize instead of poisoning costs.
+        let bad = MobileGpuBackend::with_flop_scale(gpu, f64::NAN);
+        assert_eq!(bad.flop_scale(), 1.0);
+        assert!(bad.full_inference(12).seconds.is_finite());
+    }
+
+    #[test]
+    fn backends_are_object_safe_and_shared() {
+        // The engine holds `Arc<dyn InferenceBackend>` and is cloned
+        // into server pools: the trait must stay object-safe, Send, and
+        // Sync.
+        let backends: Vec<Arc<dyn InferenceBackend>> = vec![
+            Arc::new(accel()),
+            Arc::new(MobileGpuBackend::with_flop_scale(MobileGpu::default(), 1.0)),
+        ];
+        fn assert_send_sync<T: Send + Sync>(_: &T) {}
+        for b in &backends {
+            assert_send_sync(b);
+            assert!(b.layer_cycles() > 0);
+            assert!(b.run_layers_nominal(1).seconds > 0.0);
+        }
+        let names: Vec<&str> = backends.iter().map(|b| b.name()).collect();
+        assert_eq!(names, ["accelerator", "mobile-gpu"]);
+    }
+}

@@ -42,8 +42,18 @@ pub struct Fig7 {
 
 /// Simulates `n_sentences` consecutive LAI inferences and records the
 /// supply waveform.
+///
+/// # Panics
+///
+/// This experiment traces the accelerator's LDO rail, so it requires
+/// an engine built on the accelerator backend (the default); it panics
+/// on an engine whose [`EdgeBertEngine::accelerator_sim`] is `None`
+/// (e.g. the mGPU baseline, which has no scaling rail to trace).
 pub fn run(art: &TaskArtifacts, engine: &EdgeBertEngine, n_sentences: usize) -> Fig7 {
-    let cfg = *engine.simulator().config();
+    let cfg = *engine
+        .accelerator_sim()
+        .expect("Fig. 7 traces the accelerator backend's LDO rail")
+        .config();
     let mut ldo = Ldo::new(cfg.vdd_standby);
     let mut t_ms = 0.0f64;
     let mut waveform = vec![(0.0, cfg.vdd_standby)];

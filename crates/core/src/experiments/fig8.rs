@@ -6,6 +6,7 @@
 //! compressed sparse execution (+AAS+Sparse). Full 12-layer inference at
 //! nominal V/F, as in the paper's figure.
 
+use crate::backend::MobileGpuBackend;
 use crate::pipeline::TaskArtifacts;
 use crate::report::{energy, time, TextTable};
 use edgebert_hw::{AcceleratorConfig, AcceleratorSim, MobileGpu, WorkloadParams};
@@ -48,24 +49,19 @@ fn task_workloads(art: &TaskArtifacts) -> [(&'static str, WorkloadParams); 3] {
     [("base", base), ("aas", aas), ("aas+sparse", full)]
 }
 
-/// AAS FLOP-scale factor for the mGPU (compute shrinks with the active
-/// heads and spans; the GPU cannot exploit sparsity).
-fn aas_flop_scale(art: &TaskArtifacts) -> f64 {
-    let base = art.hardware_workload(false);
-    let aas = art.hardware_workload(true);
-    let cfg = AcceleratorConfig::energy_optimal();
-    let sim = AcceleratorSim::new(cfg);
-    let c_base = sim.layer_workload(&base).cycles() as f64;
-    let c_aas = sim.layer_workload(&aas).cycles() as f64;
-    (c_aas / c_base).clamp(0.5, 1.0)
-}
-
 /// Runs the sweep for a set of tasks.
+///
+/// The mGPU reference rows go through
+/// [`MobileGpuBackend::from_workload`] on the *same* workload shapes the
+/// accelerator sweep costs (the AAS FLOP-scale factor is derived from
+/// the workload, not asserted separately), so the baseline cannot
+/// silently price a different model than the accelerator it is compared
+/// against.
 pub fn run(artifacts: &[TaskArtifacts]) -> Fig8 {
     let mut points = Vec::new();
     let mut mgpu_base = Vec::new();
     let mut mgpu_aas = Vec::new();
-    let gpu = MobileGpu::tegra_x2();
+    let gpu = MobileGpu::default();
     for art in artifacts {
         for n in MAC_SIZES {
             let cfg = AcceleratorConfig::with_mac_vector_size(n);
@@ -82,17 +78,12 @@ pub fn run(artifacts: &[TaskArtifacts]) -> Fig8 {
                 });
             }
         }
-        let scale = aas_flop_scale(art);
-        mgpu_base.push((
-            art.task.to_string(),
-            gpu.inference_latency_s(12, 1.0),
-            gpu.inference_energy_j(12, 1.0),
-        ));
-        mgpu_aas.push((
-            art.task.to_string(),
-            gpu.inference_latency_s(12, scale),
-            gpu.inference_energy_j(12, scale),
-        ));
+        let base = MobileGpuBackend::from_workload(gpu, &art.hardware_workload(false));
+        let full = base.full_inference(12);
+        mgpu_base.push((art.task.to_string(), full.seconds, full.energy_j));
+        let aas = MobileGpuBackend::from_workload(gpu, &art.hardware_workload(true));
+        let full = aas.full_inference(12);
+        mgpu_aas.push((art.task.to_string(), full.seconds, full.energy_j));
     }
     Fig8 {
         points,

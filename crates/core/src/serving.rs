@@ -243,32 +243,6 @@ impl MultiTaskRuntime {
             })
             .collect()
     }
-
-    /// Routes one request to its task's engine. Returns `None` when the
-    /// task is not served.
-    #[deprecated(
-        since = "0.3.0",
-        note = "use `try_serve`, which reports *why* a request went unserved"
-    )]
-    pub fn serve(&self, task: Task, request: &InferenceRequest) -> Option<InferenceResponse> {
-        self.try_serve(task, request).ok()
-    }
-
-    /// Serves a mixed-task batch, preserving order. Entries whose task
-    /// is not served come back as `None`.
-    #[deprecated(
-        since = "0.3.0",
-        note = "use `try_serve_batch`, which reports *why* an entry went unserved"
-    )]
-    pub fn serve_batch(
-        &self,
-        requests: &[(Task, InferenceRequest)],
-    ) -> Vec<Option<InferenceResponse>> {
-        self.try_serve_batch(requests)
-            .into_iter()
-            .map(Result::ok)
-            .collect()
-    }
 }
 
 #[cfg(test)]
@@ -336,31 +310,6 @@ mod tests {
         assert!(out[2].is_ok());
         // Routing in a batch matches routing one by one.
         assert_eq!(out[0], mt.try_serve(Task::Sst2, &batch[0].1));
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_option_wrappers_mirror_the_typed_api() {
-        let sst = TaskRuntime::from_artifacts(&artifacts(Task::Sst2, 0x5E46));
-        let toks = {
-            let gen =
-                edgebert_tasks::TaskGenerator::standard(Task::Sst2, sst.model().config.max_seq_len);
-            gen.generate(1, 11).examples()[0].tokens.clone()
-        };
-        let mt = MultiTaskRuntime::from_runtimes([sst]);
-        let req = InferenceRequest::new(toks);
-        assert_eq!(
-            mt.serve(Task::Sst2, &req),
-            mt.try_serve(Task::Sst2, &req).ok()
-        );
-        assert_eq!(mt.serve(Task::Qnli, &req), None);
-        let batch = [(Task::Sst2, req.clone()), (Task::Qnli, req)];
-        let wrapped = mt.serve_batch(&batch);
-        let typed = mt.try_serve_batch(&batch);
-        assert_eq!(wrapped.len(), typed.len());
-        for (w, t) in wrapped.into_iter().zip(typed) {
-            assert_eq!(w, t.ok());
-        }
     }
 
     #[test]

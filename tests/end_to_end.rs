@@ -122,7 +122,20 @@ fn mgpu_gap_is_orders_of_magnitude() {
     let art = artifacts();
     let engine = art.engine_at(100e-3, DropTarget::OnePercent, true);
     let lai = engine.evaluate(&art.dev, InferenceMode::LatencyAware);
-    let (gpu_lat, gpu_energy) = engine.mgpu_cost(12, 1.0);
+    // Comparison rows are costed through the backend trait on the
+    // engine's wired workload — the optimized workload transfers its
+    // AAS FLOP reduction to the GPU, so the gap is judged fairly.
+    let (gpu_lat, gpu_energy) = engine.mgpu_cost(12);
     assert!(gpu_energy / lai.avg_energy_j > 20.0);
-    assert!(gpu_lat > 0.1);
+    // Full 12-layer inference stays in the anchor's regime even after
+    // the workload's AAS reduction transfers (the derived scale is
+    // clamped to [0.5, 1.0], so the floor is overhead + half the
+    // anchored compute ≈ 63 ms).
+    assert!((0.06..0.135).contains(&gpu_lat), "gpu latency {gpu_lat}");
+    let baseline = engine.mgpu_baseline();
+    assert!(
+        (0.5..=1.0).contains(&baseline.flop_scale()),
+        "derived AAS scale {}",
+        baseline.flop_scale()
+    );
 }

@@ -135,17 +135,6 @@ fn serve_batch_is_a_scheduler_wrapper_with_old_semantics() {
     }
     // Empty batch edge.
     assert!(rt.try_serve_batch(&[]).is_empty());
-
-    // The deprecated Option wrappers stay as thin views of the typed
-    // API until external callers migrate.
-    #[allow(deprecated)]
-    {
-        let wrapped = rt.serve_batch(&batch);
-        for (w, t) in wrapped.into_iter().zip(&out) {
-            assert_eq!(w, t.clone().ok());
-        }
-        assert!(rt.serve_batch(&[]).is_empty());
-    }
 }
 
 #[test]
