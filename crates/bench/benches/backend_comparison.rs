@@ -103,6 +103,7 @@ fn bench(c: &mut Criterion) {
         policy: SchedulePolicy::EarliestDeadline,
         task_switch_s: 0.0,
         queue_aware_slack: false,
+        pressure_stretch: false,
     };
     let accel_out = drain_load(&accel, &load, cfg);
     let gpu_out = drain_load(&gpu, &load, cfg);

@@ -74,6 +74,7 @@ fn bench(c: &mut Criterion) {
         queue_aware_slack,
         slack_floor_s: 1e-3,
         emulate_service_time: true,
+        ..ServerConfig::default()
     };
     let blind = drain_load_wall_clock(&runtime, &load, cfg(false));
     let aware = drain_load_wall_clock(&runtime, &load, cfg(true));
@@ -117,6 +118,7 @@ fn bench(c: &mut Criterion) {
                 policy: SchedulePolicy::EarliestDeadline,
                 task_switch_s: 0.0,
                 queue_aware_slack,
+                pressure_stretch: false,
             },
         );
         class_reports(&load, &responses, &classes)

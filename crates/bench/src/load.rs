@@ -11,7 +11,7 @@
 //! shows exactly who head-of-line blocking was hurting.
 
 use edgebert::scheduler::{DeadlineScheduler, ScheduledResponse, SchedulerConfig};
-use edgebert::server::{Server, ServerConfig, ServerResponse};
+use edgebert::server::{Server, ServerConfig, ServerResponse, ServerStats};
 use edgebert::{InferenceRequest, MultiTaskRuntime};
 use edgebert_tasks::{Task, TaskGenerator};
 use edgebert_tensor::stats::percentile;
@@ -231,6 +231,17 @@ pub fn drain_load_wall_clock(
     load: &[LoadRequest],
     cfg: ServerConfig,
 ) -> Vec<ServerResponse> {
+    drain_load_wall_clock_stats(runtime, load, cfg).0
+}
+
+/// [`drain_load_wall_clock`] returning the final per-lane
+/// [`ServerStats`] snapshot alongside the responses — the preemption
+/// benches report parked/preempted/resumed counters from it.
+pub fn drain_load_wall_clock_stats(
+    runtime: &MultiTaskRuntime,
+    load: &[LoadRequest],
+    cfg: ServerConfig,
+) -> (Vec<ServerResponse>, ServerStats) {
     let server = Server::start(runtime, cfg);
     let epoch = Instant::now();
     let mut handles = Vec::with_capacity(load.len());
@@ -245,9 +256,33 @@ pub fn drain_load_wall_clock(
                 .expect("lane capacity must cover the generated load"),
         );
     }
-    let responses = handles.into_iter().map(|h| h.wait()).collect();
-    server.shutdown();
-    responses
+    let responses = handles
+        .into_iter()
+        .map(|h| h.wait().expect("shard workers outlive the drain"))
+        .collect();
+    let stats = server.shutdown();
+    (responses, stats)
+}
+
+/// Renders the preemption-related lane counters of a stats snapshot —
+/// the bench-report row for preemptive serving runs.
+pub fn render_preemption_stats(stats: &ServerStats) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<8} {:>8} {:>10} {:>8} {:>12}\n",
+        "lane", "served", "preempted", "resumed", "max parked"
+    ));
+    for lane in &stats.lanes {
+        out.push_str(&format!(
+            "{:<8} {:>8} {:>10} {:>8} {:>12}\n",
+            lane.task.to_string(),
+            lane.served,
+            lane.preempted,
+            lane.resumed,
+            lane.max_parked_depth,
+        ));
+    }
+    out
 }
 
 /// Offered per-lane utilization of a load spec against a floor service

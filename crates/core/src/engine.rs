@@ -27,11 +27,11 @@ use crate::backend::{
     AcceleratorBackend, BackendSpec, InferenceBackend, MobileGpuBackend, SegmentCost,
 };
 use crate::predictor::PredictorLut;
+use crate::session::InferenceSession;
 use edgebert_envm::CellTech;
 use edgebert_hw::{AcceleratorConfig, AcceleratorSim, MobileGpu, WorkloadParams};
 use edgebert_model::AlbertModel;
 use edgebert_tasks::Dataset;
-use edgebert_tensor::stats::argmax;
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 
@@ -159,12 +159,22 @@ pub struct InferenceRequest {
     /// target, and judges the deadline on `elapsed + compute`. Zero
     /// (the default) reproduces unqueued serving bit for bit.
     pub elapsed_queue_s: f64,
+    /// Queue-pressure cap on the DVFS stretch window, seconds from
+    /// dispatch (`None` → uncapped, the default). A serving front-end
+    /// that pops this request while tighter-deadline work is queued
+    /// behind it stamps the successor's deadline gap here, so a greedy
+    /// sentence stops stretching compute into slack the queued work
+    /// needs. The cap only bounds the *compute window* handed to DVFS;
+    /// the deadline verdict still judges the request's own target, and
+    /// a cap can never flip an otherwise-met deadline to missed.
+    pub stretch_cap_s: Option<f64>,
 }
 
-// Hand-written (not derived) so the queue stamp stays optional on the
-// wire: requests serialized before `elapsed_queue_s` existed — or sent
-// by clients that have no business knowing about queues — parse with a
-// zero stamp instead of failing on the missing field.
+// Hand-written (not derived) so the queue stamp and stretch cap stay
+// optional on the wire: requests serialized before `elapsed_queue_s` or
+// `stretch_cap_s` existed — or sent by clients that have no business
+// knowing about queues — parse with a zero stamp and no cap instead of
+// failing on the missing fields.
 impl serde::Deserialize for InferenceRequest {
     fn from_value(value: &serde::Value) -> Result<Self, serde::Error> {
         Ok(Self {
@@ -175,6 +185,10 @@ impl serde::Deserialize for InferenceRequest {
             elapsed_queue_s: match value.field("elapsed_queue_s") {
                 Ok(stamp) => serde::Deserialize::from_value(stamp)?,
                 Err(_) => 0.0,
+            },
+            stretch_cap_s: match value.field("stretch_cap_s") {
+                Ok(cap) => serde::Deserialize::from_value(cap)?,
+                Err(_) => None,
             },
         })
     }
@@ -189,6 +203,7 @@ impl InferenceRequest {
             latency_target_s: None,
             drop_target: None,
             elapsed_queue_s: 0.0,
+            stretch_cap_s: None,
         }
     }
 
@@ -218,6 +233,15 @@ impl InferenceRequest {
         self
     }
 
+    /// Caps the DVFS stretch window at `seconds` from dispatch (see
+    /// [`stretch_cap_s`](Self::stretch_cap_s)). Serving front-ends
+    /// stamp the successor head-of-queue deadline gap here at pop time
+    /// when queue-pressure-aware stretch is enabled.
+    pub fn with_stretch_cap_s(mut self, seconds: f64) -> Self {
+        self.stretch_cap_s = Some(seconds);
+        self
+    }
+
     /// The queueing delay as the engine will account it: non-finite or
     /// negative stamps sanitize to zero rather than poisoning the DVFS
     /// budget (requests arrive from the wire).
@@ -226,6 +250,17 @@ impl InferenceRequest {
             self.elapsed_queue_s
         } else {
             0.0
+        }
+    }
+
+    /// The stretch cap as the engine will apply it: non-finite caps
+    /// sanitize to `None` (uncapped); a non-positive cap clamps to zero
+    /// (the sentence gets no stretch budget at all and runs at
+    /// nominal). Requests arrive from the wire.
+    pub fn effective_stretch_cap_s(&self) -> Option<f64> {
+        match self.stretch_cap_s {
+            Some(cap) if cap.is_finite() => Some(cap.max(0.0)),
+            _ => None,
         }
     }
 }
@@ -537,6 +572,26 @@ impl EdgeBertEngine {
         self.backend.as_ref()
     }
 
+    /// The predictor LUT the LAI forecast indexes.
+    pub(crate) fn lut(&self) -> &PredictorLut {
+        &self.lut
+    }
+
+    /// A pessimistic estimate of one sentence's nominal-V/F service
+    /// time on this engine, seconds: the fixed per-sentence costs plus
+    /// a full-depth pass at the nominal point, plus the worst-case
+    /// transition reserve. Queue-pressure-aware serving uses it to
+    /// size the stretch cap so the successor can still run at nominal
+    /// inside its own deadline.
+    pub fn nominal_service_estimate_s(&self) -> f64 {
+        let b = self.backend.as_ref();
+        b.sentence_overhead().seconds
+            + b.wake_transition_s()
+            + b.embedding_read_cost().seconds
+            + b.run_layers_nominal(self.model.num_layers()).seconds
+            + b.floor_transition_s()
+    }
+
     /// The op-level accelerator simulator, when the engine runs on the
     /// accelerator backend (`None` on the mGPU baseline or a custom
     /// backend).
@@ -571,7 +626,9 @@ impl EdgeBertEngine {
     }
 
     /// Serves one request, resolving unset service levels against the
-    /// engine defaults.
+    /// engine defaults. Equivalent to
+    /// [`begin`](Self::begin)`(request).finish()` — one resumable
+    /// session driven to completion without ever parking.
     ///
     /// Requests arrive from the wire, so degenerate token lists must not
     /// take the engine down: an empty sentence is served as a single
@@ -584,13 +641,30 @@ impl EdgeBertEngine {
     /// is served against its *remaining* slack: the DVFS budget shrinks
     /// by the queueing delay and the deadline verdict judges
     /// `elapsed + compute` against the target. A zero stamp (the
-    /// default) is bit-identical to unqueued serving.
+    /// default) is bit-identical to unqueued serving. A request capped
+    /// with [`InferenceRequest::with_stretch_cap_s`] additionally has
+    /// its DVFS stretch window clamped to the cap (the verdict still
+    /// judges its own target); no cap is bit-identical to the uncapped
+    /// path.
     pub fn serve(&self, request: &InferenceRequest) -> InferenceResponse {
+        self.begin(request).finish()
+    }
+
+    /// Opens a resumable, layer-granular session over one request (see
+    /// [`InferenceSession`]): service levels resolve against the engine
+    /// defaults, wire tokens sanitize exactly as in
+    /// [`serve`](Self::serve), and garbage queue stamps / stretch caps
+    /// sanitize to zero / uncapped. Each
+    /// [`step`](InferenceSession::step) executes one encoder layer;
+    /// the session can be parked at any layer boundary and resumed
+    /// later — with a fresh DVFS decision against the remaining slack.
+    pub fn begin(&self, request: &InferenceRequest) -> InferenceSession {
         let target_s = request
             .latency_target_s
             .unwrap_or(self.default_latency_target_s);
         let drop = request.drop_target.unwrap_or(self.default_drop);
         let elapsed_s = request.effective_elapsed_queue_s();
+        let cap_s = request.effective_stretch_cap_s();
         let pad = [edgebert_tasks::vocab::PAD];
         let tokens: &[u32] = if request.tokens.is_empty() {
             &pad
@@ -616,25 +690,15 @@ impl EdgeBertEngine {
         } else {
             tokens
         };
-        let mut result = match request.mode {
-            InferenceMode::LatencyAware => {
-                self.run_latency_aware_queued(tokens, target_s, drop, elapsed_s)
-            }
-            mode => self.run_at(tokens, mode, target_s, drop),
-        };
-        // The engine-level Base/EE paths are the paper's *unbounded*
-        // baselines and always report `deadline_met = true`; a response
-        // echoes the request's target, so it judges every mode against
-        // it honestly — under the same rule as the LAI paths, queueing
-        // delay included.
-        if request.mode != InferenceMode::LatencyAware {
-            result.deadline_met = deadline_met(elapsed_s + result.latency_s, target_s);
-        }
-        InferenceResponse {
-            result,
-            latency_target_s: target_s,
-            drop_target: drop,
-        }
+        InferenceSession::new(
+            self.clone(),
+            tokens,
+            request.mode,
+            target_s,
+            drop,
+            elapsed_s,
+            cap_s,
+        )
     }
 
     /// Runs a sentence in the requested mode at the engine defaults.
@@ -664,25 +728,17 @@ impl EdgeBertEngine {
         }
     }
 
-    /// Conventional full-depth inference at nominal V/F.
+    /// Conventional full-depth inference at nominal V/F: a session
+    /// driven to completion.
     pub fn run_base(&self, tokens: &[u32]) -> SentenceResult {
-        let out = self.model.forward_layers(tokens);
-        let layers = self.model.num_layers();
-        let nominal = self.backend.nominal();
-        let overhead = self.backend.sentence_overhead();
-        let cost = self.backend.run_layers(layers, &nominal);
-        let embed = self.backend.embedding_read_cost();
-        SentenceResult {
-            mode: InferenceMode::Base,
-            exit_layer: layers,
-            predicted_layer: None,
-            prediction: argmax(&out.logits[layers - 1]),
-            latency_s: overhead.seconds + cost.seconds + embed.seconds,
-            energy_j: overhead.energy_j + cost.energy_j + embed.energy_j,
-            voltage: nominal.voltage,
-            freq_hz: nominal.freq_hz,
-            deadline_met: true,
-        }
+        self.begin_raw(
+            tokens,
+            InferenceMode::Base,
+            self.default_latency_target_s,
+            self.default_drop,
+            0.0,
+        )
+        .run_to_completion()
     }
 
     /// Algorithm 1 at the engine's default drop tier.
@@ -691,25 +747,16 @@ impl EdgeBertEngine {
     }
 
     /// Algorithm 1: conventional early exit at nominal V/F, using the
-    /// tier's calibrated threshold.
+    /// tier's calibrated threshold — a session driven to completion.
     pub fn run_conventional_ee_at(&self, tokens: &[u32], drop: DropTarget) -> SentenceResult {
-        let et = self.thresholds(drop).conventional;
-        let (exit, logits, _) = self.model.infer_early_exit(tokens, et);
-        let nominal = self.backend.nominal();
-        let overhead = self.backend.sentence_overhead();
-        let cost = self.backend.run_layers(exit, &nominal);
-        let embed = self.backend.embedding_read_cost();
-        SentenceResult {
-            mode: InferenceMode::ConventionalEe,
-            exit_layer: exit,
-            predicted_layer: None,
-            prediction: argmax(&logits),
-            latency_s: overhead.seconds + cost.seconds + embed.seconds,
-            energy_j: overhead.energy_j + cost.energy_j + embed.energy_j,
-            voltage: nominal.voltage,
-            freq_hz: nominal.freq_hz,
-            deadline_met: true,
-        }
+        self.begin_raw(
+            tokens,
+            InferenceMode::ConventionalEe,
+            self.default_latency_target_s,
+            drop,
+            0.0,
+        )
+        .run_to_completion()
     }
 
     /// Algorithm 2 at the engine's default deadline and drop tier.
@@ -743,81 +790,41 @@ impl EdgeBertEngine {
         drop: DropTarget,
         elapsed_queue_s: f64,
     ) -> SentenceResult {
-        assert!(
-            elapsed_queue_s.is_finite() && elapsed_queue_s >= 0.0,
-            "queueing delay must be finite and non-negative, got {elapsed_queue_s}"
-        );
-        let et = self.thresholds(drop).latency_aware;
-        let out = self.model.forward_layers(tokens);
-        let num_layers = self.model.num_layers();
-        let nominal = self.backend.nominal();
+        self.begin_raw(
+            tokens,
+            InferenceMode::LatencyAware,
+            latency_target_s,
+            drop,
+            elapsed_queue_s,
+        )
+        .run_to_completion()
+    }
 
-        // Wake (standby rail -> nominal plus clock relock), the fixed
-        // per-sentence platform overhead, the embedding read, then
-        // layer 1 at nominal V/F.
-        let overhead = self.backend.sentence_overhead();
-        let wake_s = self.backend.wake_transition_s();
-        let embed = self.backend.embedding_read_cost();
-        let layer1 = self.backend.run_layers(1, &nominal);
-
-        let mut latency = overhead.seconds + wake_s + embed.seconds + layer1.seconds;
-        let mut energy = overhead.energy_j + embed.energy_j + layer1.energy_j;
-
-        let h1 = out.entropies[0];
-        if h1 < et {
-            return SentenceResult {
-                mode: InferenceMode::LatencyAware,
-                exit_layer: 1,
-                predicted_layer: Some(1),
-                prediction: argmax(&out.logits[0]),
-                latency_s: latency,
-                energy_j: energy,
-                voltage: nominal.voltage,
-                freq_hz: nominal.freq_hz,
-                deadline_met: deadline_met(elapsed_queue_s + latency, latency_target_s),
-            };
-        }
-
-        // Forecast and scale V/F for the remaining layers. The decision
-        // operating point is not known until after `decide`, so the
-        // budget reserves the backend's worst-case transition (nominal
-        // -> floor) and the accounting then charges the actual one. A
-        // backend without DVFS capability reserves zero, holds the
-        // nominal point, and judges feasibility at its fixed clock —
-        // nominal-only scheduling.
-        let predicted = self.lut.predict_exit_layer(h1, et).clamp(2, num_layers);
-        let remaining_cycles = self.layer_cycles * (predicted as u64 - 1);
-        let remaining_budget = latency_target_s - latency - self.backend.floor_transition_s();
-        let decision = self
-            .backend
-            .decide(remaining_cycles, remaining_budget, elapsed_queue_s);
-        let transition_s = self.backend.transition_s(&decision);
-
-        // Run layers 2..=predicted, exiting early if the true entropy
-        // crosses the threshold; forced stop at the forecast layer.
-        let mut exit = predicted;
-        for l in 2..=predicted {
-            if out.entropies[l - 1] < et {
-                exit = l;
-                break;
-            }
-        }
-        let segment = self.backend.run_layers(exit - 1, &decision);
-        latency += transition_s + segment.seconds;
-        energy += segment.energy_j;
-
-        SentenceResult {
-            mode: InferenceMode::LatencyAware,
-            exit_layer: exit,
-            predicted_layer: Some(predicted),
-            prediction: argmax(&out.logits[exit - 1]),
-            latency_s: latency,
-            energy_j: energy,
-            voltage: decision.voltage,
-            freq_hz: decision.freq_hz,
-            deadline_met: decision.feasible
-                && deadline_met(elapsed_queue_s + latency, latency_target_s),
-        }
+    /// Opens a session over raw tokens with explicit service levels —
+    /// the un-sanitized path behind the `run_*` wrappers (request-
+    /// scoped entry points go through [`begin`](Self::begin), which
+    /// sanitizes wire input first).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `elapsed_queue_s` is negative or non-finite.
+    fn begin_raw(
+        &self,
+        tokens: &[u32],
+        mode: InferenceMode,
+        latency_target_s: f64,
+        drop: DropTarget,
+        elapsed_queue_s: f64,
+    ) -> InferenceSession {
+        InferenceSession::new(
+            self.clone(),
+            tokens,
+            mode,
+            latency_target_s,
+            drop,
+            elapsed_queue_s,
+            None,
+        )
     }
 
     /// Serves a batch of requests across worker threads

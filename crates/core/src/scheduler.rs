@@ -80,11 +80,25 @@ pub struct SchedulerConfig {
     /// (sequentially — the timeline itself is the data dependency) and
     /// stays fully deterministic.
     pub queue_aware_slack: bool,
+    /// Queue-pressure-aware stretch: cap each dispatched sentence's
+    /// DVFS stretch window by the tightest deadline among the arrived,
+    /// undispatched submissions waiting behind it (minus the task
+    /// engine's nominal service estimate), stamped through
+    /// [`InferenceRequest::with_stretch_cap_s`]. A greedy sentence
+    /// stops stretching into slack that queued tighter work needs.
+    /// Like `queue_aware_slack`, this makes compute depend on dispatch
+    /// time, so the drain computes sentences at their dispatch points
+    /// (sequential, deterministic). The cap is applied only on
+    /// single-worker drains — with several virtual lanes an arrived
+    /// successor typically dispatches concurrently on another one, so
+    /// capping would spend energy without a tail win. Off by default.
+    pub pressure_stretch: bool,
 }
 
 impl Default for SchedulerConfig {
     /// One accelerator lane, EDF ordering, packs of up to 8, free task
-    /// switches, slack-blind compute (the PR 2 bit-identity contract).
+    /// switches, slack-blind compute (the PR 2 bit-identity contract),
+    /// no pressure stretch.
     fn default() -> Self {
         Self {
             workers: 1,
@@ -92,6 +106,7 @@ impl Default for SchedulerConfig {
             policy: SchedulePolicy::EarliestDeadline,
             task_switch_s: 0.0,
             queue_aware_slack: false,
+            pressure_stretch: false,
         }
     }
 }
@@ -237,10 +252,12 @@ impl DeadlineScheduler {
 
         // Phase 1 — slack-blind compute: one batched engine pass per
         // task, fanned across worker threads, serving by reference (no
-        // request copies). Skipped under queue-aware slack, where
-        // compute depends on dispatch time and happens in the replay.
+        // request copies). Skipped under queue-aware slack or pressure
+        // stretch, where compute depends on dispatch time and happens
+        // in the replay.
+        let compute_at_dispatch = self.cfg.queue_aware_slack || self.cfg.pressure_stretch;
         let mut responses: Vec<Option<InferenceResponse>> = vec![None; pending.len()];
-        if !self.cfg.queue_aware_slack {
+        if !compute_at_dispatch {
             for (task, engine) in &self.engines {
                 let members: Vec<&Submission> =
                     pending.iter().filter(|s| s.task == *task).collect();
@@ -340,16 +357,47 @@ impl DeadlineScheduler {
                 let latency_s = match &responses[i] {
                     // Slack-blind: the precomputed response's latency.
                     Some(r) => r.result.latency_s,
-                    // Queue-aware: compute now, with the virtual wait
-                    // (on top of any stamp the submitter carried in)
-                    // deducted from the DVFS budget.
+                    // Compute-at-dispatch: queue-aware mode deducts the
+                    // virtual wait (on top of any stamp the submitter
+                    // carried in) from the DVFS budget; pressure
+                    // stretch caps the stretch window by the tightest
+                    // arrived successor's deadline gap.
                     None => {
                         let sub = &pending[i];
-                        let waited =
-                            sub.request.effective_elapsed_queue_s() + (start - sub.arrival_s);
+                        let mut request = sub.request.clone();
+                        if self.cfg.queue_aware_slack {
+                            let waited =
+                                sub.request.effective_elapsed_queue_s() + (start - sub.arrival_s);
+                            request = request.with_elapsed_queue_s(waited);
+                        }
+                        if self.cfg.pressure_stretch && workers == 1 {
+                            // The tightest served, undispatched
+                            // submission already arrived by `start` —
+                            // the head-of-queue successor a greedy
+                            // sentence would be stealing slack from.
+                            let successor = served
+                                .iter()
+                                .filter(|s| {
+                                    s.index != i && !dispatched[s.index] && s.arrival_s <= start
+                                })
+                                .min_by(|a, b| {
+                                    (deadline_abs[a.index], a.index)
+                                        .partial_cmp(&(deadline_abs[b.index], b.index))
+                                        .expect("finite keys")
+                                });
+                            if let Some(next) = successor {
+                                let next_engine =
+                                    &self.engines[engine_of[next.index].expect("served")].1;
+                                let cap_s = deadline_abs[next.index]
+                                    - start
+                                    - next_engine.nominal_service_estimate_s();
+                                if cap_s.is_finite() {
+                                    request = request.with_stretch_cap_s(cap_s.max(0.0));
+                                }
+                            }
+                        }
                         let engine = &self.engines[engine_of[i].expect("served member")].1;
-                        let response =
-                            engine.serve(&sub.request.clone().with_elapsed_queue_s(waited));
+                        let response = engine.serve(&request);
                         let latency_s = response.result.latency_s;
                         responses[i] = Some(response);
                         latency_s
@@ -424,8 +472,7 @@ mod tests {
                 workers: 1,
                 max_batch: 4,
                 policy: SchedulePolicy::EarliestDeadline,
-                task_switch_s: 0.0,
-                queue_aware_slack: false,
+                ..SchedulerConfig::default()
             },
         )
     }
@@ -578,8 +625,7 @@ mod tests {
                     workers,
                     max_batch,
                     policy: SchedulePolicy::EarliestDeadline,
-                    task_switch_s: 0.0,
-                    queue_aware_slack: false,
+                    ..SchedulerConfig::default()
                 });
             }
         }
@@ -713,6 +759,100 @@ mod tests {
     }
 
     #[test]
+    fn pressure_stretch_stops_greedy_sentences_stealing_successor_slack() {
+        // Two sentences arrive together on one lane: A's deadline is
+        // earlier (EDF dispatches it first) and B's is only slightly
+        // later. Queue-aware alone, A greedily stretches compute to
+        // its own deadline, leaving B less than one nominal service
+        // time — B misses by construction. With pressure stretch, A's
+        // DVFS window is capped at `B's deadline − nominal service
+        // estimate` at dispatch, so B inherits exactly a full nominal
+        // service window and lands inside its deadline. A's own
+        // verdict never degrades: the cap compresses its compute well
+        // inside its target.
+        let art = TaskArtifacts::build(Task::Sst2, Scale::Test, 0x5C45);
+        let rt = MultiTaskRuntime::from_runtimes([TaskRuntime::from_builder(
+            Task::Sst2,
+            art.engine_builder()
+                .uniform_thresholds(crate::engine::EntropyThresholds::uniform(0.0))
+                .workload(art.hardware_workload(true)),
+        )]);
+        let estimate_s = rt
+            .runtime(Task::Sst2)
+            .expect("served")
+            .engine()
+            .nominal_service_estimate_s();
+        let toks = tokens_for(&rt, Task::Sst2, 2, 18);
+        let target_a = 6.0 * estimate_s;
+        let target_b = 6.4 * estimate_s; // 0.4 estimates behind A's
+        let drain = |pressure_stretch: bool| {
+            let mut sched = DeadlineScheduler::new(
+                &rt,
+                SchedulerConfig {
+                    queue_aware_slack: true,
+                    pressure_stretch,
+                    max_batch: 1,
+                    ..SchedulerConfig::default()
+                },
+            );
+            sched.submit(
+                Task::Sst2,
+                InferenceRequest::new(toks[0].clone()).with_latency_target(target_a),
+                0.0,
+            );
+            sched.submit(
+                Task::Sst2,
+                InferenceRequest::new(toks[1].clone()).with_latency_target(target_b),
+                0.0,
+            );
+            sched
+                .drain()
+                .into_iter()
+                .map(|r| r.expect("served"))
+                .collect::<Vec<_>>()
+        };
+        let greedy = drain(false);
+        assert!(greedy[0].deadline_met, "A stretches onto its own target");
+        assert!(
+            !greedy[1].deadline_met,
+            "A's stretch must leave B under one service time: B start {} s of {} s target",
+            greedy[1].start_s, target_b
+        );
+        let capped = drain(true);
+        assert!(capped[0].deadline_met, "the cap never hurts A's verdict");
+        assert!(
+            capped[1].deadline_met,
+            "the cap leaves B a full nominal window: B start {} s of {} s target",
+            capped[1].start_s, target_b
+        );
+        // A really was compressed, not reordered.
+        assert!(capped[0].completion_s < greedy[0].completion_s);
+        assert!(
+            capped[0].response.result.freq_hz > greedy[0].response.result.freq_hz,
+            "the cap raises A's operating point"
+        );
+        // With nothing queued behind it, pressure stretch is inert:
+        // a lone submission drains bit-identically either way.
+        let lone = |pressure_stretch: bool| {
+            let mut sched = DeadlineScheduler::new(
+                &rt,
+                SchedulerConfig {
+                    queue_aware_slack: true,
+                    pressure_stretch,
+                    ..SchedulerConfig::default()
+                },
+            );
+            sched.submit(
+                Task::Sst2,
+                InferenceRequest::new(toks[0].clone()).with_latency_target(target_a),
+                0.0,
+            );
+            sched.drain()
+        };
+        assert_eq!(lone(false), lone(true));
+    }
+
+    #[test]
     fn edf_groups_same_task_deadlines_amortizing_switches() {
         let rt = runtime();
         let sst = tokens_for(&rt, Task::Sst2, 3, 14);
@@ -725,7 +865,7 @@ mod tests {
                     max_batch: 8,
                     policy,
                     task_switch_s: 5e-3,
-                    queue_aware_slack: false,
+                    ..SchedulerConfig::default()
                 },
             );
             // Tight deadlines all on SST-2, relaxed all on QNLI,

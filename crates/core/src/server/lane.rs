@@ -1,5 +1,6 @@
 //! One task's admission lane: a bounded, policy-ordered queue drained
-//! by that task's engine shards.
+//! by that task's engine shards, plus the parked-session pool that
+//! makes the lane preemptive.
 //!
 //! A lane is the synchronization point between client threads calling
 //! [`Server::submit`](super::Server::submit) and the worker threads
@@ -8,9 +9,17 @@
 //! the earliest absolute deadline, FIFO the earliest admission), so the
 //! queue itself stays in admission order and backpressure is a plain
 //! length check against the configured capacity.
+//!
+//! With preemption enabled, a shard that parks its running
+//! [`InferenceSession`](crate::session::InferenceSession) at a layer
+//! boundary pushes it here as a [`ParkedJob`]; idle shards then pick
+//! the next unit of work across *both* pools — fresh admissions and
+//! parked sessions — in policy order, so parked sessions resume
+//! EDF-ordered relative to everything else waiting on the lane.
 
 use crate::engine::InferenceRequest;
 use crate::scheduler::SchedulePolicy;
+use crate::session::InferenceSession;
 use edgebert_tasks::Task;
 use std::sync::mpsc::SyncSender;
 use std::sync::{Condvar, Mutex};
@@ -34,10 +43,66 @@ pub(super) struct Job {
     pub reply: SyncSender<ServerResponse>,
 }
 
+/// The serving context that travels with a dispatched sentence across
+/// parks: what a shard needs to deliver and account the response no
+/// matter which worker finishes the job.
+pub(super) struct JobContext {
+    /// Admission sequence of the original job.
+    pub seq: u64,
+    /// The original job's absolute deadline (preemption comparisons
+    /// and the resume ordering key).
+    pub deadline_s: f64,
+    /// Where to deliver the response on completion.
+    pub reply: SyncSender<ServerResponse>,
+    /// Queueing delay measured at the first pop, seconds.
+    pub queue_delay_s: f64,
+    /// Elapsed queue time charged to the DVFS budget at first dispatch.
+    pub slack_deducted_s: f64,
+    /// Full measured elapsed queue time (pre-stamp + measured wait),
+    /// seconds.
+    pub elapsed_s: f64,
+    /// Elapsed time the deadline verdict charges (per the server's
+    /// slack rules), excluding parked time, seconds.
+    pub charged_elapsed_s: f64,
+}
+
+/// A session parked at a layer boundary, waiting to be resumed — the
+/// serving context travels with it so any shard can finish the job.
+pub(super) struct ParkedJob {
+    /// The serving context as of the first dispatch.
+    pub ctx: JobContext,
+    /// The checkpointed session (hidden state + accounting).
+    pub session: InferenceSession,
+    /// When the session was parked (parked wall time is measured from
+    /// here at resume).
+    pub parked_at: Instant,
+}
+
+/// The next unit of work a shard picked up. The parked payload is
+/// boxed: a checkpointed session (hidden state + engine handles) is an
+/// order of magnitude larger than a fresh job.
+pub(super) enum Work {
+    /// A fresh admission: open a session and serve it.
+    Fresh(Job),
+    /// A parked session: resume and keep stepping.
+    Resume(Box<ParkedJob>),
+}
+
+/// A popped unit of work plus the queue pressure visible at pop time.
+pub(super) struct Popped {
+    pub work: Work,
+    /// The tightest absolute deadline still waiting on the lane
+    /// (queued or parked) the moment this work was popped — the
+    /// successor the queue-pressure stretch cap is sized against.
+    pub successor_deadline_s: Option<f64>,
+}
+
 /// Queue state behind the lane mutex.
 pub(super) struct LaneQueue {
     /// Admitted jobs in admission order; popped in policy order.
     pub jobs: Vec<Job>,
+    /// Sessions parked at a layer boundary, resumed in policy order.
+    pub parked: Vec<ParkedJob>,
     /// Set once by shutdown: admission closes, workers drain what is
     /// left and exit.
     pub shutting_down: bool,
@@ -45,6 +110,8 @@ pub(super) struct LaneQueue {
     pub next_seq: u64,
     /// Deepest the queue has been since start.
     pub high_water: usize,
+    /// Deepest the parked pool has been since start.
+    pub parked_high_water: usize,
     /// Requests admitted (excludes rejections).
     pub submitted: u64,
     /// Requests refused because the lane was at capacity.
@@ -58,6 +125,10 @@ pub(super) struct ServedTally {
     pub served: u64,
     /// Served requests whose sojourn missed the deadline.
     pub violations: u64,
+    /// Times a running session was parked for a tighter arrival.
+    pub preempted: u64,
+    /// Times a parked session was resumed.
+    pub resumed: u64,
     /// Sum of measured queueing delays, seconds.
     pub queue_delay_total_s: f64,
     /// Largest measured queueing delay, seconds.
@@ -70,13 +141,14 @@ pub(super) struct ServedTally {
 pub(super) struct Lane {
     /// The task this lane admits.
     pub task: Task,
-    /// Admission bound: `jobs.len()` never exceeds it.
+    /// Admission bound: `jobs.len()` never exceeds it (parked sessions
+    /// are already-admitted work and do not count against it).
     pub capacity: usize,
     /// Pop-order policy.
     pub policy: SchedulePolicy,
     /// Queue state.
     pub queue: Mutex<LaneQueue>,
-    /// Signaled on every admission and on shutdown.
+    /// Signaled on every admission, park, and shutdown.
     pub available: Condvar,
     /// Worker-side tallies (separate lock: held only for a few loads
     /// and stores after a sentence completes, never while serving).
@@ -91,9 +163,11 @@ impl Lane {
             policy,
             queue: Mutex::new(LaneQueue {
                 jobs: Vec::new(),
+                parked: Vec::new(),
                 shutting_down: false,
                 next_seq: 0,
                 high_water: 0,
+                parked_high_water: 0,
                 submitted: 0,
                 rejected: 0,
             }),
@@ -102,14 +176,26 @@ impl Lane {
         }
     }
 
-    /// Blocks until a job is available (returning it popped in policy
-    /// order) or the lane is shutting down with nothing left to drain
-    /// (returning `None`). The worker-thread entry point.
-    pub fn next_job(&self) -> Option<Job> {
+    /// Blocks until a unit of work is available — a fresh job or a
+    /// parked session, whichever comes first in policy order — or the
+    /// lane is shutting down with nothing left to drain (`None`). The
+    /// worker-thread entry point.
+    pub fn next_work(&self) -> Option<Popped> {
         let mut queue = self.queue.lock().expect("lane mutex");
         loop {
-            if let Some(job) = Self::pop(&mut queue, self.policy) {
-                return Some(job);
+            if let Some(work) = Self::pop_work(&mut queue, self.policy) {
+                let successor_deadline_s = queue
+                    .jobs
+                    .iter()
+                    .map(|j| j.deadline_s)
+                    .chain(queue.parked.iter().map(|p| p.ctx.deadline_s))
+                    .fold(None, |acc: Option<f64>, d| {
+                        Some(acc.map_or(d, |a: f64| a.min(d)))
+                    });
+                return Some(Popped {
+                    work,
+                    successor_deadline_s,
+                });
             }
             if queue.shutting_down {
                 return None;
@@ -118,30 +204,132 @@ impl Lane {
         }
     }
 
-    /// Pops the next job under `policy`: FIFO takes the earliest
-    /// admission, EDF the earliest absolute deadline (ties to the
-    /// earlier admission). Deterministic in the queue contents.
-    fn pop(queue: &mut LaneQueue, policy: SchedulePolicy) -> Option<Job> {
-        if queue.jobs.is_empty() {
-            return None;
-        }
-        let at = match policy {
-            // Jobs are stored in admission order, so FIFO is the head.
-            SchedulePolicy::Fifo => 0,
-            SchedulePolicy::EarliestDeadline => queue
-                .jobs
-                .iter()
-                .enumerate()
-                .min_by(|(_, a), (_, b)| {
-                    (a.deadline_s, a.seq)
-                        .partial_cmp(&(b.deadline_s, b.seq))
-                        .expect("finite deadlines")
-                })
-                .map(|(i, _)| i)
-                .expect("non-empty queue"),
+    /// The tightest absolute deadline currently queued (fresh jobs
+    /// only — a parked session already had the lane and must not
+    /// preempt the one that preempted it). The cheap preemption poll a
+    /// shard runs between steps; the authoritative decision happens
+    /// atomically in [`preempt_exchange`](Self::preempt_exchange).
+    pub fn tightest_queued_deadline(&self) -> Option<f64> {
+        let queue = self.queue.lock().expect("lane mutex");
+        queue
+            .jobs
+            .iter()
+            .map(|j| j.deadline_s)
+            .fold(None, |acc: Option<f64>, d| {
+                Some(acc.map_or(d, |a: f64| a.min(d)))
+            })
+    }
+
+    /// Atomically trades the running session for the tightest queued
+    /// job, when queue pressure still warrants it under one queue
+    /// lock: the session is parked (its open segment committed), the
+    /// parked entry replaces the claimed job on the lane, and the
+    /// claimed job comes back to the calling shard to serve next.
+    ///
+    /// The atomic claim is what keeps a pool of shards from reacting
+    /// to the same single tight arrival in a thundering herd: once one
+    /// shard exchanges, the arrival is gone from the queue, so every
+    /// other shard's poll sees no pressure and keeps running. `Err`
+    /// hands the session and context back untouched (no park, no
+    /// transition charged) when pressure vanished between the poll and
+    /// the lock.
+    ///
+    /// No wakeup is signalled: the lane's visible work count is
+    /// unchanged (one job out, one parked session in).
+    pub fn preempt_exchange(
+        &self,
+        mut session: InferenceSession,
+        ctx: JobContext,
+        policy: super::PreemptionPolicy,
+    ) -> Result<Popped, Box<(InferenceSession, JobContext)>> {
+        let mut queue = self.queue.lock().expect("lane mutex");
+        // Preemption claims by deadline regardless of the lane's pop
+        // policy: the gap rule is deadline-driven.
+        let best = Self::best(
+            queue.jobs.iter().map(|j| (j.deadline_s, j.seq)),
+            SchedulePolicy::EarliestDeadline,
+        );
+        let Some((at, (deadline_s, _))) = best else {
+            return Err(Box::new((session, ctx)));
         };
-        // `remove` keeps admission order for the survivors.
-        Some(queue.jobs.remove(at))
+        let pressured = policy.should_preempt(ctx.deadline_s, deadline_s);
+        if !pressured || !session.park() {
+            return Err(Box::new((session, ctx)));
+        }
+        let job = queue.jobs.remove(at);
+        queue.parked.push(ParkedJob {
+            ctx,
+            session,
+            parked_at: Instant::now(),
+        });
+        queue.parked_high_water = queue.parked_high_water.max(queue.parked.len());
+        let successor_deadline_s = queue
+            .jobs
+            .iter()
+            .map(|j| j.deadline_s)
+            .chain(queue.parked.iter().map(|p| p.ctx.deadline_s))
+            .fold(None, |acc: Option<f64>, d| {
+                Some(acc.map_or(d, |a: f64| a.min(d)))
+            });
+        Ok(Popped {
+            work: Work::Fresh(job),
+            successor_deadline_s,
+        })
+    }
+
+    /// Picks the next unit of work across jobs and parked sessions in
+    /// policy order: FIFO by admission sequence, EDF by absolute
+    /// deadline (ties to the earlier admission). A parked session and
+    /// a fresh job compare under the same key, so resumes are
+    /// EDF-ordered relative to everything waiting on the lane.
+    fn pop_work(queue: &mut LaneQueue, policy: SchedulePolicy) -> Option<Work> {
+        let job_key = Self::best(queue.jobs.iter().map(|j| (j.deadline_s, j.seq)), policy);
+        let parked_key = Self::best(
+            queue.parked.iter().map(|p| (p.ctx.deadline_s, p.ctx.seq)),
+            policy,
+        );
+        match (job_key, parked_key) {
+            (None, None) => None,
+            (Some((at, _)), None) => Some(Work::Fresh(queue.jobs.remove(at))),
+            (None, Some((at, _))) => Some(Work::Resume(Box::new(queue.parked.remove(at)))),
+            (Some((jat, jkey)), Some((pat, pkey))) => {
+                if pkey <= jkey {
+                    Some(Work::Resume(Box::new(queue.parked.remove(pat))))
+                } else {
+                    Some(Work::Fresh(queue.jobs.remove(jat)))
+                }
+            }
+        }
+    }
+
+    /// The index and policy key of the best entry: FIFO by sequence,
+    /// EDF by `(deadline, seq)`. Non-finite deadlines sort last (wire
+    /// garbage must not poison the comparator).
+    #[allow(clippy::type_complexity)]
+    fn best(
+        keys: impl Iterator<Item = (f64, u64)>,
+        policy: SchedulePolicy,
+    ) -> Option<(usize, (f64, u64))> {
+        keys.enumerate()
+            .map(|(i, (deadline_s, seq))| {
+                let key = match policy {
+                    SchedulePolicy::Fifo => (0.0, seq),
+                    SchedulePolicy::EarliestDeadline => (deadline_s, seq),
+                };
+                (i, key)
+            })
+            .min_by(|(_, a), (_, b)| a.partial_cmp(b).expect("sanitized keys"))
+    }
+
+    /// Pops the next *fresh* job under `policy` (unit-test seam; the
+    /// worker path goes through [`next_work`](Self::next_work)).
+    #[cfg(test)]
+    fn pop(queue: &mut LaneQueue, policy: SchedulePolicy) -> Option<Job> {
+        match Self::pop_work(queue, policy) {
+            Some(Work::Fresh(job)) => Some(job),
+            Some(Work::Resume(_)) => unreachable!("no parked sessions in this test"),
+            None => None,
+        }
     }
 }
 
@@ -195,5 +383,19 @@ mod tests {
     fn fifo_pops_admission_order_regardless_of_deadlines() {
         let (lane, _rx) = lane_with(SchedulePolicy::Fifo, &[0.5, 0.1, 0.3, 0.1, 0.05]);
         assert_eq!(pop_order(&lane), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn pop_reports_the_tightest_successor() {
+        let (lane, _rx) = lane_with(SchedulePolicy::EarliestDeadline, &[0.5, 0.1, 0.3]);
+        let popped = lane.next_work().expect("work queued");
+        match &popped.work {
+            Work::Fresh(job) => assert_eq!(job.seq, 1),
+            Work::Resume(_) => panic!("no parked sessions here"),
+        }
+        // After popping seq 1 (deadline 0.1), the tightest survivor is
+        // seq 2 at 0.3.
+        assert_eq!(popped.successor_deadline_s, Some(0.3));
+        assert_eq!(lane.tightest_queued_deadline(), Some(0.3));
     }
 }

@@ -41,13 +41,37 @@
 //! no-queueing submission bit-identical to
 //! [`TaskRuntime::serve`](crate::serving::TaskRuntime::serve).
 //!
+//! **Preemptive lanes** are what the resumable-session redesign buys.
+//! Workers serve each sentence through a layer-granular
+//! [`InferenceSession`](crate::session::InferenceSession)
+//! ([`EdgeBertEngine::begin`]) instead of a monolithic `serve` call,
+//! and poll their lane between layer steps: when a strictly
+//! tighter-deadline job is queued (per
+//! [`ServerConfig::preemption`]), the running session is *parked* at
+//! the layer boundary — hidden state and cost accounting checkpointed
+//! back onto the lane — the tight job runs, and parked sessions resume
+//! EDF-ordered with a fresh DVFS decision against their remaining
+//! slack. A long stretched sentence can no longer hold its lane
+//! hostage for a tight arrival's whole budget.
+//!
+//! **Queue-pressure-aware stretch** ([`ServerConfig::pressure_stretch`])
+//! attacks the same failure from the admission side: at pop time the
+//! worker looks at the tightest deadline still waiting behind the
+//! popped job and caps its DVFS stretch window so the successor can
+//! still run at nominal inside its own deadline
+//! ([`InferenceRequest::with_stretch_cap_s`]) — a greedy sentence
+//! stops stealing slack from queued tighter work before it even
+//! starts.
+//!
 //! Everything else is the operational contract a front-end owes its
 //! callers: bounded lanes with typed backpressure
 //! ([`SubmitError::QueueFull`]), typed routing failures
-//! ([`SubmitError::TaskNotServed`]), graceful [`shutdown`]
-//! (Server::shutdown) that drains every admitted request before
-//! workers exit, and per-lane [`ServerStats`] (admissions, rejections,
-//! violations, queue depths and delays).
+//! ([`SubmitError::TaskNotServed`]), typed worker-loss reporting
+//! ([`ResponseHandle::wait`] returns [`WorkerLost`] instead of
+//! panicking), graceful [`shutdown`](Server::shutdown) that drains
+//! every admitted request — parked sessions included — before workers
+//! exit, and per-lane [`ServerStats`] (admissions, rejections,
+//! violations, preemptions, queue/parked depths and delays).
 
 mod lane;
 mod stats;
@@ -57,12 +81,41 @@ pub use stats::{LaneStats, ServerStats};
 use crate::engine::{deadline_met, EdgeBertEngine, InferenceRequest, InferenceResponse};
 use crate::scheduler::SchedulePolicy;
 use crate::serving::MultiTaskRuntime;
+use crate::session::InferenceSession;
 use edgebert_tasks::Task;
-use lane::{Job, Lane};
+use lane::{Job, JobContext, Lane, Popped, Work};
 use std::sync::mpsc::{sync_channel, Receiver, RecvTimeoutError};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+/// When a shard parks its running session for a queued arrival.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PreemptionPolicy {
+    /// Never preempt: a dispatched sentence runs to completion (the
+    /// pre-session behavior, and the default).
+    Off,
+    /// Park the running session at the next layer boundary when a
+    /// queued job's absolute deadline is tighter than the running
+    /// job's by strictly more than the gap, seconds. `DeadlineGap(0.0)`
+    /// preempts for any strictly tighter arrival; a positive gap adds
+    /// hysteresis so near-equal deadlines don't thrash the lane with
+    /// park/resume transitions (each park costs a fresh
+    /// nominal→decision transition at resume).
+    DeadlineGap(f64),
+}
+
+impl PreemptionPolicy {
+    /// Whether a running job at `running_deadline_s` should yield to a
+    /// queued job at `queued_deadline_s` (absolute server-clock
+    /// deadlines).
+    fn should_preempt(self, running_deadline_s: f64, queued_deadline_s: f64) -> bool {
+        match self {
+            PreemptionPolicy::Off => false,
+            PreemptionPolicy::DeadlineGap(gap) => running_deadline_s - queued_deadline_s > gap,
+        }
+    }
+}
 
 /// Configuration of a [`Server`].
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -98,11 +151,26 @@ pub struct ServerConfig {
     /// meaningful. Off (the default), shards only spend the software
     /// model's compute time and the server is a fast async front-end.
     pub emulate_service_time: bool,
+    /// Preemption policy: whether (and by how much of a deadline gap)
+    /// a queued arrival parks the running session at a layer boundary.
+    /// Off by default.
+    pub preemption: PreemptionPolicy,
+    /// Queue-pressure-aware stretch: at pop time, cap the popped job's
+    /// DVFS stretch window by the tightest successor deadline still
+    /// waiting on the lane (minus the lane's nominal service
+    /// estimate), so a greedy sentence stops stealing slack from
+    /// queued tighter work. Applied only on single-shard lanes — with
+    /// several shards the queued successor typically dispatches
+    /// concurrently on another one, so capping would spend energy
+    /// without a tail win. Off by default — the cap trades a little
+    /// of the greedy sentence's energy for cross-class tail latency.
+    pub pressure_stretch: bool,
 }
 
 impl Default for ServerConfig {
     /// One shard per task, 1024-deep lanes, EDF, queue-aware slack on
-    /// with a 1 ms noise floor, no service-time emulation.
+    /// with a 1 ms noise floor, no service-time emulation, no
+    /// preemption, no pressure stretch.
     fn default() -> Self {
         Self {
             shards_per_task: 1,
@@ -111,6 +179,8 @@ impl Default for ServerConfig {
             queue_aware_slack: true,
             slack_floor_s: 1e-3,
             emulate_service_time: false,
+            preemption: PreemptionPolicy::Off,
+            pressure_stretch: false,
         }
     }
 }
@@ -173,8 +243,14 @@ pub struct ServerResponse {
     /// queue-aware slack is on and the wait cleared the noise floor,
     /// else just the pre-stamp (which the engine always honors).
     pub slack_deducted_s: f64,
+    /// Times this sentence's session was parked at a layer boundary
+    /// for a tighter arrival (0 without preemption).
+    pub preemptions: u32,
+    /// Wall time the session spent parked, charged against the
+    /// sentence's slack and its sojourn, seconds.
+    pub parked_s: f64,
     /// End-to-end response time: queueing delay (plus any submitter
-    /// pre-stamp) + modeled compute latency, seconds.
+    /// pre-stamp), parked time, and modeled compute latency, seconds.
     pub sojourn_s: f64,
     /// Whether the sojourn met the request's latency target under the
     /// one [`deadline_met`] rule, charging exactly the elapsed time
@@ -188,12 +264,44 @@ pub struct ServerResponse {
     pub deadline_met: bool,
 }
 
+/// The worker thread serving a submission died before delivering its
+/// response (it panicked, or the process is tearing the server down
+/// ungracefully). The server's graceful-shutdown drain guarantees this
+/// never happens in normal operation — it is the typed form of what
+/// used to be a panic inside [`ResponseHandle::wait`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkerLost {
+    /// The task lane the submission was admitted to.
+    pub task: Task,
+    /// The lost submission's admission sequence number.
+    pub submission: u64,
+}
+
+impl std::fmt::Display for WorkerLost {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "worker serving {} submission #{} died before delivering its response",
+            self.task, self.submission
+        )
+    }
+}
+
+impl std::error::Error for WorkerLost {}
+
+/// The outcome of waiting on a submission: the response, or a typed
+/// [`WorkerLost`] when the serving worker died with the reply channel
+/// dropped.
+pub type ServeOutcome = Result<ServerResponse, WorkerLost>;
+
 /// A claim on one submission's future [`ServerResponse`].
 ///
 /// The server guarantees every *admitted* request is served — graceful
 /// shutdown drains the lanes before workers exit — so
-/// [`wait`](Self::wait) always completes unless a worker thread
-/// panicked.
+/// [`wait`](Self::wait) always completes with `Ok` unless a worker
+/// thread died (a panic inside a custom backend, an abort mid-drain),
+/// which surfaces as the typed [`WorkerLost`] error rather than a
+/// panic in the *caller's* thread.
 #[derive(Debug)]
 pub struct ResponseHandle {
     task: Task,
@@ -212,22 +320,25 @@ impl ResponseHandle {
         self.submission
     }
 
-    /// Blocks until the response arrives.
-    pub fn wait(self) -> ServerResponse {
-        self.rx
-            .recv()
-            .expect("an admitted request is always served before shutdown")
+    /// Blocks until the response arrives, or reports [`WorkerLost`] if
+    /// the serving worker died with the reply channel dropped.
+    pub fn wait(self) -> ServeOutcome {
+        self.rx.recv().map_err(|_| WorkerLost {
+            task: self.task,
+            submission: self.submission,
+        })
     }
 
-    /// Blocks up to `timeout` for the response; returns the handle back
+    /// Blocks up to `timeout` for the outcome; returns the handle back
     /// on timeout so the caller can keep waiting.
-    pub fn wait_timeout(self, timeout: Duration) -> Result<ServerResponse, ResponseHandle> {
+    pub fn wait_timeout(self, timeout: Duration) -> Result<ServeOutcome, ResponseHandle> {
         match self.rx.recv_timeout(timeout) {
-            Ok(response) => Ok(response),
+            Ok(response) => Ok(Ok(response)),
             Err(RecvTimeoutError::Timeout) => Err(self),
-            Err(RecvTimeoutError::Disconnected) => {
-                panic!("an admitted request is always served before shutdown")
-            }
+            Err(RecvTimeoutError::Disconnected) => Ok(Err(WorkerLost {
+                task: self.task,
+                submission: self.submission,
+            })),
         }
     }
 }
@@ -262,6 +373,12 @@ impl Server {
             cfg.slack_floor_s.is_finite() && cfg.slack_floor_s >= 0.0,
             "slack floor must be finite and non-negative"
         );
+        if let PreemptionPolicy::DeadlineGap(gap) = cfg.preemption {
+            assert!(
+                gap.is_finite() && gap >= 0.0,
+                "preemption deadline gap must be finite and non-negative"
+            );
+        }
         let epoch = Instant::now();
         let mut lanes = Vec::new();
         let mut workers = Vec::new();
@@ -273,7 +390,7 @@ impl Server {
                 let engine = rt.engine().clone();
                 let handle = std::thread::Builder::new()
                     .name(format!("edgebert-{task}-{shard}"))
-                    .spawn(move || shard_loop(lane, engine, shard, cfg))
+                    .spawn(move || shard_loop(lane, engine, shard, cfg, epoch))
                     .expect("spawn shard worker");
                 workers.push(handle);
             }
@@ -385,8 +502,12 @@ impl Server {
                     rejected: queue.rejected,
                     served: tally.served,
                     violations: tally.violations,
+                    preempted: tally.preempted,
+                    resumed: tally.resumed,
                     queued: queue.jobs.len(),
+                    parked: queue.parked.len(),
                     queue_high_water: queue.high_water,
+                    max_parked_depth: queue.parked_high_water,
                     queue_delay_mean_s: tally.queue_delay_total_s / served,
                     queue_delay_max_s: tally.queue_delay_max_s,
                     slack_deducted_mean_s: tally.slack_deducted_total_s / served,
@@ -424,88 +545,225 @@ impl Drop for Server {
     }
 }
 
-/// One shard worker: pop in policy order, measure the wait, stamp the
-/// slack, serve, (optionally) hold the lane for the modeled latency,
-/// deliver.
-fn shard_loop(lane: Arc<Lane>, engine: EdgeBertEngine, shard: usize, cfg: ServerConfig) {
-    while let Some(job) = lane.next_job() {
-        let queue_delay_s = job.enqueued_at.elapsed().as_secs_f64();
-        // Any pre-stamp from the submitter (an upstream hop's measured
-        // wait) counts toward the total elapsed queue time.
-        let pre_stamp_s = job.request.effective_elapsed_queue_s();
-        let elapsed_s = pre_stamp_s + queue_delay_s;
-        // Elapsed queue time the engine's DVFS budget is charged with.
-        // The engine always honors the stamp a request carries —
-        // "slack-blind" means the *server* adds none of its own
-        // measured wait on top, not that a submitter's stamp is
-        // erased. The noise floor gates the *measured* wait alone: a
-        // request pre-stamped above the floor must not have sub-floor
-        // wake-up jitter folded into its budget either.
-        let budgeted_s = if cfg.queue_aware_slack && queue_delay_s >= cfg.slack_floor_s {
-            elapsed_s
-        } else {
-            pre_stamp_s
+/// One shard worker: pick the next unit of work (fresh admission or
+/// parked session) in policy order, step it layer by layer — measuring
+/// the wait, stamping the slack and any queue-pressure stretch cap at
+/// first dispatch, (optionally) holding the lane for each step's
+/// modeled latency — and between steps poll the lane for a strictly
+/// tighter arrival, atomically trading the running session for the
+/// tight job at the layer boundary when the preemption policy says to
+/// yield.
+fn shard_loop(
+    lane: Arc<Lane>,
+    engine: EdgeBertEngine,
+    shard: usize,
+    cfg: ServerConfig,
+    epoch: Instant,
+) {
+    // The cap a popped job's stretch window is clamped under when
+    // tighter work waits behind it: the successor must still fit a
+    // nominal-speed sentence inside its own deadline. Pop-time capping
+    // only makes sense when this worker *is* the lane — with several
+    // shards the queued successor typically dispatches concurrently on
+    // another one, and capping would spend energy with no tail win.
+    let pressure_stretch = cfg.pressure_stretch && cfg.shards_per_task == 1;
+    let nominal_service_s = engine.nominal_service_estimate_s();
+    // A preemption exchange hands this shard the claimed tight job
+    // directly, bypassing the queue.
+    let mut claimed: Option<Popped> = None;
+    loop {
+        let popped = match claimed.take() {
+            Some(popped) => popped,
+            None => match lane.next_work() {
+                Some(popped) => popped,
+                None => return,
+            },
         };
-        let serve_started = Instant::now();
-        let response: InferenceResponse = if budgeted_s > pre_stamp_s {
-            engine.serve(&job.request.clone().with_elapsed_queue_s(budgeted_s))
-        } else {
-            // No server-side deduction: serve the request exactly as
-            // submitted, bit-identical to `TaskRuntime::serve`.
-            engine.serve(&job.request)
-        };
-        if cfg.emulate_service_time {
-            // Hold the lane for the modeled hardware latency. The
-            // software forward pass already consumed real time, so
-            // only the remainder is slept — lane busy time is the
-            // modeled service time, not the sum of both.
-            let spent_s = serve_started.elapsed().as_secs_f64();
-            std::thread::sleep(Duration::from_secs_f64(
-                (response.result.latency_s - spent_s).clamp(0.0, 10.0),
-            ));
-        }
-        let sojourn_s = elapsed_s + response.result.latency_s;
-        // The verdict charges exactly the elapsed time the server
-        // accounted for. In queue-aware mode a sub-floor wait was
-        // declared measurement noise and not deducted from the DVFS
-        // budget, so it must not flip the verdict either — otherwise an
-        // *idle* server would mark every sentence whose compute
-        // stretches exactly onto its target as missed, on microseconds
-        // of wake-up jitter. The slack-blind baseline charges the full
-        // measured wait: not accounting for queueing is precisely the
-        // failure it exists to demonstrate.
-        let charged_s = if cfg.queue_aware_slack {
-            budgeted_s
-        } else {
-            elapsed_s
-        };
-        let met = deadline_met(
-            charged_s + response.result.latency_s,
-            response.latency_target_s,
-        );
-        {
-            let mut tally = lane.tally.lock().expect("tally mutex");
-            tally.served += 1;
-            if !met {
-                tally.violations += 1;
+        let (session, ctx) = match popped.work {
+            Work::Fresh(job) => {
+                let queue_delay_s = job.enqueued_at.elapsed().as_secs_f64();
+                // Any pre-stamp from the submitter (an upstream hop's
+                // measured wait) counts toward the total elapsed queue
+                // time.
+                let pre_stamp_s = job.request.effective_elapsed_queue_s();
+                let elapsed_s = pre_stamp_s + queue_delay_s;
+                // Elapsed queue time the engine's DVFS budget is
+                // charged with. The engine always honors the stamp a
+                // request carries — "slack-blind" means the *server*
+                // adds none of its own measured wait on top, not that
+                // a submitter's stamp is erased. The noise floor gates
+                // the *measured* wait alone: a request pre-stamped
+                // above the floor must not have sub-floor wake-up
+                // jitter folded into its budget either.
+                let budgeted_s = if cfg.queue_aware_slack && queue_delay_s >= cfg.slack_floor_s {
+                    elapsed_s
+                } else {
+                    pre_stamp_s
+                };
+                let mut request = job.request;
+                if budgeted_s > pre_stamp_s {
+                    // Server-side deduction; otherwise the request is
+                    // served exactly as submitted, bit-identical to
+                    // `TaskRuntime::serve`.
+                    request = request.with_elapsed_queue_s(budgeted_s);
+                }
+                if pressure_stretch {
+                    if let Some(successor_deadline_s) = popped.successor_deadline_s {
+                        let now_s = epoch.elapsed().as_secs_f64();
+                        let cap_s = successor_deadline_s - now_s - nominal_service_s;
+                        if cap_s.is_finite() {
+                            request = request.with_stretch_cap_s(cap_s.max(0.0));
+                        }
+                    }
+                }
+                // The verdict charges exactly the elapsed time the
+                // server accounted for. In queue-aware mode a
+                // sub-floor wait was declared measurement noise and
+                // not deducted from the DVFS budget, so it must not
+                // flip the verdict either — otherwise an *idle* server
+                // would mark every sentence whose compute stretches
+                // exactly onto its target as missed, on microseconds
+                // of wake-up jitter. The slack-blind baseline charges
+                // the full measured wait: not accounting for queueing
+                // is precisely the failure it exists to demonstrate.
+                let charged_elapsed_s = if cfg.queue_aware_slack {
+                    budgeted_s
+                } else {
+                    elapsed_s
+                };
+                (
+                    engine.begin(&request),
+                    JobContext {
+                        seq: job.seq,
+                        deadline_s: job.deadline_s,
+                        reply: job.reply,
+                        queue_delay_s,
+                        slack_deducted_s: budgeted_s,
+                        elapsed_s,
+                        charged_elapsed_s,
+                    },
+                )
             }
-            tally.queue_delay_total_s += queue_delay_s;
-            tally.queue_delay_max_s = tally.queue_delay_max_s.max(queue_delay_s);
-            tally.slack_deducted_total_s += budgeted_s;
-        }
-        // The client may have stopped waiting; a dead handle is not a
-        // server error.
-        let _ = job.reply.send(ServerResponse {
-            task: lane.task,
-            shard,
-            submission: job.seq,
-            response,
-            queue_delay_s,
-            slack_deducted_s: budgeted_s,
-            sojourn_s,
-            deadline_met: met,
-        });
+            Work::Resume(parked) => {
+                let parked = *parked;
+                let mut session = parked.session;
+                // The parked wall time burned real slack: the next
+                // DVFS decision sees it, and so does the verdict.
+                session.resume(parked.parked_at.elapsed().as_secs_f64());
+                lane.tally.lock().expect("tally mutex").resumed += 1;
+                (session, parked.ctx)
+            }
+        };
+        claimed = drive(&lane, session, ctx, shard, cfg);
     }
+}
+
+/// Steps one session until it completes or yields the lane. Completion
+/// delivers the response and folds the tallies, returning `None`; a
+/// preemption exchange parks the session (with its serving context)
+/// onto the lane and returns the claimed tight job for the shard to
+/// serve next.
+fn drive(
+    lane: &Arc<Lane>,
+    mut session: InferenceSession,
+    mut ctx: JobContext,
+    shard: usize,
+    cfg: ServerConfig,
+) -> Option<Popped> {
+    let segment_started = Instant::now();
+    let resume_base_s = session.modeled_latency_s();
+    // Emulation granularity follows the preemption policy: preemptive
+    // lanes must be really busy for each layer's modeled time so a
+    // boundary exists mid-service to park at, while non-preemptive
+    // lanes sleep once per dispatch — per-step sleeps would stack one
+    // scheduler-quantum overshoot per layer onto sentences that land
+    // exactly on their deadlines by design.
+    let per_step_emulation = cfg.preemption != PreemptionPolicy::Off;
+    let emulate_to_accrued = |session: &InferenceSession| {
+        // Hold the lane for the modeled hardware latency accrued so
+        // far in this dispatch. The software forward pass already
+        // consumed real time, so only the remainder is slept — lane
+        // busy time is the modeled service time, not the sum of both.
+        let due_s = session.modeled_latency_s() - resume_base_s;
+        let spent_s = segment_started.elapsed().as_secs_f64();
+        std::thread::sleep(Duration::from_secs_f64((due_s - spent_s).clamp(0.0, 10.0)));
+    };
+    loop {
+        session.step();
+        if cfg.emulate_service_time && per_step_emulation {
+            emulate_to_accrued(&session);
+        }
+        if session.is_complete() {
+            if cfg.emulate_service_time && !per_step_emulation {
+                emulate_to_accrued(&session);
+            }
+            break;
+        }
+        // Between layer steps: yield the lane if a strictly tighter
+        // arrival is queued. The cheap poll runs lock-light; the
+        // authoritative decision is the atomic exchange, which parks
+        // this session at the layer boundary — hidden state and
+        // committed cost checkpointed — and claims the tight job for
+        // this shard in the same lock, so a pool of shards can never
+        // stampede-park for one arrival.
+        if cfg.preemption != PreemptionPolicy::Off {
+            let pressured = lane
+                .tightest_queued_deadline()
+                .is_some_and(|queued| cfg.preemption.should_preempt(ctx.deadline_s, queued));
+            if pressured {
+                match lane.preempt_exchange(session, ctx, cfg.preemption) {
+                    Ok(claimed) => {
+                        lane.tally.lock().expect("tally mutex").preempted += 1;
+                        return Some(claimed);
+                    }
+                    // Pressure vanished between the poll and the lock
+                    // (another shard claimed the arrival): nothing was
+                    // parked or charged — keep stepping.
+                    Err(back) => {
+                        (session, ctx) = *back;
+                    }
+                }
+            }
+        }
+    }
+    let preemptions = session.preemptions();
+    let parked_s = session.parked_s();
+    let response = session
+        .response()
+        .expect("a completed session carries its response");
+    // Parked time is real elapsed time the sentence spent not
+    // computing: it counts in the sojourn and against the deadline in
+    // both slack modes, exactly as the session's own accounting saw it.
+    let sojourn_s = ctx.elapsed_s + parked_s + response.result.latency_s;
+    let met = deadline_met(
+        ctx.charged_elapsed_s + parked_s + response.result.latency_s,
+        response.latency_target_s,
+    );
+    {
+        let mut tally = lane.tally.lock().expect("tally mutex");
+        tally.served += 1;
+        if !met {
+            tally.violations += 1;
+        }
+        tally.queue_delay_total_s += ctx.queue_delay_s;
+        tally.queue_delay_max_s = tally.queue_delay_max_s.max(ctx.queue_delay_s);
+        tally.slack_deducted_total_s += ctx.slack_deducted_s;
+    }
+    // The client may have stopped waiting; a dead handle is not a
+    // server error.
+    let _ = ctx.reply.send(ServerResponse {
+        task: lane.task,
+        shard,
+        submission: ctx.seq,
+        response,
+        queue_delay_s: ctx.queue_delay_s,
+        slack_deducted_s: ctx.slack_deducted_s,
+        preemptions,
+        parked_s,
+        sojourn_s,
+        deadline_met: met,
+    });
+    None
 }
 
 #[cfg(test)]
@@ -601,7 +859,7 @@ mod tests {
             handles.push(server.submit(Task::Sst2, req).expect("admitted"));
         }
         for (handle, want) in handles.into_iter().zip(expected) {
-            let got = handle.wait();
+            let got = handle.wait().expect("worker alive");
             assert_eq!(got.response, want);
             assert_eq!(got.slack_deducted_s, 0.0);
             assert_eq!(got.task, Task::Sst2);
@@ -644,9 +902,12 @@ mod tests {
                 InferenceRequest::new(data.examples()[3].tokens.clone()).with_latency_target(50e-3),
             )
             .expect("admitted");
-        assert_eq!(sane.wait().response.latency_target_s, 50e-3);
+        assert_eq!(
+            sane.wait().expect("worker alive").response.latency_target_s,
+            50e-3
+        );
         for handle in handles {
-            handle.wait(); // delivered, not panicked
+            handle.wait().expect("delivered, not lost");
         }
         let stats = server.shutdown();
         assert_eq!(stats.served(), 4);
@@ -692,7 +953,8 @@ mod tests {
                 InferenceRequest::new(tokens).with_latency_target(60e-3),
             )
             .expect("admitted")
-            .wait();
+            .wait()
+            .expect("worker alive");
         assert_eq!(resp.response, direct, "idle serve is bit-identical");
         assert_eq!(resp.slack_deducted_s, 0.0);
         assert!(
@@ -715,13 +977,48 @@ mod tests {
             .uniform_thresholds(EntropyThresholds::uniform(0.0))
             .build()
             .serve(&stamped);
-        let got = server.submit(Task::Sst2, stamped).expect("admitted").wait();
+        let got = server
+            .submit(Task::Sst2, stamped)
+            .expect("admitted")
+            .wait()
+            .expect("worker alive");
         assert_eq!(
             got.response, want,
             "pre-stamped idle serve is bit-identical"
         );
         assert_eq!(got.slack_deducted_s, 40e-3);
         server.shutdown();
+    }
+
+    #[test]
+    fn a_dead_worker_is_a_typed_error_not_a_panic() {
+        // A worker that dies with the reply sender dropped used to
+        // panic the *caller* inside `wait()`. It is now the typed
+        // `WorkerLost` error, on both the blocking and timed paths.
+        let (tx, rx) = sync_channel::<ServerResponse>(1);
+        drop(tx);
+        let handle = ResponseHandle {
+            task: Task::Sst2,
+            submission: 7,
+            rx,
+        };
+        let lost = WorkerLost {
+            task: Task::Sst2,
+            submission: 7,
+        };
+        assert_eq!(handle.wait(), Err(lost));
+        let (tx, rx) = sync_channel::<ServerResponse>(1);
+        drop(tx);
+        let handle = ResponseHandle {
+            task: Task::Sst2,
+            submission: 7,
+            rx,
+        };
+        match handle.wait_timeout(Duration::from_millis(1)) {
+            Ok(outcome) => assert_eq!(outcome, Err(lost)),
+            Err(_) => panic!("a dropped sender is a loss, not a timeout"),
+        }
+        assert!(lost.to_string().contains("submission #7"));
     }
 
     #[test]
@@ -744,7 +1041,8 @@ mod tests {
         for handle in handles {
             let resp = handle
                 .wait_timeout(Duration::from_secs(5))
-                .expect("response was delivered during the drain");
+                .expect("response was delivered during the drain")
+                .expect("worker alive");
             assert!(resp.response.result.energy_j > 0.0);
         }
     }

@@ -19,10 +19,19 @@ pub struct LaneStats {
     /// Served requests whose sojourn (measured wait + modeled compute)
     /// missed the deadline.
     pub violations: u64,
+    /// Times a running session was parked at a layer boundary for a
+    /// tighter-deadline arrival.
+    pub preempted: u64,
+    /// Times a parked session was resumed.
+    pub resumed: u64,
     /// Requests admitted but not yet served.
     pub queued: usize,
+    /// Sessions currently parked at a layer boundary.
+    pub parked: usize,
     /// Deepest the queue has been since start.
     pub queue_high_water: usize,
+    /// Deepest the parked-session pool has been since start.
+    pub max_parked_depth: usize,
     /// Mean measured queueing delay over served requests, seconds.
     pub queue_delay_mean_s: f64,
     /// Largest measured queueing delay, seconds.
@@ -60,6 +69,25 @@ impl ServerStats {
     /// Sojourn deadline violations across all lanes.
     pub fn violations(&self) -> u64 {
         self.lanes.iter().map(|l| l.violations).sum()
+    }
+
+    /// Preemptions (sessions parked mid-sentence) across all lanes.
+    pub fn preempted(&self) -> u64 {
+        self.lanes.iter().map(|l| l.preempted).sum()
+    }
+
+    /// Parked-session resumes across all lanes.
+    pub fn resumed(&self) -> u64 {
+        self.lanes.iter().map(|l| l.resumed).sum()
+    }
+
+    /// The deepest any lane's parked-session pool has been.
+    pub fn max_parked_depth(&self) -> usize {
+        self.lanes
+            .iter()
+            .map(|l| l.max_parked_depth)
+            .max()
+            .unwrap_or(0)
     }
 
     /// Requests admitted but not yet served, across all lanes.

@@ -1,0 +1,589 @@
+//! Resumable, layer-granular inference sessions: the execution seam
+//! under every serving layer.
+//!
+//! EdgeBERT's whole design divides per-sentence work at transformer
+//! *layer boundaries* — the entropy early-exit check and the DVFS
+//! re-budgeting are both layer-granular — yet the engine used to expose
+//! only monolithic run-to-completion calls, so a long stretched
+//! sentence held its accelerator lane for its entire duration while a
+//! tight-deadline arrival sat in queue. [`InferenceSession`] is the
+//! redesign: [`EdgeBertEngine::begin`](crate::engine::EdgeBertEngine::begin)
+//! opens a session over one request, and each [`step`](InferenceSession::step)
+//! executes exactly one encoder layer — software forward (the hidden
+//! state lives in the session via
+//! [`ForwardSession`](edgebert_model::ForwardSession)), entropy-exit
+//! check, hardware cost accounting — returning a [`StepOutcome`].
+//!
+//! Sessions are **checkpointable**: [`park`](InferenceSession::park)
+//! closes the open hardware segment at the current layer boundary and
+//! freezes the session (hidden state + accounting); a later
+//! [`resume`](InferenceSession::resume) charges the parked wall time
+//! against the sentence's slack, and the next step re-runs the DVFS
+//! decision against the *remaining* cycles and *remaining* budget —
+//! paper §5.2's `Freq_opt = N_cycles / (T − T_elapsed)` with everything
+//! already burned (queueing, completed layers, parked time) deducted.
+//! This is what makes the `edgebert::server` lanes preemptive: a worker
+//! can park a stretched sentence between layers, serve a tighter
+//! arrival, and resume the parked session with a freshly tightened
+//! operating point.
+//!
+//! **Bit-identity contract.** A session driven to completion without
+//! ever parking reproduces the monolithic paths
+//! ([`run_base`](crate::engine::EdgeBertEngine::run_base),
+//! [`run_conventional_ee_at`](crate::engine::EdgeBertEngine::run_conventional_ee_at),
+//! [`run_latency_aware_queued`](crate::engine::EdgeBertEngine::run_latency_aware_queued))
+//! bit for bit — those methods are now thin drive-to-completion
+//! wrappers over a session, and `tests/backend_equivalence.rs` pins
+//! them against a direct-hardware oracle reproducing the pre-redesign
+//! arithmetic. Within one uninterrupted segment the accounting
+//! recomputes the segment cost from its start layer at every step
+//! (rather than summing per-layer deltas), so the final numbers are
+//! exactly the monolithic single-`run_layers` expressions. Parking is
+//! *not* free: closing a segment commits its cost, and the resume
+//! segment charges a fresh nominal→decision transition — the modeled
+//! hardware really does return toward nominal while preempted.
+
+use crate::backend::OperatingPoint;
+use crate::engine::{
+    deadline_met, DropTarget, EdgeBertEngine, InferenceMode, InferenceResponse, SentenceResult,
+};
+use edgebert_model::ForwardSession;
+use edgebert_tensor::stats::argmax;
+
+/// What one [`InferenceSession::step`] did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepOutcome {
+    /// A layer ran; more remain. The session sits at a layer boundary —
+    /// the natural preemption point — and can be parked or stepped.
+    Continue,
+    /// A layer ran and its off-ramp entropy crossed the exit threshold:
+    /// the sentence is complete via early exit.
+    Exited,
+    /// A layer ran and the session hit its forced stop (the LAI
+    /// forecast layer, or full depth for Base/EE): complete.
+    Done,
+}
+
+/// Lifecycle of an [`InferenceSession`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SessionState {
+    /// Steppable: the next [`step`](InferenceSession::step) runs a
+    /// layer.
+    Running,
+    /// Checkpointed at a layer boundary; call
+    /// [`resume`](InferenceSession::resume) before stepping again.
+    Parked,
+    /// The sentence finished; [`result`](InferenceSession::result) and
+    /// [`response`](InferenceSession::response) are available.
+    Complete,
+}
+
+/// The open hardware segment: a run of layers executed at one operating
+/// point since the last DVFS decision.
+#[derive(Debug, Clone)]
+struct SegmentRun {
+    /// Operating point the segment runs at.
+    point: OperatingPoint,
+    /// Transition cost (nominal → point) charged when the segment
+    /// closes, seconds.
+    transition_s: f64,
+    /// First layer (1-based) of the segment.
+    start_layer: usize,
+}
+
+/// One sentence's resumable execution state: hidden-state checkpoint,
+/// per-layer hardware accounting, and the request's service levels.
+///
+/// Created by [`EdgeBertEngine::begin`](crate::engine::EdgeBertEngine::begin)
+/// (request-scoped, sanitized) or the engine's `run_*` wrappers
+/// (raw-token paths). Sessions own an engine clone (`Arc` bumps on the
+/// shared weights and backend), so they are `Send + 'static` — they can
+/// be parked in a shared lane and resumed by a different worker thread.
+#[derive(Debug, Clone)]
+pub struct InferenceSession {
+    engine: EdgeBertEngine,
+    mode: InferenceMode,
+    latency_target_s: f64,
+    drop: DropTarget,
+    /// Queueing delay stamped at begin (already sanitized), seconds.
+    elapsed_queue_s: f64,
+    /// Queue-pressure cap on the DVFS stretch window (seconds from
+    /// dispatch), `None` when uncapped. See
+    /// [`InferenceRequest::with_stretch_cap_s`](crate::engine::InferenceRequest::with_stretch_cap_s).
+    stretch_cap_s: Option<f64>,
+    /// Software forward state (the hidden-state checkpoint).
+    fwd: ForwardSession,
+    num_layers: usize,
+    /// Entropy threshold of this mode/tier (unused by Base).
+    et: f32,
+    state: SessionState,
+    /// Layers completed (1-based count).
+    layers_done: usize,
+    /// LAI forecast exit layer, set after layer 1.
+    predicted: Option<usize>,
+    /// Accounting already committed (fixed costs + closed segments).
+    committed_latency_s: f64,
+    committed_energy_j: f64,
+    /// The open segment, if a DVFS decision is active.
+    segment: Option<SegmentRun>,
+    /// Operating point reported in the result (last decision, or
+    /// nominal before any).
+    point: OperatingPoint,
+    /// Feasibility of the last DVFS decision *against the real target*
+    /// (a stretch cap never flips a met deadline to missed).
+    feasible: bool,
+    /// Wall time spent parked, charged against the slack, seconds.
+    parked_s: f64,
+    /// Times this session was parked.
+    preemptions: u32,
+    result: Option<SentenceResult>,
+    terminal: StepOutcome,
+}
+
+impl InferenceSession {
+    /// Opens a session. `tokens` are used as given (the engine's
+    /// [`serve`](crate::engine::EdgeBertEngine::serve)/[`begin`](crate::engine::EdgeBertEngine::begin)
+    /// sanitize wire requests before reaching here).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `elapsed_queue_s` is negative or non-finite (the
+    /// request-scoped entry points sanitize stamps first).
+    pub(crate) fn new(
+        engine: EdgeBertEngine,
+        tokens: &[u32],
+        mode: InferenceMode,
+        latency_target_s: f64,
+        drop: DropTarget,
+        elapsed_queue_s: f64,
+        stretch_cap_s: Option<f64>,
+    ) -> Self {
+        assert!(
+            elapsed_queue_s.is_finite() && elapsed_queue_s >= 0.0,
+            "queueing delay must be finite and non-negative, got {elapsed_queue_s}"
+        );
+        let et = match mode {
+            InferenceMode::ConventionalEe => engine.thresholds(drop).conventional,
+            _ => engine.thresholds(drop).latency_aware,
+        };
+        let fwd = engine.model().begin_forward(tokens);
+        let num_layers = engine.model().num_layers();
+        let point = engine.backend().nominal();
+        Self {
+            engine,
+            mode,
+            latency_target_s,
+            drop,
+            elapsed_queue_s,
+            stretch_cap_s,
+            fwd,
+            num_layers,
+            et,
+            state: SessionState::Running,
+            layers_done: 0,
+            predicted: None,
+            committed_latency_s: 0.0,
+            committed_energy_j: 0.0,
+            segment: None,
+            point,
+            feasible: true,
+            parked_s: 0.0,
+            preemptions: 0,
+            result: None,
+            terminal: StepOutcome::Done,
+        }
+    }
+
+    /// The session's lifecycle state.
+    pub fn state(&self) -> SessionState {
+        self.state
+    }
+
+    /// Whether the sentence finished.
+    pub fn is_complete(&self) -> bool {
+        self.state == SessionState::Complete
+    }
+
+    /// Layers executed so far.
+    pub fn layers_done(&self) -> usize {
+        self.layers_done
+    }
+
+    /// The LAI forecast exit layer (None before layer 1, and for
+    /// Base/EE sessions).
+    pub fn predicted_layer(&self) -> Option<usize> {
+        self.predicted
+    }
+
+    /// The inference scheme this session runs.
+    pub fn mode(&self) -> InferenceMode {
+        self.mode
+    }
+
+    /// The latency target the session is served under, seconds.
+    pub fn latency_target_s(&self) -> f64 {
+        self.latency_target_s
+    }
+
+    /// The accuracy-drop tier the session is served under.
+    pub fn drop_target(&self) -> DropTarget {
+        self.drop
+    }
+
+    /// Times this session was parked.
+    pub fn preemptions(&self) -> u32 {
+        self.preemptions
+    }
+
+    /// Total wall time charged as parked, seconds.
+    pub fn parked_s(&self) -> f64 {
+        self.parked_s
+    }
+
+    /// Total elapsed non-compute time charged against the deadline:
+    /// the queueing stamp plus parked time, seconds.
+    pub fn elapsed_charged_s(&self) -> f64 {
+        self.elapsed_queue_s + self.parked_s
+    }
+
+    /// The modeled hardware latency accounted so far (committed costs
+    /// plus the open segment), seconds. Monotone in steps; equals the
+    /// final `result.latency_s` once complete. Service-time emulation
+    /// paces worker sleeps against this.
+    pub fn modeled_latency_s(&self) -> f64 {
+        if let Some(r) = &self.result {
+            return r.latency_s;
+        }
+        match self.mode {
+            InferenceMode::LatencyAware => {
+                self.committed_latency_s
+                    + self.segment.as_ref().map_or(0.0, |seg| {
+                        let layers = self.layers_done + 1 - seg.start_layer;
+                        seg.transition_s
+                            + self.engine.backend().run_layers(layers, &seg.point).seconds
+                    })
+            }
+            _ => {
+                if self.layers_done == 0 {
+                    return 0.0;
+                }
+                let b = self.engine.backend();
+                b.sentence_overhead().seconds
+                    + b.run_layers_nominal(self.layers_done).seconds
+                    + b.embedding_read_cost().seconds
+            }
+        }
+    }
+
+    /// Executes one layer segment: software layer, entropy-exit check,
+    /// and hardware accounting (with a fresh DVFS decision if the
+    /// session is at a segment start — the first stretched layer, or
+    /// the first step after a resume).
+    ///
+    /// Idempotent once complete (returns the terminal outcome again).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the session is parked — [`resume`](Self::resume)
+    /// first.
+    pub fn step(&mut self) -> StepOutcome {
+        assert!(
+            self.state != SessionState::Parked,
+            "resume a parked session before stepping it"
+        );
+        if self.state == SessionState::Complete {
+            return self.terminal;
+        }
+        match self.mode {
+            InferenceMode::LatencyAware => self.step_latency_aware(),
+            InferenceMode::ConventionalEe => self.step_conventional_ee(),
+            InferenceMode::Base => self.step_base(),
+        }
+    }
+
+    /// Checkpoints the session at the current layer boundary: the open
+    /// hardware segment is closed (its cost committed) and the session
+    /// freezes until [`resume`](Self::resume). Returns `false` (and
+    /// does nothing) when the session is already complete or parked.
+    pub fn park(&mut self) -> bool {
+        if self.state != SessionState::Running {
+            return false;
+        }
+        if let Some(seg) = self.segment.take() {
+            let layers = self.layers_done + 1 - seg.start_layer;
+            let cost = self.engine.backend().run_layers(layers, &seg.point);
+            self.committed_latency_s += seg.transition_s + cost.seconds;
+            self.committed_energy_j += cost.energy_j;
+        }
+        self.state = SessionState::Parked;
+        self.preemptions += 1;
+        true
+    }
+
+    /// Resumes a parked session, charging `parked_wall_s` of real time
+    /// against the sentence's remaining slack (non-finite or negative
+    /// values sanitize to zero). The next step re-runs the DVFS
+    /// decision against the remaining cycles and remaining budget.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the session is not parked.
+    pub fn resume(&mut self, parked_wall_s: f64) {
+        assert!(
+            self.state == SessionState::Parked,
+            "only a parked session can be resumed"
+        );
+        if parked_wall_s.is_finite() && parked_wall_s > 0.0 {
+            self.parked_s += parked_wall_s;
+        }
+        self.state = SessionState::Running;
+    }
+
+    /// The finished sentence result, once complete.
+    pub fn result(&self) -> Option<&SentenceResult> {
+        self.result.as_ref()
+    }
+
+    /// Drives the session to completion (without ever parking) and
+    /// returns the sentence result — the monolithic `run_*` semantics.
+    pub fn run_to_completion(mut self) -> SentenceResult {
+        while !self.is_complete() {
+            self.step();
+        }
+        self.result.expect("complete session carries its result")
+    }
+
+    /// The serving-layer response, once complete: the result wrapped
+    /// with the resolved service levels, with Base/EE verdicts
+    /// re-judged against the target (the bare results keep the paper's
+    /// unbounded-baseline semantics, exactly like
+    /// [`serve`](crate::engine::EdgeBertEngine::serve)). All verdicts
+    /// charge the queueing stamp *and* any parked time.
+    pub fn response(&self) -> Option<InferenceResponse> {
+        let mut result = self.result.clone()?;
+        if self.mode != InferenceMode::LatencyAware {
+            result.deadline_met = deadline_met(
+                self.elapsed_charged_s() + result.latency_s,
+                self.latency_target_s,
+            );
+        }
+        Some(InferenceResponse {
+            result,
+            latency_target_s: self.latency_target_s,
+            drop_target: self.drop,
+        })
+    }
+
+    /// Drives the session to completion and returns the response.
+    pub fn finish(mut self) -> InferenceResponse {
+        while !self.is_complete() {
+            self.step();
+        }
+        self.response()
+            .expect("complete session carries its result")
+    }
+
+    fn complete(&mut self, result: SentenceResult, outcome: StepOutcome) -> StepOutcome {
+        self.result = Some(result);
+        self.terminal = outcome;
+        self.state = SessionState::Complete;
+        outcome
+    }
+
+    /// Algorithm 2, one layer at a time. Layer 1 runs at nominal and
+    /// charges the fixed costs (wake, embedding read, overhead); each
+    /// later layer runs inside a stretched segment whose operating
+    /// point was decided at the segment start. Uninterrupted, the
+    /// arithmetic is exactly the monolithic
+    /// `run_latency_aware_queued` path, bit for bit.
+    fn step_latency_aware(&mut self) -> StepOutcome {
+        let backend = self.engine.backend();
+        if self.layers_done == 0 {
+            let nominal = backend.nominal();
+            let overhead = backend.sentence_overhead();
+            let wake_s = backend.wake_transition_s();
+            let embed = backend.embedding_read_cost();
+            let layer1 = backend.run_layers(1, &nominal);
+            let (_, h1) = self.engine.model().forward_next_layer(&mut self.fwd);
+            self.layers_done = 1;
+            self.committed_latency_s = overhead.seconds + wake_s + embed.seconds + layer1.seconds;
+            self.committed_energy_j = overhead.energy_j + embed.energy_j + layer1.energy_j;
+            self.point = nominal;
+            if h1 < self.et {
+                let latency_s = self.committed_latency_s;
+                let result = SentenceResult {
+                    mode: InferenceMode::LatencyAware,
+                    exit_layer: 1,
+                    predicted_layer: Some(1),
+                    prediction: argmax(self.fwd.logits_at(1)),
+                    latency_s,
+                    energy_j: self.committed_energy_j,
+                    voltage: nominal.voltage,
+                    freq_hz: nominal.freq_hz,
+                    deadline_met: deadline_met(
+                        self.elapsed_charged_s() + latency_s,
+                        self.latency_target_s,
+                    ),
+                };
+                self.predicted = Some(1);
+                return self.complete(result, StepOutcome::Exited);
+            }
+            self.predicted = Some(
+                self.engine
+                    .lut()
+                    .predict_exit_layer(h1, self.et)
+                    .clamp(2, self.num_layers),
+            );
+            return StepOutcome::Continue;
+        }
+
+        let predicted = self.predicted.expect("forecast set after layer 1");
+        if self.segment.is_none() {
+            self.open_segment(predicted);
+        }
+        let (layer, h) = self.engine.model().forward_next_layer(&mut self.fwd);
+        self.layers_done = layer;
+        let exited = h < self.et;
+        if exited || layer == predicted {
+            let seg = self.segment.take().expect("segment opened above");
+            let layers = layer + 1 - seg.start_layer;
+            let cost = self.engine.backend().run_layers(layers, &seg.point);
+            // Mirrors the monolithic `latency += transition_s +
+            // segment.seconds` (one addition of the summed pair).
+            let latency_s = self.committed_latency_s + (seg.transition_s + cost.seconds);
+            let energy_j = self.committed_energy_j + cost.energy_j;
+            self.committed_latency_s = latency_s;
+            self.committed_energy_j = energy_j;
+            let result = SentenceResult {
+                mode: InferenceMode::LatencyAware,
+                exit_layer: layer,
+                predicted_layer: Some(predicted),
+                prediction: argmax(self.fwd.logits_at(layer)),
+                latency_s,
+                energy_j,
+                voltage: seg.point.voltage,
+                freq_hz: seg.point.freq_hz,
+                deadline_met: self.feasible
+                    && deadline_met(self.elapsed_charged_s() + latency_s, self.latency_target_s),
+            };
+            let outcome = if exited {
+                StepOutcome::Exited
+            } else {
+                StepOutcome::Done
+            };
+            return self.complete(result, outcome);
+        }
+        StepOutcome::Continue
+    }
+
+    /// Opens a stretched segment: a fresh DVFS decision against the
+    /// *remaining* cycles and *remaining* budget — everything already
+    /// burned (queueing stamp, parked time, completed layers, and the
+    /// worst-case nominal→floor transition reserve) deducted. With a
+    /// queue-pressure stretch cap, the compute window is additionally
+    /// clamped to the cap, while feasibility for the deadline verdict
+    /// is still judged against the request's own budget.
+    fn open_segment(&mut self, predicted: usize) {
+        let backend = self.engine.backend();
+        let remaining_cycles =
+            self.engine.layer_cycles() * (predicted as u64 - self.layers_done as u64);
+        let elapsed = self.elapsed_charged_s();
+        let remaining_budget =
+            self.latency_target_s - self.committed_latency_s - backend.floor_transition_s();
+        let (decision, feasible) = match self.stretch_cap_s {
+            None => {
+                let d = backend.decide(remaining_cycles, remaining_budget, elapsed);
+                let feasible = d.feasible;
+                (d, feasible)
+            }
+            Some(cap) => {
+                // The capped window from dispatch: the sentence may not
+                // stretch past the queue-pressure cap even when its own
+                // deadline would allow it. Parked time advanced the
+                // wall clock past dispatch, so it shrinks the capped
+                // window too — a preempted-then-resumed sentence must
+                // not stretch into the slack the cap reserved for its
+                // successor.
+                let window = (self.latency_target_s - elapsed).min(cap - self.parked_s)
+                    - self.committed_latency_s
+                    - backend.floor_transition_s();
+                let d = backend.decide(remaining_cycles, window, 0.0);
+                // Feasibility (and thus the deadline verdict) is the
+                // request's own: a cap that forces nominal must not
+                // mark an otherwise-met deadline as missed.
+                let feasible = backend
+                    .decide(remaining_cycles, remaining_budget, elapsed)
+                    .feasible;
+                (d, feasible)
+            }
+        };
+        let transition_s = backend.transition_s(&decision);
+        self.point = decision;
+        self.feasible = feasible;
+        self.segment = Some(SegmentRun {
+            point: decision,
+            transition_s,
+            start_layer: self.layers_done + 1,
+        });
+    }
+
+    /// Algorithm 1, one layer at a time, always at nominal V/F. The
+    /// completed result is the monolithic `run_conventional_ee_at`
+    /// expression (`overhead + run_layers(exit) + embed`), bit for bit.
+    fn step_conventional_ee(&mut self) -> StepOutcome {
+        let (layer, h) = self.engine.model().forward_next_layer(&mut self.fwd);
+        self.layers_done = layer;
+        let exited = h < self.et;
+        if exited || layer == self.num_layers {
+            let result = self.nominal_result(InferenceMode::ConventionalEe, layer);
+            let outcome = if exited {
+                StepOutcome::Exited
+            } else {
+                StepOutcome::Done
+            };
+            return self.complete(result, outcome);
+        }
+        StepOutcome::Continue
+    }
+
+    /// Full-depth inference at nominal V/F, one layer at a time.
+    fn step_base(&mut self) -> StepOutcome {
+        let (layer, _) = self.engine.model().forward_next_layer(&mut self.fwd);
+        self.layers_done = layer;
+        if layer == self.num_layers {
+            let result = self.nominal_result(InferenceMode::Base, layer);
+            return self.complete(result, StepOutcome::Done);
+        }
+        StepOutcome::Continue
+    }
+
+    /// The nominal-V/F result shared by Base and conventional EE:
+    /// `deadline_met` is `true` because these are the paper's
+    /// *unbounded* baselines ([`response`](Self::response) re-judges
+    /// against the target, exactly like `serve`).
+    fn nominal_result(&self, mode: InferenceMode, exit: usize) -> SentenceResult {
+        let backend = self.engine.backend();
+        let nominal = backend.nominal();
+        let overhead = backend.sentence_overhead();
+        let cost = backend.run_layers(exit, &nominal);
+        let embed = backend.embedding_read_cost();
+        SentenceResult {
+            mode,
+            exit_layer: exit,
+            predicted_layer: None,
+            prediction: argmax(self.fwd.logits_at(exit)),
+            latency_s: overhead.seconds + cost.seconds + embed.seconds,
+            energy_j: overhead.energy_j + cost.energy_j + embed.energy_j,
+            voltage: nominal.voltage,
+            freq_hz: nominal.freq_hz,
+            deadline_met: true,
+        }
+    }
+}
+
+// Parked sessions live in shared server lanes and are resumed by
+// whichever shard frees up first.
+const _: () = {
+    const fn assert_send<T: Send + 'static>() {}
+    assert_send::<InferenceSession>();
+};

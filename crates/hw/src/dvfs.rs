@@ -325,6 +325,42 @@ mod tests {
     }
 
     #[test]
+    fn mid_sentence_redecide_tracks_remaining_work() {
+        // The resumable-session contract at the controller level: a
+        // sentence preempted mid-stretch re-decides with the layers
+        // already run and the time already spent (compute + parked)
+        // deducted. The re-decision must stay feasible whenever the
+        // original plan plus the parked stall still fits the budget,
+        // and must come back at least as fast as the original rate
+        // when the stall consumed proportionally more budget than the
+        // completed work returned.
+        let ctl = controller();
+        let layer = 3_600_000u64;
+        let total = layer * 12;
+        let target = 100e-3;
+        let first = ctl.decide(total, target);
+        assert!(first.feasible);
+        for done in [2u64, 6, 11] {
+            let spent = done as f64 * layer as f64 / first.freq_hz;
+            for parked in [0.0, 10e-3, 30e-3] {
+                let remaining = total - layer * done;
+                let re = ctl.decide(remaining, target - spent - parked);
+                if target - spent - parked > remaining as f64 / ctl.cfg.freq_max_hz {
+                    assert!(re.feasible, "done {done} parked {parked}");
+                }
+                if parked > 0.0 {
+                    assert!(
+                        re.freq_hz >= first.freq_hz - 1.0,
+                        "a stall can only push the clock up: {} vs {}",
+                        re.freq_hz,
+                        first.freq_hz
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
     fn expired_budget_is_infeasible() {
         let ctl = controller();
         let d = ctl.decide(1000, 0.0);

@@ -47,6 +47,54 @@ impl LayerwiseOutput {
     }
 }
 
+/// Layer-at-a-time forward execution: the software half of a resumable
+/// inference session.
+///
+/// Where [`AlbertModel::forward_layers`] computes every layer eagerly,
+/// a `ForwardSession` carries the live hidden state between layer
+/// applications, so execution can stop at any layer boundary, be
+/// checkpointed (the struct *is* the checkpoint: hidden state plus the
+/// off-ramp outputs seen so far), and resume later — on the same thread
+/// or another. Each [`AlbertModel::forward_next_layer`] call performs
+/// exactly the per-layer operation sequence of `forward_layers`, so the
+/// logits and entropies observed after layer *k* are bit-identical to
+/// `forward_layers`'s entries for that layer, no matter where the
+/// session was parked in between.
+#[derive(Debug, Clone)]
+pub struct ForwardSession {
+    /// The live (unnormalized) hidden state entering the next layer.
+    hidden: Matrix,
+    /// Off-ramp logits after each completed layer.
+    logits: Vec<Vec<f32>>,
+    /// Off-ramp entropies after each completed layer.
+    entropies: Vec<f32>,
+}
+
+impl ForwardSession {
+    /// Layers completed so far.
+    pub fn layers_done(&self) -> usize {
+        self.logits.len()
+    }
+
+    /// Off-ramp logits after `layer` (1-based).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layer` has not been computed yet.
+    pub fn logits_at(&self, layer: usize) -> &[f32] {
+        &self.logits[layer - 1]
+    }
+
+    /// Off-ramp entropy after `layer` (1-based).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layer` has not been computed yet.
+    pub fn entropy_at(&self, layer: usize) -> f32 {
+        self.entropies[layer - 1]
+    }
+}
+
 /// Training-time forward cache (one per sentence).
 #[derive(Debug)]
 pub struct TrainCache {
@@ -149,6 +197,41 @@ impl AlbertModel {
             logits,
             entropies,
         }
+    }
+
+    /// Starts a layer-at-a-time forward session: the embedding is
+    /// computed (and optionally quantized) immediately, and each
+    /// subsequent [`forward_next_layer`](Self::forward_next_layer) call
+    /// advances one encoder layer. See [`ForwardSession`].
+    pub fn begin_forward(&self, tokens: &[u32]) -> ForwardSession {
+        ForwardSession {
+            hidden: self.maybe_quantize(self.embedding.embed(tokens)),
+            logits: Vec::new(),
+            entropies: Vec::new(),
+        }
+    }
+
+    /// Runs the next encoder layer of `session` (the same operation
+    /// sequence as one iteration of [`forward_layers`](Self::forward_layers))
+    /// and returns the 1-based layer just completed with its off-ramp
+    /// entropy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if every layer has already been computed.
+    pub fn forward_next_layer(&self, session: &mut ForwardSession) -> (usize, f32) {
+        let l = session.logits.len();
+        assert!(
+            l < self.num_layers(),
+            "forward session already ran all {} layers",
+            self.num_layers()
+        );
+        session.hidden = self.maybe_quantize(self.encoder.infer(&session.hidden));
+        let normed = self.final_norm.infer(&session.hidden);
+        let (lg, h) = self.off_ramps[l].classify_with_entropy(&normed);
+        session.logits.push(lg);
+        session.entropies.push(h);
+        (l + 1, h)
     }
 
     /// Conventional early-exit inference (paper Algorithm 1): stop at the
@@ -366,6 +449,48 @@ mod tests {
         assert_eq!(out.logits[0].len(), 2);
         for h in &out.entropies {
             assert!(*h >= 0.0 && *h <= (2.0f32).ln() + 1e-5);
+        }
+    }
+
+    #[test]
+    fn forward_session_is_bit_identical_to_forward_layers() {
+        // The resumable-session contract: stepping layer by layer (with
+        // the session cloned mid-way, i.e. checkpointed and resumed)
+        // reproduces the eager pass bit for bit.
+        for seed in [0u64, 1, 6] {
+            let mut model = tiny_model(seed);
+            if seed == 6 {
+                model.enable_activation_quant(4); // quantized path too
+            }
+            let tokens = [CLS, 9, 10, 11, 12];
+            let eager = model.forward_layers(&tokens);
+            let mut session = model.begin_forward(&tokens);
+            for l in 1..=model.num_layers() {
+                if l == 3 {
+                    // Park and resume: the clone is the checkpoint.
+                    session = session.clone();
+                }
+                let (layer, h) = model.forward_next_layer(&mut session);
+                assert_eq!(layer, l);
+                assert_eq!(session.layers_done(), l);
+                assert_eq!(h, eager.entropies[l - 1], "seed {seed} layer {l}");
+                assert_eq!(session.entropy_at(l), eager.entropies[l - 1]);
+                assert_eq!(
+                    session.logits_at(l),
+                    &eager.logits[l - 1][..],
+                    "seed {seed} layer {l}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "already ran all")]
+    fn forward_session_refuses_to_overrun_the_model() {
+        let model = tiny_model(8);
+        let mut session = model.begin_forward(&[CLS, 3, 4]);
+        for _ in 0..=model.num_layers() {
+            model.forward_next_layer(&mut session);
         }
     }
 

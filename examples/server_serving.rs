@@ -120,6 +120,7 @@ fn main() {
         queue_aware_slack,
         slack_floor_s: 1e-3,
         emulate_service_time: true,
+        ..ServerConfig::default()
     };
     println!("draining slack-blind (DVFS budgets ignore queueing delay)...");
     let blind = drain_load_wall_clock(&runtime, &load, cfg(false));

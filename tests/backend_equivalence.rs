@@ -24,6 +24,7 @@ use edgebert::engine::{
 };
 use edgebert::predictor::{EntropyPredictor, PredictorLut};
 use edgebert::serving::{MultiTaskRuntime, TaskRuntime};
+use edgebert::session::StepOutcome;
 use edgebert_envm::{CellTech, ReramArray};
 use edgebert_hw::memory::sentence_embedding_bits;
 use edgebert_hw::{
@@ -264,6 +265,41 @@ fn sst2_fixture() -> &'static Fixture {
     CELL.get_or_init(|| build_fixture(Task::Sst2, 0xBEEF))
 }
 
+fn task_fixtures() -> &'static [Fixture; 4] {
+    static CELL: OnceLock<[Fixture; 4]> = OnceLock::new();
+    CELL.get_or_init(|| {
+        let mut tasks = Task::all().into_iter();
+        [(); 4].map(|_| {
+            let task = tasks.next().expect("four GLUE tasks");
+            build_fixture(task, 0x5E55 + task as u64)
+        })
+    })
+}
+
+/// Drives a session by hand, checking the step-outcome protocol on the
+/// way: every non-terminal step is `Continue`, the terminal step is
+/// `Exited`/`Done`, completed sessions are idempotent, and the result
+/// is returned.
+fn step_to_completion(engine: &EdgeBertEngine, request: &InferenceRequest) -> SentenceResult {
+    let mut session = engine.begin(request);
+    let mut steps = 0usize;
+    loop {
+        let outcome = session.step();
+        steps += 1;
+        assert!(steps <= 16, "sessions terminate within the model depth");
+        match outcome {
+            StepOutcome::Continue => assert!(!session.is_complete()),
+            StepOutcome::Exited | StepOutcome::Done => {
+                assert!(session.is_complete());
+                assert_eq!(session.layers_done(), session.result().unwrap().exit_layer);
+                // Stepping a completed session is an idempotent no-op.
+                assert_eq!(session.step(), outcome);
+                return session.result().cloned().expect("complete");
+            }
+        }
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(32))]
 
@@ -293,6 +329,59 @@ proptest! {
             eng.run_conventional_ee(tokens),
             reference.conventional_ee(&f.model, tokens, et)
         );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The session redesign's acceptance proptest: a layer-stepped
+    /// session driven to completion (without parking) is bit-identical
+    /// to the pre-redesign monolithic paths — the direct-hardware
+    /// reference oracle — across all 4 GLUE tasks × all 3 modes ×
+    /// thresholds × targets × queue stamps. `serve` (the
+    /// drive-to-completion wrapper) must agree with manual stepping.
+    #[test]
+    fn stepped_sessions_are_bit_identical_to_the_monolithic_paths(
+        task_idx in 0usize..4,
+        sentence in 0usize..16,
+        mode_idx in 0usize..3,
+        et_idx in 0usize..4,
+        target_ms in 1.0f64..400.0,
+        elapsed_frac in 0.0f64..2.0,
+    ) {
+        let f = &task_fixtures()[task_idx];
+        let reference = Reference::new(&f.workload);
+        let mode = InferenceMode::all()[mode_idx];
+        let et = [0.0f32, 0.1, 0.3, 1.0][et_idx];
+        let target_s = target_ms * 1e-3;
+        let elapsed = target_s * elapsed_frac;
+        let eng = engine(f, target_s, et);
+        let tokens = &f.data.examples()[sentence].tokens;
+
+        let request = InferenceRequest::new(tokens.clone())
+            .with_mode(mode)
+            .with_latency_target(target_s)
+            .with_elapsed_queue_s(elapsed);
+        let stepped = step_to_completion(&eng, &request);
+        let oracle = match mode {
+            InferenceMode::Base => reference.base(&f.model, tokens),
+            InferenceMode::ConventionalEe => {
+                reference.conventional_ee(&f.model, tokens, et)
+            }
+            InferenceMode::LatencyAware => reference.latency_aware(
+                &f.model, &f.lut, tokens, et, target_s, elapsed,
+            ),
+        };
+        prop_assert_eq!(&stepped, &oracle);
+        // The wrapper and the manual drive agree: serve() re-judges
+        // Base/EE against the target, and is otherwise the same bits.
+        let served = eng.serve(&request);
+        let mut expect = oracle;
+        if mode != InferenceMode::LatencyAware {
+            expect.deadline_met = deadline_met(elapsed + expect.latency_s, target_s);
+        }
+        prop_assert_eq!(served.result, expect);
     }
 }
 

@@ -40,6 +40,7 @@ fn cfg(policy: SchedulePolicy) -> SchedulerConfig {
         policy,
         task_switch_s: 0.0,
         queue_aware_slack: false,
+        pressure_stretch: false,
     }
 }
 

@@ -94,7 +94,7 @@ fn server_responses_match_serve_and_scheduler_drain_bitwise() {
         .map(|(task, req)| server.submit(*task, req.clone()).expect("admitted"))
         .collect();
     for (handle, want) in handles.into_iter().zip(&direct) {
-        let got = handle.wait();
+        let got = handle.wait().expect("worker alive");
         assert_eq!(
             &got.response, want,
             "server must not change what a sentence computes"
@@ -167,7 +167,7 @@ fn graceful_shutdown_serves_every_admitted_request() {
     // Handles resolve after shutdown: responses were delivered in the
     // drain.
     for handle in handles {
-        let resp = handle.wait();
+        let resp = handle.wait().expect("worker alive");
         assert!(resp.response.result.energy_j > 0.0);
     }
 }
@@ -207,7 +207,7 @@ fn queue_aware_slack_converts_violations_under_real_load() {
             })
             .collect();
         for handle in handles {
-            handle.wait();
+            handle.wait().expect("worker alive");
         }
         server.shutdown().violations()
     };

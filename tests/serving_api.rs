@@ -56,6 +56,16 @@ fn pre_queue_slack_request_json_still_parses() {
     let back: InferenceRequest =
         serde::json::from_str(&serde::json::to_string(&stamped)).expect("stamped parses");
     assert_eq!(back, stamped);
+
+    // Same tolerance for the queue-pressure stretch cap: wire shapes
+    // predating `stretch_cap_s` parse uncapped, and a capped request
+    // round-trips the cap.
+    assert_eq!(stamped.stretch_cap_s, None);
+    let capped = stamped.with_stretch_cap_s(30e-3);
+    let back: InferenceRequest =
+        serde::json::from_str(&serde::json::to_string(&capped)).expect("capped parses");
+    assert_eq!(back, capped);
+    assert_eq!(back.effective_stretch_cap_s(), Some(30e-3));
 }
 
 #[test]
