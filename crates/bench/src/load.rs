@@ -9,9 +9,24 @@
 //! that matter under load — p50/p95/p99 sojourn latency and the
 //! deadline-violation rate — per class, so an EDF-vs-FIFO comparison
 //! shows exactly who head-of-line blocking was hurting.
+//!
+//! **Trace-driven load** ([`TraceSpec`]) composes non-stationary
+//! arrival processes from [`TraceSegment`]s — steady plateaus, linear
+//! ramps, diurnal cycles, flash crowds — each a non-homogeneous
+//! Poisson stretch with its own (optional) class mix. This is the
+//! traffic the overload control plane is tested against: offered load
+//! that crosses capacity and comes back down.
+//!
+//! **Determinism contract.** Every generator here is reproducible for
+//! identical `(spec, seed)`, and the *physical* arrival stream (task,
+//! tokens, arrival time, latency target) is independent of the order
+//! traffic classes were declared in: class draws and phase offsets are
+//! computed over a canonical class ordering (ascending latency target,
+//! ties by name/weight/task), so permuting [`LoadSpec::classes`] only
+//! permutes the reported class *indices*, never the traffic.
 
 use edgebert::scheduler::{DeadlineScheduler, ScheduledResponse, SchedulerConfig};
-use edgebert::server::{Server, ServerConfig, ServerResponse, ServerStats};
+use edgebert::server::{Server, ServerConfig, ServerResponse, ServerStats, SubmitError};
 use edgebert::{InferenceRequest, MultiTaskRuntime};
 use edgebert_tasks::{Task, TaskGenerator};
 use edgebert_tensor::stats::percentile;
@@ -90,6 +105,51 @@ pub fn estimate_service_s(runtime: &MultiTaskRuntime, seed: u64) -> f64 {
     total / count.max(1) as f64
 }
 
+/// Canonical class ordering: indices into `classes` sorted ascending
+/// by latency target, ties broken by name, weight, then task. Class
+/// draws and phase offsets run over this order, which is what makes
+/// the generated *traffic* invariant under permutation of the
+/// declaration order (only the reported class indices permute).
+///
+/// Every pre-existing caller in this workspace declares classes
+/// ascending by latency target, so for them the canonical order *is*
+/// the declaration order and the generated streams are bit-identical
+/// to the pre-canonical generators.
+fn canonical_class_order(classes: &[TrafficClass]) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..classes.len()).collect();
+    order.sort_by(|&a, &b| {
+        let ka = &classes[a];
+        let kb = &classes[b];
+        ka.latency_target_s
+            .total_cmp(&kb.latency_target_s)
+            .then_with(|| ka.name.cmp(kb.name))
+            .then_with(|| ka.weight.total_cmp(&kb.weight))
+            .then_with(|| {
+                let ta = ka.task.map(|t| t as i64).unwrap_or(-1);
+                let tb = kb.task.map(|t| t as i64).unwrap_or(-1);
+                ta.cmp(&tb)
+            })
+    });
+    order
+}
+
+/// Weighted class draw over the canonical order: one uniform sample,
+/// cumulative scan. Bit-identical to [`Rng::weighted_index`] whenever
+/// the declaration order is already canonical (same summation order,
+/// same scan, same single RNG draw).
+fn draw_class(rng: &mut Rng, order: &[usize], weights: &[f32]) -> usize {
+    let total: f32 = order.iter().map(|&i| weights[i]).sum();
+    assert!(total > 0.0, "class draw needs positive total weight");
+    let mut target = rng.uniform() * total;
+    for &i in order {
+        if target < weights[i] {
+            return i;
+        }
+        target -= weights[i];
+    }
+    *order.last().expect("at least one class")
+}
+
 /// Generates a mixed-task, mixed-deadline arrival process: tasks drawn
 /// round-robin across the runtime's served set, classes drawn by
 /// weight, inter-arrival gaps exponential with the spec's mean.
@@ -98,6 +158,7 @@ pub fn generate(runtime: &MultiTaskRuntime, spec: &LoadSpec) -> Vec<LoadRequest>
     assert!(!tasks.is_empty(), "runtime serves no tasks");
     assert!(!spec.classes.is_empty(), "load needs at least one class");
     let mut rng = Rng::seed_from(spec.seed);
+    let order = canonical_class_order(&spec.classes);
     let weights: Vec<f32> = spec.classes.iter().map(|c| c.weight).collect();
     let mut pools: Vec<(Task, Vec<Vec<u32>>)> = tasks
         .iter()
@@ -126,7 +187,7 @@ pub fn generate(runtime: &MultiTaskRuntime, spec: &LoadSpec) -> Vec<LoadRequest>
             let u = rng.uniform().min(0.999_999) as f64;
             -spec.mean_interarrival_s * (1.0 - u).ln()
         };
-        let class = rng.weighted_index(&weights);
+        let class = draw_class(&mut rng, &order, &weights);
         let pool_at = match spec.classes[class].task {
             // Class-bound traffic routes to its task's pool.
             Some(task) => tasks
@@ -158,7 +219,9 @@ pub fn generate(runtime: &MultiTaskRuntime, spec: &LoadSpec) -> Vec<LoadRequest>
 /// application (sensor, microphone, camera) ticks on its own clock —
 /// and the per-lane offered utilization is exactly
 /// `floor service / lane_interarrival_s`. Class weights are ignored:
-/// each class contributes `requests_per_class` requests.
+/// each class contributes `requests_per_class` requests. Phase offsets
+/// follow the *canonical* class order (ascending latency target), so
+/// the physical streams do not depend on declaration order.
 pub fn generate_paced_streams(
     runtime: &MultiTaskRuntime,
     classes: &[TrafficClass],
@@ -167,8 +230,10 @@ pub fn generate_paced_streams(
     seed: u64,
 ) -> Vec<LoadRequest> {
     assert!(!classes.is_empty(), "load needs at least one class");
+    let order = canonical_class_order(classes);
     let mut load: Vec<LoadRequest> = Vec::with_capacity(classes.len() * requests_per_class);
-    for (c, class) in classes.iter().enumerate() {
+    for (rank, &c) in order.iter().enumerate() {
+        let class = &classes[c];
         let task = class
             .task
             .expect("paced streams require task-bound classes");
@@ -180,7 +245,7 @@ pub fn generate_paced_streams(
             .iter()
             .map(|ex| ex.tokens.clone())
             .collect();
-        let phase = c as f64 / classes.len() as f64;
+        let phase = rank as f64 / classes.len() as f64;
         for (i, tokens) in toks.iter().take(requests_per_class).cloned().enumerate() {
             load.push(LoadRequest {
                 task,
@@ -190,8 +255,256 @@ pub fn generate_paced_streams(
             });
         }
     }
-    // Stable by arrival: simultaneous ticks keep class order.
+    // Stable by arrival: simultaneous ticks keep canonical class
+    // order, independent of how the classes were declared.
     load.sort_by(|a, b| a.arrival_s.total_cmp(&b.arrival_s));
+    load
+}
+
+/// One stretch of a non-stationary arrival trace: a linear rate ramp
+/// (or plateau) lasting `duration_s`, optionally with its own class
+/// mix. Segments compose into a [`TraceSpec`] — e.g. a diurnal cycle
+/// is an up-ramp plus a down-ramp, a flash crowd is a plateau, a spike
+/// plateau, and a recovery plateau.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceSegment {
+    /// Label used in logs (e.g. `"spike"`).
+    pub name: &'static str,
+    /// Segment length on the virtual clock, seconds.
+    pub duration_s: f64,
+    /// Arrival rate at the start of the segment, requests/second.
+    pub start_rate_hz: f64,
+    /// Arrival rate at the end of the segment; arrivals between follow
+    /// a non-homogeneous Poisson process with linearly interpolated
+    /// instantaneous rate.
+    pub end_rate_hz: f64,
+    /// Per-segment class weights overriding each class's
+    /// [`TrafficClass::weight`] for the segment's draws (flash crowds
+    /// are often *tight-class* floods, not uniform ones). Must match
+    /// the spec's class count. `None` uses the declared weights.
+    pub class_weights: Option<Vec<f32>>,
+}
+
+impl TraceSegment {
+    /// A constant-rate plateau.
+    pub fn steady(name: &'static str, duration_s: f64, rate_hz: f64) -> Self {
+        Self::ramp(name, duration_s, rate_hz, rate_hz)
+    }
+
+    /// A linear rate ramp from `start_rate_hz` to `end_rate_hz`.
+    pub fn ramp(name: &'static str, duration_s: f64, start_rate_hz: f64, end_rate_hz: f64) -> Self {
+        assert!(
+            duration_s > 0.0 && duration_s.is_finite(),
+            "segment duration must be positive and finite"
+        );
+        assert!(
+            start_rate_hz >= 0.0 && start_rate_hz.is_finite(),
+            "segment start rate must be non-negative and finite"
+        );
+        assert!(
+            end_rate_hz >= 0.0 && end_rate_hz.is_finite(),
+            "segment end rate must be non-negative and finite"
+        );
+        Self {
+            name,
+            duration_s,
+            start_rate_hz,
+            end_rate_hz,
+            class_weights: None,
+        }
+    }
+
+    /// Overrides the class mix for this segment's draws.
+    pub fn with_class_weights(mut self, weights: Vec<f32>) -> Self {
+        self.class_weights = Some(weights);
+        self
+    }
+
+    /// Expected arrivals over the segment: the integral of the linear
+    /// rate, `duration · (start + end) / 2`.
+    pub fn expected_requests(&self) -> f64 {
+        self.duration_s * (self.start_rate_hz + self.end_rate_hz) / 2.0
+    }
+}
+
+/// A trace-driven load: segments replayed back to back, each a
+/// non-homogeneous Poisson stretch over the shared class mix.
+#[derive(Debug, Clone)]
+pub struct TraceSpec {
+    /// The deadline mix (same shape as [`LoadSpec::classes`]).
+    pub classes: Vec<TrafficClass>,
+    /// Segments, replayed in order on one virtual clock.
+    pub segments: Vec<TraceSegment>,
+    /// RNG seed; [`generate_trace`] is deterministic in `(spec, seed)`.
+    pub seed: u64,
+}
+
+impl TraceSpec {
+    /// The canonical overload story: a `base_s`-second plateau at
+    /// `base_rate_hz`, a flash crowd at `spike_rate_hz` for `spike_s`,
+    /// then recovery back at the base rate — the arrival shape the
+    /// admission ladder's degrade→shed→recover cycle is built for.
+    pub fn flash_crowd(
+        classes: Vec<TrafficClass>,
+        seed: u64,
+        base_rate_hz: f64,
+        spike_rate_hz: f64,
+        base_s: f64,
+        spike_s: f64,
+        recovery_s: f64,
+    ) -> Self {
+        Self {
+            classes,
+            segments: vec![
+                TraceSegment::steady("base", base_s, base_rate_hz),
+                TraceSegment::steady("spike", spike_s, spike_rate_hz),
+                TraceSegment::steady("recovery", recovery_s, base_rate_hz),
+            ],
+            seed,
+        }
+    }
+
+    /// A diurnal load curve: `cycles` repetitions of a linear ramp from
+    /// `trough_rate_hz` up to `peak_rate_hz` and back down, each cycle
+    /// spanning `period_s` seconds.
+    pub fn diurnal(
+        classes: Vec<TrafficClass>,
+        seed: u64,
+        trough_rate_hz: f64,
+        peak_rate_hz: f64,
+        period_s: f64,
+        cycles: usize,
+    ) -> Self {
+        let mut segments = Vec::with_capacity(cycles * 2);
+        for _ in 0..cycles.max(1) {
+            segments.push(TraceSegment::ramp(
+                "rise",
+                period_s / 2.0,
+                trough_rate_hz,
+                peak_rate_hz,
+            ));
+            segments.push(TraceSegment::ramp(
+                "fall",
+                period_s / 2.0,
+                peak_rate_hz,
+                trough_rate_hz,
+            ));
+        }
+        Self {
+            classes,
+            segments,
+            seed,
+        }
+    }
+
+    /// Expected arrivals over the whole trace.
+    pub fn expected_requests(&self) -> f64 {
+        self.segments.iter().map(|s| s.expected_requests()).sum()
+    }
+}
+
+/// Generates the arrival process of a [`TraceSpec`]: each segment is a
+/// non-homogeneous Poisson process with linearly interpolated rate,
+/// sampled by time-rescaling (exponential(1) increments inverted
+/// through the integrated rate `Λ(t) = s·t + (e−s)·t²/2d`), so ramps
+/// are exact, not step-approximated. Deterministic in `(spec, seed)`
+/// and — like [`generate`] — class draws run over the canonical class
+/// order, so the physical stream is independent of declaration order.
+pub fn generate_trace(runtime: &MultiTaskRuntime, spec: &TraceSpec) -> Vec<LoadRequest> {
+    let tasks = runtime.tasks();
+    assert!(!tasks.is_empty(), "runtime serves no tasks");
+    assert!(!spec.classes.is_empty(), "trace needs at least one class");
+    assert!(
+        !spec.segments.is_empty(),
+        "trace needs at least one segment"
+    );
+    for seg in &spec.segments {
+        if let Some(w) = &seg.class_weights {
+            assert_eq!(
+                w.len(),
+                spec.classes.len(),
+                "segment '{}' class weights must match the class count",
+                seg.name
+            );
+        }
+    }
+    let order = canonical_class_order(&spec.classes);
+    let declared_weights: Vec<f32> = spec.classes.iter().map(|c| c.weight).collect();
+    let expected = spec.expected_requests().ceil() as usize;
+    let mut rng = Rng::seed_from(spec.seed);
+    let mut pools: Vec<(Task, Vec<Vec<u32>>)> = tasks
+        .iter()
+        .map(|&task| {
+            let rt = runtime.runtime(task).expect("served task");
+            let gen = TaskGenerator::standard(task, rt.model().config.max_seq_len);
+            let toks = gen
+                .generate(
+                    expected.div_ceil(tasks.len()).max(1),
+                    spec.seed ^ task as u64,
+                )
+                .examples()
+                .iter()
+                .map(|ex| ex.tokens.clone())
+                .collect();
+            (task, toks)
+        })
+        .collect();
+    let mut load: Vec<LoadRequest> = Vec::with_capacity(expected);
+    let mut base_s = 0.0f64;
+    for seg in &spec.segments {
+        let weights = seg.class_weights.as_ref().unwrap_or(&declared_weights);
+        let s = seg.start_rate_hz;
+        let d = seg.duration_s;
+        // Quadratic coefficient of the integrated rate Λ(t).
+        let a = (seg.end_rate_hz - s) / (2.0 * d);
+        let mut lambda_t = 0.0f64; // Λ(t), the integrated rate so far
+        loop {
+            // Exponential(1) increment on the rescaled clock.
+            let u = rng.uniform().min(0.999_999) as f64;
+            let target = lambda_t - (1.0 - u).ln();
+            // Solve a·x² + s·x = target for the next arrival offset x.
+            let x = if a.abs() < 1e-12 {
+                if s <= 0.0 {
+                    break; // flat zero-rate segment: no arrivals
+                }
+                target / s
+            } else {
+                let disc = s * s + 4.0 * a * target;
+                if disc < 0.0 {
+                    // Decreasing ramp whose total measure is exhausted:
+                    // the rate hits zero before the next event.
+                    break;
+                }
+                (-s + disc.sqrt()) / (2.0 * a)
+            };
+            // Negated so a NaN offset (degenerate coefficients) also
+            // ends the segment instead of emitting garbage.
+            #[allow(clippy::neg_cmp_op_on_partial_ord)]
+            if !(x <= d) {
+                break; // next arrival lands past the segment boundary
+            }
+            lambda_t = s * x + a * x * x;
+            let i = load.len();
+            let class = draw_class(&mut rng, &order, weights);
+            let pool_at = match spec.classes[class].task {
+                Some(task) => tasks
+                    .iter()
+                    .position(|&t| t == task)
+                    .expect("class-bound task must be served by the runtime"),
+                None => i % tasks.len(),
+            };
+            let (task, pool) = &mut pools[pool_at];
+            let tokens = pool[i / tasks.len() % pool.len()].clone();
+            load.push(LoadRequest {
+                task: *task,
+                request: InferenceRequest::new(tokens)
+                    .with_latency_target(spec.classes[class].latency_target_s),
+                arrival_s: base_s + x,
+                class,
+            });
+        }
+        base_s += d;
+    }
     load
 }
 
@@ -264,25 +577,150 @@ pub fn drain_load_wall_clock_stats(
     (responses, stats)
 }
 
-/// Renders the preemption-related lane counters of a stats snapshot —
-/// the bench-report row for preemptive serving runs.
-pub fn render_preemption_stats(stats: &ServerStats) -> String {
+/// What became of one submitted request when the drain tolerates
+/// admission-time load shedding.
+#[derive(Debug, Clone)]
+pub enum LoadOutcome {
+    /// The request was admitted and served.
+    Served(ServerResponse),
+    /// The overload ladder shed the request at admission.
+    Shed {
+        /// Observed lane pressure at the shed decision.
+        pressure: f64,
+        /// The server's suggested client backoff, seconds.
+        retry_after_hint_s: f64,
+    },
+}
+
+impl LoadOutcome {
+    /// The served response, if the request wasn't shed.
+    pub fn served(&self) -> Option<&ServerResponse> {
+        match self {
+            LoadOutcome::Served(r) => Some(r),
+            LoadOutcome::Shed { .. } => None,
+        }
+    }
+}
+
+/// [`drain_load_wall_clock_stats`] for overload runs: a
+/// [`SubmitError::Shed`] refusal is recorded as a
+/// [`LoadOutcome::Shed`] instead of panicking — shedding is the
+/// behavior under test, not a misconfigured bench. Any *other* submit
+/// error (full queue, unserved task) still panics: the ladder is the
+/// only sanctioned loss mechanism here.
+pub fn drain_load_wall_clock_outcomes(
+    runtime: &MultiTaskRuntime,
+    load: &[LoadRequest],
+    cfg: ServerConfig,
+) -> (Vec<LoadOutcome>, ServerStats) {
+    let server = Server::start(runtime, cfg);
+    let epoch = Instant::now();
+    let mut pending: Vec<Option<_>> = Vec::with_capacity(load.len());
+    let mut sheds: Vec<Option<(f64, f64)>> = vec![None; load.len()];
+    for (i, r) in load.iter().enumerate() {
+        let due = epoch + Duration::from_secs_f64(r.arrival_s);
+        if let Some(gap) = due.checked_duration_since(Instant::now()) {
+            std::thread::sleep(gap);
+        }
+        match server.submit(r.task, r.request.clone()) {
+            Ok(handle) => pending.push(Some(handle)),
+            Err(SubmitError::Shed {
+                pressure,
+                retry_after_hint_s,
+                ..
+            }) => {
+                sheds[i] = Some((pressure, retry_after_hint_s));
+                pending.push(None);
+            }
+            Err(other) => panic!("only the overload ladder may drop load here: {other}"),
+        }
+    }
+    let outcomes = pending
+        .into_iter()
+        .zip(sheds)
+        .map(|(handle, shed)| match handle {
+            Some(h) => LoadOutcome::Served(h.wait().expect("shard workers outlive the drain")),
+            None => {
+                let (pressure, retry_after_hint_s) = shed.expect("shed slot recorded");
+                LoadOutcome::Shed {
+                    pressure,
+                    retry_after_hint_s,
+                }
+            }
+        })
+        .collect();
+    let stats = server.shutdown();
+    (outcomes, stats)
+}
+
+/// Per-class tail reports over shed-tolerant outcomes: served
+/// responses fold into the latency columns, shed requests into each
+/// row's [`TailReport::shed`] count. Final row is the overall report.
+pub fn class_reports_outcomes(
+    load: &[LoadRequest],
+    outcomes: &[LoadOutcome],
+    classes: &[TrafficClass],
+) -> Vec<(String, TailReport)> {
+    assert_eq!(load.len(), outcomes.len(), "one outcome per request");
+    let mut rows = Vec::with_capacity(classes.len() + 1);
+    let mut total_shed = 0usize;
+    for (c, class) in classes.iter().enumerate() {
+        let served: Vec<&ServerResponse> = load
+            .iter()
+            .zip(outcomes)
+            .filter(|(l, _)| l.class == c)
+            .filter_map(|(_, o)| o.served())
+            .collect();
+        let shed = load
+            .iter()
+            .zip(outcomes)
+            .filter(|(l, o)| l.class == c && o.served().is_none())
+            .count();
+        total_shed += shed;
+        rows.push((
+            class.name.to_string(),
+            TailReport::from_samples(served).with_shed(shed),
+        ));
+    }
+    let all_served: Vec<&ServerResponse> = outcomes.iter().filter_map(|o| o.served()).collect();
+    rows.push((
+        "all".to_string(),
+        TailReport::from_samples(all_served).with_shed(total_shed),
+    ));
+    rows
+}
+
+/// Renders the serving-side lane counters of a stats snapshot — the
+/// general bench-report row covering both the preemption counters and
+/// the overload ladder's shed/degrade/transition counters.
+pub fn render_server_stats(stats: &ServerStats) -> String {
     let mut out = String::new();
     out.push_str(&format!(
-        "{:<8} {:>8} {:>10} {:>8} {:>12}\n",
-        "lane", "served", "preempted", "resumed", "max parked"
+        "{:<8} {:>8} {:>10} {:>8} {:>12} {:>9} {:>6} {:>6}\n",
+        "lane", "served", "preempted", "resumed", "max parked", "degraded", "shed", "steps"
     ));
     for lane in &stats.lanes {
         out.push_str(&format!(
-            "{:<8} {:>8} {:>10} {:>8} {:>12}\n",
+            "{:<8} {:>8} {:>10} {:>8} {:>12} {:>9} {:>6} {:>6}\n",
             lane.task.to_string(),
             lane.served,
             lane.preempted,
             lane.resumed,
             lane.max_parked_depth,
+            lane.degraded,
+            lane.shed,
+            lane.ladder_step_changes,
         ));
     }
     out
+}
+
+/// Renders the preemption-related lane counters of a stats snapshot —
+/// kept for callers written against the PR 5 API; now an alias of the
+/// general [`render_server_stats`] renderer (the overload columns read
+/// zero for ladder-off runs).
+pub fn render_preemption_stats(stats: &ServerStats) -> String {
+    render_server_stats(stats)
 }
 
 /// Offered per-lane utilization of a load spec against a floor service
@@ -316,6 +754,12 @@ pub struct TailReport {
     pub p99_ms: f64,
     /// Fraction of responses whose sojourn missed the deadline.
     pub violation_rate: f64,
+    /// Requests shed at admission rather than served. Shed requests
+    /// are *not* folded into the latency columns or the violation rate
+    /// (they have no sojourn), but they are counted here explicitly so
+    /// an overload report can't undercount pain by quietly dropping
+    /// the requests it refused. Zero for loss-free drains.
+    pub shed: usize,
 }
 
 /// Anything with a sojourn time and a deadline verdict folds into a
@@ -368,6 +812,7 @@ impl TailReport {
                 p95_ms: 0.0,
                 p99_ms: 0.0,
                 violation_rate: 0.0,
+                shed: 0,
             };
         }
         let count = sojourns_ms.len();
@@ -378,7 +823,15 @@ impl TailReport {
             p95_ms: percentile(&sojourns_ms, 95.0) as f64,
             p99_ms: percentile(&sojourns_ms, 99.0) as f64,
             violation_rate: violations as f64 / count as f64,
+            shed: 0,
         }
+    }
+
+    /// Attaches a shed count to the report (builder style, used by the
+    /// outcome-aware per-class folds).
+    pub fn with_shed(mut self, shed: usize) -> Self {
+        self.shed = shed;
+        self
     }
 
     /// Folds scheduled responses into the report (alias of
@@ -422,13 +875,13 @@ pub fn render_comparison_labeled(
 ) -> String {
     let mut out = String::new();
     out.push_str(&format!(
-        "{:<8} {:<6} {:>5} {:>9} {:>9} {:>9} {:>9} {:>10}\n",
-        "class", "system", "n", "mean", "p50", "p95", "p99", "violations"
+        "{:<8} {:<6} {:>5} {:>9} {:>9} {:>9} {:>9} {:>10} {:>5}\n",
+        "class", "system", "n", "mean", "p50", "p95", "p99", "violations", "shed"
     ));
     for ((name, a), (_, b)) in rows_a.iter().zip(rows_b) {
         for (label, r) in [(label_a, a), (label_b, b)] {
             out.push_str(&format!(
-                "{:<8} {:<6} {:>5} {:>7.2}ms {:>7.2}ms {:>7.2}ms {:>7.2}ms {:>9.1}%\n",
+                "{:<8} {:<6} {:>5} {:>7.2}ms {:>7.2}ms {:>7.2}ms {:>7.2}ms {:>9.1}% {:>5}\n",
                 name,
                 label,
                 r.count,
@@ -437,6 +890,7 @@ pub fn render_comparison_labeled(
                 r.p95_ms,
                 r.p99_ms,
                 r.violation_rate * 100.0,
+                r.shed,
             ));
         }
     }

@@ -26,6 +26,7 @@
 use crate::backend::{
     AcceleratorBackend, BackendSpec, InferenceBackend, MobileGpuBackend, SegmentCost,
 };
+use crate::overload::Degradation;
 use crate::predictor::PredictorLut;
 use crate::session::InferenceSession;
 use edgebert_envm::CellTech;
@@ -116,6 +117,14 @@ impl DropTarget {
             DropTarget::FivePercent => 0.05,
         }
     }
+
+    /// The tier `notches` steps looser than this one, saturating at the
+    /// aggressive [`FivePercent`](DropTarget::FivePercent) tier. The
+    /// overload ladder uses this to trade calibrated accuracy for
+    /// earlier exits under pressure; zero notches is the identity.
+    pub fn degraded(self, notches: u8) -> DropTarget {
+        Self::all()[(self.index() + notches as usize).min(Self::all().len() - 1)]
+    }
 }
 
 /// One tier's calibrated entropy thresholds.
@@ -168,6 +177,13 @@ pub struct InferenceRequest {
     /// the deadline verdict still judges the request's own target, and
     /// a cap can never flip an otherwise-met deadline to missed.
     pub stretch_cap_s: Option<f64>,
+    /// How many accuracy-tier notches the overload ladder may degrade
+    /// this request by when its lane is under pressure (see
+    /// [`crate::overload`]). Zero — the default — means *never*: the
+    /// request is always served at its requested tier and thresholds,
+    /// bit-identical to pre-overload behavior, whatever the ladder
+    /// does.
+    pub max_degradation: u8,
 }
 
 // Hand-written (not derived) so the queue stamp and stretch cap stay
@@ -190,6 +206,10 @@ impl serde::Deserialize for InferenceRequest {
                 Ok(cap) => serde::Deserialize::from_value(cap)?,
                 Err(_) => None,
             },
+            max_degradation: match value.field("max_degradation") {
+                Ok(floor) => serde::Deserialize::from_value(floor)?,
+                Err(_) => 0,
+            },
         })
     }
 }
@@ -204,6 +224,7 @@ impl InferenceRequest {
             drop_target: None,
             elapsed_queue_s: 0.0,
             stretch_cap_s: None,
+            max_degradation: 0,
         }
     }
 
@@ -239,6 +260,15 @@ impl InferenceRequest {
     /// when queue-pressure-aware stretch is enabled.
     pub fn with_stretch_cap_s(mut self, seconds: f64) -> Self {
         self.stretch_cap_s = Some(seconds);
+        self
+    }
+
+    /// Allows the overload ladder to degrade this request by up to
+    /// `notches` accuracy tiers under pressure (see
+    /// [`max_degradation`](Self::max_degradation)). The default of zero
+    /// forbids any degradation.
+    pub fn with_max_degradation(mut self, notches: u8) -> Self {
+        self.max_degradation = notches;
         self
     }
 
@@ -650,6 +680,18 @@ impl EdgeBertEngine {
         self.begin(request).finish()
     }
 
+    /// [`serve`](Self::serve) with an overload-ladder degradation
+    /// applied: the session runs at the degraded tier and scaled
+    /// entropy-exit threshold. [`Degradation::NONE`] is bit-identical
+    /// to [`serve`](Self::serve).
+    pub fn serve_degraded(
+        &self,
+        request: &InferenceRequest,
+        degradation: Degradation,
+    ) -> InferenceResponse {
+        self.begin_degraded(request, degradation).finish()
+    }
+
     /// Opens a resumable, layer-granular session over one request (see
     /// [`InferenceSession`]): service levels resolve against the engine
     /// defaults, wire tokens sanitize exactly as in
@@ -659,6 +701,23 @@ impl EdgeBertEngine {
     /// the session can be parked at any layer boundary and resumed
     /// later — with a fresh DVFS decision against the remaining slack.
     pub fn begin(&self, request: &InferenceRequest) -> InferenceSession {
+        self.begin_degraded(request, Degradation::NONE)
+    }
+
+    /// [`begin`](Self::begin) with an overload-ladder degradation: the
+    /// resolved tier drops by `degradation.tier_notches` (saturating)
+    /// and the entropy-exit threshold scales by
+    /// `degradation.entropy_scale` before the session opens.
+    /// [`Degradation::NONE`] takes the exact [`begin`](Self::begin)
+    /// path. The caller (the serving layer) is responsible for bounding
+    /// the degradation by the request's
+    /// [`max_degradation`](InferenceRequest::max_degradation) via
+    /// [`OverloadConfig::degradation_for`](crate::overload::OverloadConfig::degradation_for).
+    pub fn begin_degraded(
+        &self,
+        request: &InferenceRequest,
+        degradation: Degradation,
+    ) -> InferenceSession {
         let target_s = request
             .latency_target_s
             .unwrap_or(self.default_latency_target_s);
@@ -698,6 +757,7 @@ impl EdgeBertEngine {
             drop,
             elapsed_s,
             cap_s,
+            degradation,
         )
     }
 
@@ -824,6 +884,7 @@ impl EdgeBertEngine {
             drop,
             elapsed_queue_s,
             None,
+            Degradation::NONE,
         )
     }
 

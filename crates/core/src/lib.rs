@@ -34,6 +34,17 @@
 //!   fixed-V/F TX2 comparison baseline, priced on the *same* wired
 //!   workload) ship; a cycle-accurate sim or real hardware slots in via
 //!   [`EngineBuilder::backend`] without touching the serving layers;
+//! * [`overload`] — the overload control plane: a per-lane hysteresis
+//!   admission ladder ([`OverloadController`]) that trades calibrated
+//!   accuracy for survival under flash crowds. Under pressure (queued
+//!   drain time vs. the lane's deadline horizon) admitted work is
+//!   *degraded* — tier dropped a notch and entropy-exit threshold
+//!   scaled up, bounded by each request's
+//!   [`InferenceRequest::max_degradation`](engine::InferenceRequest::max_degradation)
+//!   floor (default: none) — and when that can't restore feasibility,
+//!   infeasible arrivals are *shed* at admission with a typed retry
+//!   hint ([`SubmitError::Shed`](server::SubmitError::Shed)).
+//!   Disabled by default; every default path stays bit-identical;
 //! * [`serving`] — [`TaskRuntime`] (one task's owned serving stack) and
 //!   [`MultiTaskRuntime`] (request routing across the four GLUE tasks,
 //!   the paper's multi-task deployment);
@@ -98,6 +109,7 @@ pub mod backend;
 pub mod calibrate;
 pub mod engine;
 pub mod experiments;
+pub mod overload;
 pub mod pipeline;
 pub mod predictor;
 pub mod report;
@@ -115,6 +127,7 @@ pub use engine::{
     deadline_met, AggregateResult, DropTarget, EdgeBertEngine, EngineBuilder, EntropyThresholds,
     InferenceMode, InferenceRequest, InferenceResponse, SentenceResult,
 };
+pub use overload::{Degradation, LadderStep, OverloadConfig, OverloadController};
 pub use pipeline::{Scale, TaskArtifacts};
 pub use predictor::{EntropyPredictor, PredictorLut};
 pub use scheduler::{DeadlineScheduler, SchedulePolicy, ScheduledResponse, SchedulerConfig};

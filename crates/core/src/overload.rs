@@ -1,0 +1,476 @@
+//! Overload control plane: a per-lane admission ladder that trades
+//! accuracy for survival under flash crowds.
+//!
+//! EdgeBERT's calibrated entropy/accuracy knob (§5.1: thresholds
+//! calibrated at 1/2/5 % accuracy drop) is request-scoped — but a
+//! frozen knob gives an overloaded serving lane only two bad options:
+//! queue work that will miss its deadline anyway, or reject it outright
+//! at admission. This module adds the missing third option: under
+//! pressure, *degrade* — serve at a cheaper accuracy tier and a higher
+//! entropy-exit threshold so sentences exit earlier and the backlog
+//! drains — and only when degradation cannot restore feasibility,
+//! *shed* work at admission with a typed retry hint instead of letting
+//! it queue and die.
+//!
+//! The control plane is a three-rung ladder driven by an observed
+//! pressure signal (see [`pressure`]):
+//!
+//! ```text
+//!              p ≥ degrade_enter           p ≥ shed_enter
+//!   Nominal ───────────────────▶ Degrade ───────────────▶ Shed
+//!      ▲                            │  ▲                    │
+//!      └────────────────────────────┘  └────────────────────┘
+//!              p < degrade_exit           p < shed_exit
+//! ```
+//!
+//! * **[`LadderStep::Degrade`]** — requests popped for service are
+//!   degraded by one notch: the accuracy tier drops one step
+//!   ([`DropTarget::degraded`](crate::engine::DropTarget::degraded))
+//!   and the entropy-exit threshold is scaled up by
+//!   [`OverloadConfig::entropy_scale_per_notch`], bounded by the
+//!   request's own [`max_degradation`](crate::engine::InferenceRequest::max_degradation)
+//!   floor (default 0: no degradation, ever — existing behavior is
+//!   bit-identical).
+//! * **[`LadderStep::Shed`]** — degradation is already at two notches
+//!   and pressure still exceeds the shed threshold: admission starts
+//!   rejecting requests whose deadline-feasibility estimate says they
+//!   would queue and die, with a typed
+//!   [`SubmitError::Shed`](crate::server::SubmitError::Shed) carrying a
+//!   retry hint.
+//! * **Recovery** — the ladder steps *down* through hysteresis bands
+//!   (see below), so a draining burst does not flap the lane between
+//!   rungs.
+//!
+//! # Hysteresis invariants
+//!
+//! [`OverloadConfig::validate`] enforces (and the serving layers assert
+//! at construction):
+//!
+//! * `degrade_exit ≤ degrade_enter` and `shed_exit ≤ shed_enter` —
+//!   each rung's *exit* threshold sits at or below its *enter*
+//!   threshold, so a pressure value that just triggered a rung cannot
+//!   immediately untrigger it (no chatter at the boundary);
+//! * `degrade_enter ≤ shed_enter` and `degrade_exit ≤ shed_exit` — the
+//!   ladder is monotone: shedding never engages at a pressure where
+//!   degradation would not, and recovery passes back through the
+//!   degrade rung before reaching nominal;
+//! * all thresholds are finite and non-negative, and
+//!   `entropy_scale_per_notch ≥ 1` — degradation can only *raise* the
+//!   exit threshold (earlier exits), never lower it.
+//!
+//! Together these guarantee the step sequence of a pressure excursion
+//! is a clean pulse — `Nominal → Degrade → Shed → Degrade → Nominal` —
+//! with one upward and one downward transition per band crossed, which
+//! is what makes [`OverloadController::step_changes`] a meaningful
+//! stability metric.
+
+use crate::engine::DropTarget;
+use serde::{Deserialize, Serialize};
+
+/// The admission ladder's current rung.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LadderStep {
+    /// No overload action: admit and serve exactly as requested.
+    Nominal,
+    /// Serve admitted work one notch cheaper (tier drop + scaled
+    /// entropy threshold), bounded per request.
+    Degrade,
+    /// Degrade admitted work by two notches *and* reject infeasible
+    /// work at admission.
+    Shed,
+}
+
+impl LadderStep {
+    /// Degradation notches this rung applies to admitted work (before
+    /// the per-request `max_degradation` bound).
+    pub fn severity(self) -> u8 {
+        match self {
+            LadderStep::Nominal => 0,
+            LadderStep::Degrade => 1,
+            LadderStep::Shed => 2,
+        }
+    }
+}
+
+/// Configuration of the overload ladder. Disabled by default: every
+/// serving path is bit-identical to the pre-overload behavior until
+/// `enabled` is set.
+///
+/// Thresholds are in units of [`pressure`]: estimated backlog drain
+/// time relative to the lane's deadline horizon. `1.0` means the
+/// backlog alone takes one full default latency target to drain.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OverloadConfig {
+    /// Master switch. Off (the default), the controller never leaves
+    /// [`LadderStep::Nominal`] and the serving layers take no overload
+    /// action at all.
+    pub enabled: bool,
+    /// Pressure at or above which the ladder steps up to
+    /// [`LadderStep::Degrade`].
+    pub degrade_enter: f64,
+    /// Pressure below which the ladder steps down from
+    /// [`LadderStep::Degrade`] to [`LadderStep::Nominal`]. Must not
+    /// exceed `degrade_enter` (hysteresis).
+    pub degrade_exit: f64,
+    /// Pressure at or above which the ladder steps up to
+    /// [`LadderStep::Shed`]. Must be at least `degrade_enter`.
+    pub shed_enter: f64,
+    /// Pressure below which the ladder steps down from
+    /// [`LadderStep::Shed`] to [`LadderStep::Degrade`]. Must not
+    /// exceed `shed_enter` (hysteresis).
+    pub shed_exit: f64,
+    /// Factor the entropy-exit threshold is multiplied by per
+    /// degradation notch (≥ 1: degradation only makes exits easier).
+    pub entropy_scale_per_notch: f32,
+}
+
+impl Default for OverloadConfig {
+    /// Disabled; degrade at pressure 0.5 (backlog worth half the
+    /// deadline horizon), recover below 0.25; shed at 1.0 (backlog
+    /// alone fills the horizon), step down below 0.5; double the
+    /// entropy threshold per notch.
+    fn default() -> Self {
+        Self {
+            enabled: false,
+            degrade_enter: 0.5,
+            degrade_exit: 0.25,
+            shed_enter: 1.0,
+            shed_exit: 0.5,
+            entropy_scale_per_notch: 2.0,
+        }
+    }
+}
+
+impl OverloadConfig {
+    /// Checks the hysteresis invariants (module docs). The serving
+    /// layers call this at construction when the ladder is enabled.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a threshold is non-finite or negative, an exit
+    /// threshold exceeds its enter threshold, the ladder is not
+    /// monotone, or `entropy_scale_per_notch < 1`.
+    pub fn validate(&self) {
+        for (name, v) in [
+            ("degrade_enter", self.degrade_enter),
+            ("degrade_exit", self.degrade_exit),
+            ("shed_enter", self.shed_enter),
+            ("shed_exit", self.shed_exit),
+        ] {
+            assert!(
+                v.is_finite() && v >= 0.0,
+                "overload threshold {name} must be finite and non-negative, got {v}"
+            );
+        }
+        assert!(
+            self.degrade_exit <= self.degrade_enter,
+            "degrade_exit ({}) must not exceed degrade_enter ({}): hysteresis",
+            self.degrade_exit,
+            self.degrade_enter
+        );
+        assert!(
+            self.shed_exit <= self.shed_enter,
+            "shed_exit ({}) must not exceed shed_enter ({}): hysteresis",
+            self.shed_exit,
+            self.shed_enter
+        );
+        assert!(
+            self.degrade_enter <= self.shed_enter,
+            "degrade_enter ({}) must not exceed shed_enter ({}): monotone ladder",
+            self.degrade_enter,
+            self.shed_enter
+        );
+        assert!(
+            self.degrade_exit <= self.shed_exit,
+            "degrade_exit ({}) must not exceed shed_exit ({}): monotone recovery",
+            self.degrade_exit,
+            self.shed_exit
+        );
+        assert!(
+            self.entropy_scale_per_notch.is_finite() && self.entropy_scale_per_notch >= 1.0,
+            "entropy_scale_per_notch must be ≥ 1 (degradation only raises the threshold), got {}",
+            self.entropy_scale_per_notch
+        );
+    }
+
+    /// The degradation a rung applies to one request: the rung's
+    /// severity clamped to the request's `max_degradation` floor.
+    /// Returns [`Degradation::NONE`] (and the serving path stays
+    /// bit-identical) when either side is zero or the ladder is
+    /// disabled.
+    pub fn degradation_for(&self, step: LadderStep, max_degradation: u8) -> Degradation {
+        if !self.enabled {
+            return Degradation::NONE;
+        }
+        let notches = step.severity().min(max_degradation);
+        if notches == 0 {
+            return Degradation::NONE;
+        }
+        Degradation {
+            tier_notches: notches,
+            entropy_scale: self.entropy_scale_per_notch.powi(notches as i32),
+        }
+    }
+}
+
+/// The lane pressure signal the ladder observes: estimated time to
+/// drain the current backlog at nominal speed, relative to the lane's
+/// deadline horizon (its engine's default latency target).
+///
+/// `backlog · nominal_service_s / (shards · horizon_s)` — at `1.0`,
+/// the queued work alone needs the whole default deadline budget, so a
+/// fresh default-target arrival is already infeasible. Degenerate
+/// horizons (zero, negative, non-finite) fall back to the nominal
+/// service estimate; if that is also unusable, the raw backlog count is
+/// the pressure.
+pub fn pressure(backlog: usize, shards: usize, nominal_service_s: f64, horizon_s: f64) -> f64 {
+    let horizon = if horizon_s.is_finite() && horizon_s > 0.0 {
+        horizon_s
+    } else {
+        nominal_service_s
+    };
+    if !(horizon.is_finite() && horizon > 0.0) {
+        return backlog as f64;
+    }
+    backlog as f64 * nominal_service_s / (shards.max(1) as f64 * horizon)
+}
+
+/// The hysteresis state machine over [`LadderStep`]s (module docs show
+/// the transition diagram). One controller per lane, advanced under the
+/// lane lock at admission and pop time.
+#[derive(Debug, Clone)]
+pub struct OverloadController {
+    cfg: OverloadConfig,
+    step: LadderStep,
+    step_changes: u64,
+}
+
+impl OverloadController {
+    /// A controller at [`LadderStep::Nominal`].
+    pub fn new(cfg: OverloadConfig) -> Self {
+        Self {
+            cfg,
+            step: LadderStep::Nominal,
+            step_changes: 0,
+        }
+    }
+
+    /// The current rung.
+    pub fn step(&self) -> LadderStep {
+        self.step
+    }
+
+    /// Rung transitions since construction (both directions). A clean
+    /// burst costs exactly two per band crossed — more indicates
+    /// thresholds too close together for the traffic.
+    pub fn step_changes(&self) -> u64 {
+        self.step_changes
+    }
+
+    /// Feeds one pressure observation through the state machine and
+    /// returns the (possibly new) rung. Disabled controllers stay at
+    /// [`LadderStep::Nominal`]; a NaN observation keeps the current
+    /// rung (every comparison is false).
+    pub fn observe(&mut self, pressure: f64) -> LadderStep {
+        if !self.cfg.enabled {
+            return LadderStep::Nominal;
+        }
+        let next = match self.step {
+            LadderStep::Nominal => {
+                if pressure >= self.cfg.shed_enter {
+                    LadderStep::Shed
+                } else if pressure >= self.cfg.degrade_enter {
+                    LadderStep::Degrade
+                } else {
+                    LadderStep::Nominal
+                }
+            }
+            LadderStep::Degrade => {
+                if pressure >= self.cfg.shed_enter {
+                    LadderStep::Shed
+                } else if pressure < self.cfg.degrade_exit {
+                    LadderStep::Nominal
+                } else {
+                    LadderStep::Degrade
+                }
+            }
+            LadderStep::Shed => {
+                if pressure < self.cfg.degrade_exit {
+                    LadderStep::Nominal
+                } else if pressure < self.cfg.shed_exit {
+                    LadderStep::Degrade
+                } else {
+                    LadderStep::Shed
+                }
+            }
+        };
+        if next != self.step {
+            self.step_changes += 1;
+            self.step = next;
+        }
+        next
+    }
+}
+
+/// One request's resolved degradation: how many accuracy-tier notches
+/// to drop ([`DropTarget::degraded`]) and the factor to scale the
+/// entropy-exit threshold by. [`Degradation::NONE`] (the default
+/// everywhere) leaves the serving path bit-identical to the
+/// pre-overload engine.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Degradation {
+    /// Accuracy-tier notches to drop (saturating at the loosest tier).
+    pub tier_notches: u8,
+    /// Factor the entropy-exit threshold is multiplied by (≥ 1).
+    pub entropy_scale: f32,
+}
+
+impl Degradation {
+    /// No degradation: the identity the default serving paths use.
+    pub const NONE: Degradation = Degradation {
+        tier_notches: 0,
+        entropy_scale: 1.0,
+    };
+
+    /// Whether this is the identity (no tier drop, no threshold scale).
+    pub fn is_none(&self) -> bool {
+        self.tier_notches == 0 && self.entropy_scale == 1.0
+    }
+
+    /// The tier actually served when degrading `requested`.
+    pub fn applied_to(&self, requested: DropTarget) -> DropTarget {
+        requested.degraded(self.tier_notches)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn enabled() -> OverloadConfig {
+        OverloadConfig {
+            enabled: true,
+            ..OverloadConfig::default()
+        }
+    }
+
+    #[test]
+    fn default_config_is_disabled_and_valid() {
+        let cfg = OverloadConfig::default();
+        assert!(!cfg.enabled);
+        cfg.validate();
+        // A disabled controller never moves, whatever it observes.
+        let mut ctl = OverloadController::new(cfg);
+        for p in [0.0, 10.0, f64::INFINITY] {
+            assert_eq!(ctl.observe(p), LadderStep::Nominal);
+        }
+        assert_eq!(ctl.step_changes(), 0);
+        assert_eq!(
+            cfg.degradation_for(LadderStep::Shed, u8::MAX),
+            Degradation::NONE
+        );
+    }
+
+    #[test]
+    fn ladder_walks_a_clean_pulse_with_hysteresis() {
+        let mut ctl = OverloadController::new(enabled());
+        // Rising pressure: Nominal → Degrade → Shed.
+        assert_eq!(ctl.observe(0.4), LadderStep::Nominal);
+        assert_eq!(ctl.observe(0.5), LadderStep::Degrade);
+        assert_eq!(ctl.observe(0.9), LadderStep::Degrade);
+        assert_eq!(ctl.observe(1.0), LadderStep::Shed);
+        // Inside the hysteresis band (shed_exit ≤ p < shed_enter): hold.
+        assert_eq!(ctl.observe(0.7), LadderStep::Shed);
+        // Below shed_exit: step down one rung, not two.
+        assert_eq!(ctl.observe(0.45), LadderStep::Degrade);
+        // Inside the degrade band: hold.
+        assert_eq!(ctl.observe(0.3), LadderStep::Degrade);
+        // Below degrade_exit: recovered.
+        assert_eq!(ctl.observe(0.2), LadderStep::Nominal);
+        // One up and one down transition per band crossed.
+        assert_eq!(ctl.step_changes(), 4);
+    }
+
+    #[test]
+    fn pressure_collapse_steps_straight_down_and_spikes_straight_up() {
+        let mut ctl = OverloadController::new(enabled());
+        assert_eq!(ctl.observe(5.0), LadderStep::Shed);
+        assert_eq!(ctl.observe(0.0), LadderStep::Nominal);
+        assert_eq!(ctl.step_changes(), 2);
+        // NaN keeps the current rung.
+        ctl.observe(2.0);
+        assert_eq!(ctl.observe(f64::NAN), LadderStep::Shed);
+    }
+
+    #[test]
+    fn degradation_is_bounded_by_the_request_floor() {
+        let cfg = enabled();
+        assert_eq!(
+            cfg.degradation_for(LadderStep::Nominal, 2),
+            Degradation::NONE
+        );
+        assert_eq!(cfg.degradation_for(LadderStep::Shed, 0), Degradation::NONE);
+        let one = cfg.degradation_for(LadderStep::Shed, 1);
+        assert_eq!(one.tier_notches, 1);
+        assert_eq!(one.entropy_scale, 2.0);
+        let two = cfg.degradation_for(LadderStep::Shed, 2);
+        assert_eq!(two.tier_notches, 2);
+        assert_eq!(two.entropy_scale, 4.0);
+        // The rung, not the floor, caps severity from above.
+        assert_eq!(cfg.degradation_for(LadderStep::Degrade, 2).tier_notches, 1);
+        assert!(Degradation::NONE.is_none());
+        assert!(!two.is_none());
+        assert_eq!(
+            two.applied_to(DropTarget::OnePercent),
+            DropTarget::FivePercent
+        );
+    }
+
+    #[test]
+    fn pressure_is_backlog_drain_time_over_the_horizon() {
+        assert_eq!(pressure(0, 1, 10e-3, 50e-3), 0.0);
+        assert_eq!(pressure(5, 1, 10e-3, 50e-3), 1.0);
+        // More shards drain faster.
+        assert_eq!(pressure(5, 2, 10e-3, 50e-3), 0.5);
+        // Degenerate horizon falls back to the service estimate.
+        assert_eq!(pressure(3, 1, 10e-3, 0.0), 3.0);
+        assert_eq!(pressure(3, 1, 10e-3, f64::NAN), 3.0);
+        // Nothing usable: the raw backlog count.
+        assert_eq!(pressure(3, 1, 0.0, 0.0), 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "hysteresis")]
+    fn validate_rejects_exit_above_enter() {
+        OverloadConfig {
+            enabled: true,
+            degrade_exit: 0.6,
+            ..OverloadConfig::default()
+        }
+        .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "monotone ladder")]
+    fn validate_rejects_shed_below_degrade() {
+        OverloadConfig {
+            enabled: true,
+            degrade_enter: 1.5,
+            degrade_exit: 0.2,
+            shed_enter: 1.0,
+            ..OverloadConfig::default()
+        }
+        .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "entropy_scale_per_notch")]
+    fn validate_rejects_threshold_lowering_scale() {
+        OverloadConfig {
+            enabled: true,
+            entropy_scale_per_notch: 0.5,
+            ..OverloadConfig::default()
+        }
+        .validate();
+    }
+}

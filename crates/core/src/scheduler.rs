@@ -39,6 +39,7 @@
 //! [`deadline_met`](crate::engine::deadline_met) rule.
 
 use crate::engine::{deadline_met, EdgeBertEngine, InferenceRequest, InferenceResponse};
+use crate::overload::{pressure, Degradation, OverloadConfig, OverloadController};
 use crate::serving::MultiTaskRuntime;
 use edgebert_tasks::Task;
 use serde::{Deserialize, Serialize};
@@ -93,6 +94,23 @@ pub struct SchedulerConfig {
     /// successor typically dispatches concurrently on another one, so
     /// capping would spend energy without a tail win. Off by default.
     pub pressure_stretch: bool,
+    /// Virtual-timeline parity mode for the overload ladder (see
+    /// [`crate::overload`] and [`ServerConfig::overload`](crate::server::ServerConfig::overload)):
+    /// one controller per task engine observes the arrived,
+    /// undispatched backlog at each dispatch point and degrades
+    /// dispatched sentences exactly as the wall-clock server's lanes
+    /// would — tier notch and scaled entropy-exit threshold, bounded by
+    /// each request's `max_degradation` floor. Like the other
+    /// dispatch-time knobs this makes compute depend on the timeline,
+    /// so the drain computes sentences at their dispatch points.
+    ///
+    /// Admission *shedding* is deliberately not modeled here: a drain
+    /// serves every submission handed to it — shedding is a wall-clock
+    /// admission decision the [`Server`](crate::server::Server) front
+    /// end makes before work ever reaches a queue, and a virtual replay
+    /// that silently dropped submissions would break the drain's
+    /// one-response-per-submission contract. Off by default.
+    pub overload: OverloadConfig,
 }
 
 impl Default for SchedulerConfig {
@@ -107,6 +125,7 @@ impl Default for SchedulerConfig {
             task_switch_s: 0.0,
             queue_aware_slack: false,
             pressure_stretch: false,
+            overload: OverloadConfig::default(),
         }
     }
 }
@@ -138,6 +157,9 @@ pub struct ScheduledResponse {
     /// sentence that computed on time but queued too long is a
     /// violation here and only here.
     pub deadline_met: bool,
+    /// Accuracy-tier notches the overload parity mode degraded this
+    /// sentence by at dispatch (0 on every default path).
+    pub degraded_notches: u8,
 }
 
 #[derive(Debug, Clone)]
@@ -174,6 +196,9 @@ impl DeadlineScheduler {
     /// on the shared weights, and the guarantee that scheduled results
     /// cannot diverge from the runtime's own `serve`.
     pub fn new(runtime: &MultiTaskRuntime, cfg: SchedulerConfig) -> Self {
+        if cfg.overload.enabled {
+            cfg.overload.validate();
+        }
         let engines = runtime
             .tasks()
             .into_iter()
@@ -255,7 +280,8 @@ impl DeadlineScheduler {
         // request copies). Skipped under queue-aware slack or pressure
         // stretch, where compute depends on dispatch time and happens
         // in the replay.
-        let compute_at_dispatch = self.cfg.queue_aware_slack || self.cfg.pressure_stretch;
+        let compute_at_dispatch =
+            self.cfg.queue_aware_slack || self.cfg.pressure_stretch || self.cfg.overload.enabled;
         let mut responses: Vec<Option<InferenceResponse>> = vec![None; pending.len()];
         if !compute_at_dispatch {
             for (task, engine) in &self.engines {
@@ -309,6 +335,15 @@ impl DeadlineScheduler {
         let mut resident: Vec<Option<Task>> = vec![None; workers];
         let mut dispatched = vec![false; pending.len()];
         let mut timeline: Vec<Option<(usize, f64, f64)>> = vec![None; pending.len()];
+        // Overload parity: one ladder per task engine (mirroring the
+        // wall-clock server's one-controller-per-lane), fed that
+        // engine's arrived, undispatched backlog at each dispatch.
+        let mut controllers: Vec<OverloadController> = self
+            .engines
+            .iter()
+            .map(|_| OverloadController::new(self.cfg.overload))
+            .collect();
+        let mut notches: Vec<u8> = vec![0; pending.len()];
         let mut remaining = served.len();
         while remaining > 0 {
             // Earliest-free worker, ties to the lowest lane.
@@ -396,8 +431,37 @@ impl DeadlineScheduler {
                                 }
                             }
                         }
-                        let engine = &self.engines[engine_of[i].expect("served member")].1;
-                        let response = engine.serve(&request);
+                        let engine_idx = engine_of[i].expect("served member");
+                        let engine = &self.engines[engine_idx].1;
+                        let mut degradation = Degradation::NONE;
+                        if self.cfg.overload.enabled {
+                            // The same pressure signal the server's
+                            // lanes observe: this engine's arrived,
+                            // undispatched backlog drained by `workers`
+                            // lanes against its deadline horizon.
+                            let backlog = served
+                                .iter()
+                                .filter(|s| {
+                                    s.index != i
+                                        && !dispatched[s.index]
+                                        && s.arrival_s <= start
+                                        && engine_of[s.index] == Some(engine_idx)
+                                })
+                                .count();
+                            let p = pressure(
+                                backlog,
+                                workers,
+                                engine.nominal_service_estimate_s(),
+                                engine.default_latency_target_s(),
+                            );
+                            let step = controllers[engine_idx].observe(p);
+                            degradation = self
+                                .cfg
+                                .overload
+                                .degradation_for(step, sub.request.max_degradation);
+                            notches[i] = degradation.tier_notches;
+                        }
+                        let response = engine.serve_degraded(&request, degradation);
                         let latency_s = response.result.latency_s;
                         responses[i] = Some(response);
                         latency_s
@@ -436,6 +500,7 @@ impl DeadlineScheduler {
                     queue_delay_s: start_s - s.arrival_s,
                     sojourn_s,
                     deadline_met: met,
+                    degraded_notches: notches[s.index],
                 })
             })
             .collect()

@@ -18,6 +18,7 @@
 //! EDF-ordered relative to everything else waiting on the lane.
 
 use crate::engine::InferenceRequest;
+use crate::overload::{pressure, LadderStep, OverloadConfig, OverloadController};
 use crate::scheduler::SchedulePolicy;
 use crate::session::InferenceSession;
 use edgebert_tasks::Task;
@@ -95,6 +96,10 @@ pub(super) struct Popped {
     /// (queued or parked) the moment this work was popped — the
     /// successor the queue-pressure stretch cap is sized against.
     pub successor_deadline_s: Option<f64>,
+    /// The overload ladder's rung at pop time (always
+    /// [`LadderStep::Nominal`] with the ladder disabled). The shard
+    /// sizes this work's degradation from it.
+    pub ladder_step: LadderStep,
 }
 
 /// Queue state behind the lane mutex.
@@ -116,6 +121,11 @@ pub(super) struct LaneQueue {
     pub submitted: u64,
     /// Requests refused because the lane was at capacity.
     pub rejected: u64,
+    /// Requests shed by the overload ladder at admission.
+    pub shed: u64,
+    /// The lane's overload ladder (inert when disabled), advanced under
+    /// this lock at admission and pop time.
+    pub controller: OverloadController,
 }
 
 /// Worker-side tallies, folded into [`LaneStats`](super::LaneStats).
@@ -135,6 +145,9 @@ pub(super) struct ServedTally {
     pub queue_delay_max_s: f64,
     /// Sum of the slack actually deducted from DVFS budgets, seconds.
     pub slack_deducted_total_s: f64,
+    /// Requests served with an overload-ladder degradation applied
+    /// (tier drop and/or scaled exit threshold).
+    pub degraded: u64,
 }
 
 /// One task's bounded admission lane.
@@ -146,6 +159,16 @@ pub(super) struct Lane {
     pub capacity: usize,
     /// Pop-order policy.
     pub policy: SchedulePolicy,
+    /// Engine shards draining the lane (the pressure signal's drain
+    /// parallelism).
+    pub shards: usize,
+    /// Pessimistic nominal service estimate of one sentence on this
+    /// lane's engine, seconds (the pressure signal's per-job cost and
+    /// the retry-hint unit).
+    pub nominal_service_s: f64,
+    /// The lane's deadline horizon — its engine's default latency
+    /// target, seconds (the pressure signal's denominator).
+    pub horizon_s: f64,
     /// Queue state.
     pub queue: Mutex<LaneQueue>,
     /// Signaled on every admission, park, and shutdown.
@@ -156,11 +179,22 @@ pub(super) struct Lane {
 }
 
 impl Lane {
-    pub fn new(task: Task, capacity: usize, policy: SchedulePolicy) -> Self {
+    pub fn new(
+        task: Task,
+        capacity: usize,
+        policy: SchedulePolicy,
+        overload: OverloadConfig,
+        shards: usize,
+        nominal_service_s: f64,
+        horizon_s: f64,
+    ) -> Self {
         Self {
             task,
             capacity,
             policy,
+            shards,
+            nominal_service_s,
+            horizon_s,
             queue: Mutex::new(LaneQueue {
                 jobs: Vec::new(),
                 parked: Vec::new(),
@@ -170,10 +204,22 @@ impl Lane {
                 parked_high_water: 0,
                 submitted: 0,
                 rejected: 0,
+                shed: 0,
+                controller: OverloadController::new(overload),
             }),
             available: Condvar::new(),
             tally: Mutex::new(ServedTally::default()),
         }
+    }
+
+    /// Feeds the lane's current backlog (queued + parked work) through
+    /// the overload controller and returns the resulting ladder rung.
+    /// Called under the queue lock at admission and pop time; a no-op
+    /// returning [`LadderStep::Nominal`] when the ladder is disabled.
+    pub(super) fn observe(&self, queue: &mut LaneQueue) -> LadderStep {
+        let backlog = queue.jobs.len() + queue.parked.len();
+        let p = pressure(backlog, self.shards, self.nominal_service_s, self.horizon_s);
+        queue.controller.observe(p)
     }
 
     /// Blocks until a unit of work is available — a fresh job or a
@@ -192,9 +238,11 @@ impl Lane {
                     .fold(None, |acc: Option<f64>, d| {
                         Some(acc.map_or(d, |a: f64| a.min(d)))
                     });
+                let ladder_step = self.observe(&mut queue);
                 return Some(Popped {
                     work,
                     successor_deadline_s,
+                    ladder_step,
                 });
             }
             if queue.shutting_down {
@@ -271,9 +319,11 @@ impl Lane {
             .fold(None, |acc: Option<f64>, d| {
                 Some(acc.map_or(d, |a: f64| a.min(d)))
             });
+        let ladder_step = self.observe(&mut queue);
         Ok(Popped {
             work: Work::Fresh(job),
             successor_deadline_s,
+            ladder_step,
         })
     }
 
@@ -342,7 +392,15 @@ mod tests {
         policy: SchedulePolicy,
         deadlines: &[f64],
     ) -> (Lane, Vec<std::sync::mpsc::Receiver<ServerResponse>>) {
-        let lane = Lane::new(Task::Sst2, deadlines.len(), policy);
+        let lane = Lane::new(
+            Task::Sst2,
+            deadlines.len(),
+            policy,
+            OverloadConfig::default(),
+            1,
+            10e-3,
+            50e-3,
+        );
         let mut receivers = Vec::new();
         {
             let mut queue = lane.queue.lock().expect("lane mutex");

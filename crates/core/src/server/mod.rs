@@ -63,6 +63,19 @@
 //! stops stealing slack from queued tighter work before it even
 //! starts.
 //!
+//! **Overload control** ([`ServerConfig::overload`]) is the survival
+//! layer above both: a per-lane hysteresis ladder
+//! ([`crate::overload`]) watches the backlog's estimated drain time
+//! against the lane's deadline horizon and, under pressure, *degrades*
+//! admitted work — accuracy tier dropped a notch, entropy-exit
+//! threshold scaled up, bounded by each request's
+//! [`InferenceRequest::max_degradation`] floor (default: none) — so
+//! sentences exit earlier and the lane drains; when degradation cannot
+//! restore feasibility, it *sheds* infeasible arrivals at admission
+//! with a typed [`SubmitError::Shed`] carrying a retry hint, instead
+//! of letting them queue and die. Disabled by default, and inert for
+//! requests that never opt into degradation.
+//!
 //! Everything else is the operational contract a front-end owes its
 //! callers: bounded lanes with typed backpressure
 //! ([`SubmitError::QueueFull`]), typed routing failures
@@ -79,6 +92,7 @@ mod stats;
 pub use stats::{LaneStats, ServerStats};
 
 use crate::engine::{deadline_met, EdgeBertEngine, InferenceRequest, InferenceResponse};
+use crate::overload::{LadderStep, OverloadConfig};
 use crate::scheduler::SchedulePolicy;
 use crate::serving::MultiTaskRuntime;
 use crate::session::InferenceSession;
@@ -165,6 +179,12 @@ pub struct ServerConfig {
     /// without a tail win. Off by default — the cap trades a little
     /// of the greedy sentence's energy for cross-class tail latency.
     pub pressure_stretch: bool,
+    /// The overload control ladder (see [`crate::overload`] and the
+    /// module docs): pressure-driven degradation of admitted work and
+    /// admission shedding of infeasible arrivals, with hysteresis.
+    /// Disabled by default — every lane then behaves bit-identically
+    /// to a pre-overload server.
+    pub overload: OverloadConfig,
 }
 
 impl Default for ServerConfig {
@@ -181,12 +201,13 @@ impl Default for ServerConfig {
             emulate_service_time: false,
             preemption: PreemptionPolicy::Off,
             pressure_stretch: false,
+            overload: OverloadConfig::default(),
         }
     }
 }
 
 /// Why a submission was refused.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum SubmitError {
     /// No lane serves the request's task.
     TaskNotServed(Task),
@@ -196,6 +217,29 @@ pub enum SubmitError {
         task: Task,
         /// Its configured admission bound.
         capacity: usize,
+        /// The queue depth observed at refusal (≥ `capacity`).
+        depth: usize,
+        /// How long until a slot plausibly frees, seconds: the lane's
+        /// nominal per-job service estimate divided across its shards.
+        retry_after_hint_s: f64,
+    },
+    /// The overload ladder shed this request at admission: at the
+    /// observed pressure, the backlog ahead of it would consume its
+    /// whole deadline budget before it could start, so it would queue
+    /// and die. Retrying after `retry_after_hint_s` — or resubmitting
+    /// with a looser target / a nonzero
+    /// [`max_degradation`](crate::engine::InferenceRequest::max_degradation)
+    /// — may be admitted. Only returned when
+    /// [`ServerConfig::overload`] is enabled.
+    Shed {
+        /// The shedding lane's task.
+        task: Task,
+        /// The pressure signal at refusal (see
+        /// [`pressure`](crate::overload::pressure)).
+        pressure: f64,
+        /// Estimated wait until the backlog drains enough for this
+        /// request to be feasible, seconds.
+        retry_after_hint_s: f64,
     },
     /// The server is shutting down and no longer admits requests.
     ShuttingDown,
@@ -207,8 +251,30 @@ impl std::fmt::Display for SubmitError {
             SubmitError::TaskNotServed(task) => {
                 write!(f, "task {task} is not served by this server")
             }
-            SubmitError::QueueFull { task, capacity } => {
-                write!(f, "task {task} lane is at capacity ({capacity})")
+            SubmitError::QueueFull {
+                task,
+                capacity,
+                depth,
+                retry_after_hint_s,
+            } => {
+                write!(
+                    f,
+                    "task {task} lane is at capacity ({depth}/{capacity} queued); \
+                     retry in ~{:.1} ms",
+                    retry_after_hint_s * 1e3
+                )
+            }
+            SubmitError::Shed {
+                task,
+                pressure,
+                retry_after_hint_s,
+            } => {
+                write!(
+                    f,
+                    "task {task} lane shed the request at pressure {pressure:.2}; \
+                     retry in ~{:.1} ms",
+                    retry_after_hint_s * 1e3
+                )
             }
             SubmitError::ShuttingDown => write!(f, "server is shutting down"),
         }
@@ -249,6 +315,11 @@ pub struct ServerResponse {
     /// Wall time the session spent parked, charged against the
     /// sentence's slack and its sojourn, seconds.
     pub parked_s: f64,
+    /// Accuracy-tier notches the overload ladder degraded this
+    /// sentence by (0 on every default path — the ladder disabled, the
+    /// lane unpressured, or the request's `max_degradation` floor at
+    /// zero).
+    pub degraded_notches: u8,
     /// End-to-end response time: queueing delay (plus any submitter
     /// pre-stamp), parked time, and modeled compute latency, seconds.
     pub sojourn_s: f64,
@@ -379,12 +450,23 @@ impl Server {
                 "preemption deadline gap must be finite and non-negative"
             );
         }
+        if cfg.overload.enabled {
+            cfg.overload.validate();
+        }
         let epoch = Instant::now();
         let mut lanes = Vec::new();
         let mut workers = Vec::new();
         for task in runtime.tasks() {
             let rt = runtime.runtime(task).expect("task listed as served");
-            let lane = Arc::new(Lane::new(task, cfg.queue_capacity, cfg.policy));
+            let lane = Arc::new(Lane::new(
+                task,
+                cfg.queue_capacity,
+                cfg.policy,
+                cfg.overload,
+                cfg.shards_per_task,
+                rt.engine().nominal_service_estimate_s(),
+                rt.engine().default_latency_target_s(),
+            ));
             for shard in 0..cfg.shards_per_task {
                 let lane = Arc::clone(&lane);
                 let engine = rt.engine().clone();
@@ -458,20 +540,67 @@ impl Server {
         if queue.shutting_down {
             return Err(SubmitError::ShuttingDown);
         }
-        if queue.jobs.len() >= entry.lane.capacity {
+        let lane = &entry.lane;
+        let drain_slot_s = lane.nominal_service_s / lane.shards.max(1) as f64;
+        if queue.jobs.len() >= lane.capacity {
             queue.rejected += 1;
             return Err(SubmitError::QueueFull {
                 task,
-                capacity: entry.lane.capacity,
+                capacity: lane.capacity,
+                depth: queue.jobs.len(),
+                retry_after_hint_s: drain_slot_s,
             });
+        }
+        let now = Instant::now();
+        let deadline_s = (now - self.epoch).as_secs_f64() + key_s;
+        if self.cfg.overload.enabled {
+            // Advance the ladder on the pre-admission backlog; on the
+            // shed rung, refuse work whose remaining budget the
+            // backlog ahead of it would already consume — it would
+            // queue and die, and its queueing would push feasible work
+            // past its own deadline too.
+            let step = lane.observe(&mut queue);
+            if step == LadderStep::Shed {
+                let ahead = match self.cfg.policy {
+                    // EDF: only work with an equal-or-tighter deadline
+                    // runs before this request.
+                    SchedulePolicy::EarliestDeadline => queue
+                        .jobs
+                        .iter()
+                        .map(|j| j.deadline_s)
+                        .chain(queue.parked.iter().map(|p| p.ctx.deadline_s))
+                        .filter(|&d| d <= deadline_s)
+                        .count(),
+                    // FIFO: everything already queued runs first.
+                    SchedulePolicy::Fifo => queue.jobs.len() + queue.parked.len(),
+                };
+                let backlog_s = (ahead + 1) as f64 * drain_slot_s;
+                // Negated so an infinite budget always admits and a
+                // NaN budget (sanitized upstream, but cheap to be
+                // safe) sheds rather than queues-and-dies.
+                #[allow(clippy::neg_cmp_op_on_partial_ord)]
+                if !(key_s >= backlog_s) {
+                    queue.shed += 1;
+                    let p = crate::overload::pressure(
+                        queue.jobs.len() + queue.parked.len(),
+                        lane.shards,
+                        lane.nominal_service_s,
+                        lane.horizon_s,
+                    );
+                    return Err(SubmitError::Shed {
+                        task,
+                        pressure: p,
+                        retry_after_hint_s: (backlog_s - key_s).max(drain_slot_s),
+                    });
+                }
+            }
         }
         let submission = queue.next_seq;
         queue.next_seq += 1;
         queue.submitted += 1;
-        let now = Instant::now();
         queue.jobs.push(Job {
             seq: submission,
-            deadline_s: (now - self.epoch).as_secs_f64() + key_s,
+            deadline_s,
             enqueued_at: now,
             request,
             reply: tx,
@@ -500,6 +629,9 @@ impl Server {
                     shards: self.cfg.shards_per_task,
                     submitted: queue.submitted,
                     rejected: queue.rejected,
+                    shed: queue.shed,
+                    degraded: tally.degraded,
+                    ladder_step_changes: queue.controller.step_changes(),
                     served: tally.served,
                     violations: tally.violations,
                     preempted: tally.preempted,
@@ -631,8 +763,15 @@ fn shard_loop(
                 } else {
                     elapsed_s
                 };
+                // The overload ladder's rung at pop time sizes this
+                // sentence's degradation, clamped to the request's own
+                // floor. NONE (disabled ladder, nominal rung, or a
+                // zero floor) takes the exact `begin` path.
+                let degradation = cfg
+                    .overload
+                    .degradation_for(popped.ladder_step, request.max_degradation);
                 (
-                    engine.begin(&request),
+                    engine.begin_degraded(&request, degradation),
                     JobContext {
                         seq: job.seq,
                         deadline_s: job.deadline_s,
@@ -728,6 +867,7 @@ fn drive(
     }
     let preemptions = session.preemptions();
     let parked_s = session.parked_s();
+    let degraded_notches = session.degraded_notches();
     let response = session
         .response()
         .expect("a completed session carries its response");
@@ -748,6 +888,9 @@ fn drive(
         tally.queue_delay_total_s += ctx.queue_delay_s;
         tally.queue_delay_max_s = tally.queue_delay_max_s.max(ctx.queue_delay_s);
         tally.slack_deducted_total_s += ctx.slack_deducted_s;
+        if degraded_notches > 0 {
+            tally.degraded += 1;
+        }
     }
     // The client may have stopped waiting; a dead handle is not a
     // server error.
@@ -760,6 +903,7 @@ fn drive(
         slack_deducted_s: ctx.slack_deducted_s,
         preemptions,
         parked_s,
+        degraded_notches,
         sojourn_s,
         deadline_met: met,
     });
@@ -825,13 +969,15 @@ mod tests {
         );
         for _ in 0..3 {
             let req = InferenceRequest::new(data.examples()[0].tokens.clone());
-            assert!(matches!(
-                server.submit(Task::Sst2, req),
+            match server.submit(Task::Sst2, req) {
                 Err(SubmitError::QueueFull {
                     task: Task::Sst2,
-                    capacity: 0
-                })
-            ));
+                    capacity: 0,
+                    depth: 0,
+                    retry_after_hint_s,
+                }) => assert!(retry_after_hint_s > 0.0),
+                other => panic!("expected QueueFull, got {other:?}"),
+            }
         }
         let stats = server.shutdown();
         assert_eq!(stats.rejected(), 3);

@@ -14,6 +14,16 @@ pub struct LaneStats {
     pub submitted: u64,
     /// Requests refused at admission because the queue was full.
     pub rejected: u64,
+    /// Requests shed at admission by the overload ladder (0 with the
+    /// ladder disabled).
+    pub shed: u64,
+    /// Requests served with an overload-ladder degradation applied
+    /// (tier drop and/or scaled entropy-exit threshold).
+    pub degraded: u64,
+    /// Overload-ladder rung transitions since start, both directions —
+    /// a clean pressure burst costs two per band crossed; more
+    /// indicates thresholds too close together for the traffic.
+    pub ladder_step_changes: u64,
     /// Requests served to completion.
     pub served: u64,
     /// Served requests whose sojourn (measured wait + modeled compute)
@@ -59,6 +69,23 @@ impl ServerStats {
     /// Requests refused at admission across all lanes.
     pub fn rejected(&self) -> u64 {
         self.lanes.iter().map(|l| l.rejected).sum()
+    }
+
+    /// Requests shed at admission by the overload ladder, across all
+    /// lanes.
+    pub fn shed(&self) -> u64 {
+        self.lanes.iter().map(|l| l.shed).sum()
+    }
+
+    /// Requests served degraded by the overload ladder, across all
+    /// lanes.
+    pub fn degraded(&self) -> u64 {
+        self.lanes.iter().map(|l| l.degraded).sum()
+    }
+
+    /// Overload-ladder rung transitions across all lanes.
+    pub fn ladder_step_changes(&self) -> u64 {
+        self.lanes.iter().map(|l| l.ladder_step_changes).sum()
     }
 
     /// Requests served across all lanes.

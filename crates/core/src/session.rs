@@ -47,6 +47,7 @@ use crate::backend::OperatingPoint;
 use crate::engine::{
     deadline_met, DropTarget, EdgeBertEngine, InferenceMode, InferenceResponse, SentenceResult,
 };
+use crate::overload::Degradation;
 use edgebert_model::ForwardSession;
 use edgebert_tensor::stats::argmax;
 
@@ -136,6 +137,9 @@ pub struct InferenceSession {
     parked_s: f64,
     /// Times this session was parked.
     preemptions: u32,
+    /// Accuracy-tier notches the overload ladder degraded this session
+    /// by (0 on every default path).
+    degraded_notches: u8,
     result: Option<SentenceResult>,
     terminal: StepOutcome,
 }
@@ -149,6 +153,7 @@ impl InferenceSession {
     ///
     /// Panics if `elapsed_queue_s` is negative or non-finite (the
     /// request-scoped entry points sanitize stamps first).
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn new(
         engine: EdgeBertEngine,
         tokens: &[u32],
@@ -157,14 +162,30 @@ impl InferenceSession {
         drop: DropTarget,
         elapsed_queue_s: f64,
         stretch_cap_s: Option<f64>,
+        degradation: Degradation,
     ) -> Self {
         assert!(
             elapsed_queue_s.is_finite() && elapsed_queue_s >= 0.0,
             "queueing delay must be finite and non-negative, got {elapsed_queue_s}"
         );
-        let et = match mode {
+        // Overload degradation: drop the tier (saturating) and scale
+        // the exit threshold up, so sentences exit earlier and the lane
+        // drains. The NONE path below is byte-for-byte the pre-overload
+        // computation — no multiply, no tier change — preserving the
+        // bit-identity contract for every default caller.
+        let drop = if degradation.is_none() {
+            drop
+        } else {
+            degradation.applied_to(drop)
+        };
+        let base_et = match mode {
             InferenceMode::ConventionalEe => engine.thresholds(drop).conventional,
             _ => engine.thresholds(drop).latency_aware,
+        };
+        let et = if degradation.is_none() {
+            base_et
+        } else {
+            base_et * degradation.entropy_scale
         };
         let fwd = engine.model().begin_forward(tokens);
         let num_layers = engine.model().num_layers();
@@ -189,6 +210,7 @@ impl InferenceSession {
             feasible: true,
             parked_s: 0.0,
             preemptions: 0,
+            degraded_notches: degradation.tier_notches,
             result: None,
             terminal: StepOutcome::Done,
         }
@@ -233,6 +255,15 @@ impl InferenceSession {
     /// Times this session was parked.
     pub fn preemptions(&self) -> u32 {
         self.preemptions
+    }
+
+    /// Accuracy-tier notches the overload ladder degraded this session
+    /// by at open time (0 on every default path). The notch count is
+    /// the *requested* degradation — the entropy-threshold scaling
+    /// applies even when the tier itself saturates at the loosest
+    /// calibration.
+    pub fn degraded_notches(&self) -> u8 {
+        self.degraded_notches
     }
 
     /// Total wall time charged as parked, seconds.

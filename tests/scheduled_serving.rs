@@ -41,6 +41,7 @@ fn cfg(policy: SchedulePolicy) -> SchedulerConfig {
         task_switch_s: 0.0,
         queue_aware_slack: false,
         pressure_stretch: false,
+        overload: Default::default(),
     }
 }
 

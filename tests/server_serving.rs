@@ -130,13 +130,21 @@ fn admission_errors_are_typed_and_mirror_routing() {
             ..blind_config()
         },
     );
-    assert!(matches!(
-        full.submit(Task::Sst2, req),
+    match full.submit(Task::Sst2, req) {
         Err(SubmitError::QueueFull {
             task: Task::Sst2,
-            capacity: 0
-        })
-    ));
+            capacity: 0,
+            depth,
+            retry_after_hint_s,
+        }) => {
+            assert_eq!(depth, 0);
+            assert!(
+                retry_after_hint_s > 0.0 && retry_after_hint_s.is_finite(),
+                "the hint is the lane's per-slot drain estimate, got {retry_after_hint_s}"
+            );
+        }
+        other => panic!("expected QueueFull, got {other:?}"),
+    }
     assert_eq!(full.shutdown().rejected(), 1);
 }
 
