@@ -691,17 +691,28 @@ pub fn class_reports_outcomes(
 }
 
 /// Renders the serving-side lane counters of a stats snapshot — the
-/// general bench-report row covering both the preemption counters and
-/// the overload ladder's shed/degrade/transition counters.
+/// general bench-report row covering the preemption counters, the
+/// overload ladder's shed/degrade/transition counters, and the elastic
+/// stolen/migrated/pool-resize counters.
 pub fn render_server_stats(stats: &ServerStats) -> String {
     let mut out = String::new();
     out.push_str(&format!(
-        "{:<8} {:>8} {:>10} {:>8} {:>12} {:>9} {:>6} {:>6}\n",
-        "lane", "served", "preempted", "resumed", "max parked", "degraded", "shed", "steps"
+        "{:<8} {:>8} {:>10} {:>8} {:>12} {:>9} {:>6} {:>6} {:>7} {:>9} {:>8}\n",
+        "lane",
+        "served",
+        "preempted",
+        "resumed",
+        "max parked",
+        "degraded",
+        "shed",
+        "steps",
+        "stolen",
+        "migrated",
+        "resizes"
     ));
     for lane in &stats.lanes {
         out.push_str(&format!(
-            "{:<8} {:>8} {:>10} {:>8} {:>12} {:>9} {:>6} {:>6}\n",
+            "{:<8} {:>8} {:>10} {:>8} {:>12} {:>9} {:>6} {:>6} {:>7} {:>9} {:>8}\n",
             lane.task.to_string(),
             lane.served,
             lane.preempted,
@@ -710,6 +721,9 @@ pub fn render_server_stats(stats: &ServerStats) -> String {
             lane.degraded,
             lane.shed,
             lane.ladder_step_changes,
+            lane.stolen,
+            lane.migrated,
+            lane.pool_resizes,
         ));
     }
     out

@@ -37,11 +37,14 @@ use edgebert_hw::workload::EncoderWorkload;
 use edgebert_hw::{
     AcceleratorConfig, AcceleratorSim, Adpll, DvfsController, Ldo, MobileGpu, WorkloadParams,
 };
+use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 
 /// A `(voltage, frequency)` operating point chosen for an inference
 /// segment, plus whether the deadline that produced it is achievable.
-#[derive(Debug, Clone, Copy, PartialEq)]
+/// Serializes (serde) so a parked session's DVFS state can travel in a
+/// [`SessionCheckpoint`](crate::session::SessionCheckpoint).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct OperatingPoint {
     /// Supply voltage, volts.
     pub voltage: f32,

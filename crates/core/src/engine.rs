@@ -761,6 +761,26 @@ impl EdgeBertEngine {
         )
     }
 
+    /// Rebinds a serialized [`SessionCheckpoint`] to this engine and
+    /// returns the parked session, ready to
+    /// [`resume`](InferenceSession::resume) — charging the wall time
+    /// the envelope spent in transit against the sentence's slack,
+    /// exactly as an in-process park would. With an engine built from
+    /// the same model, LUT, and backend configuration as the
+    /// checkpointing one, `park → checkpoint → restore → resume` is
+    /// bit-identical to `park → resume`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the checkpoint's model depth does not match this
+    /// engine's (see [`InferenceSession::checkpoint`]).
+    pub fn restore_session(
+        &self,
+        checkpoint: crate::session::SessionCheckpoint,
+    ) -> InferenceSession {
+        InferenceSession::restore(self.clone(), checkpoint)
+    }
+
     /// Runs a sentence in the requested mode at the engine defaults.
     pub fn run(&self, tokens: &[u32], mode: InferenceMode) -> SentenceResult {
         self.run_at(

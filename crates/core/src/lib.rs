@@ -24,7 +24,11 @@
 //!   decision against *remaining* slack at each segment start);
 //!   sessions park at layer boundaries (hidden state + accounting
 //!   checkpointed) and resume with the parked time charged against
-//!   their slack. `serve`/`run_*` are thin drive-to-completion
+//!   their slack; a parked session serializes into a versioned
+//!   [`SessionCheckpoint`] envelope that crosses process boundaries
+//!   and restores onto any engine of the same depth
+//!   ([`EdgeBertEngine::restore_session`](engine::EdgeBertEngine::restore_session)).
+//!   `serve`/`run_*` are thin drive-to-completion
 //!   wrappers, bit-identical to the pre-session monolithic paths;
 //! * [`backend`] — the hardware abstraction under the engine:
 //!   [`backend::InferenceBackend`] covers per-layer workload costing,
@@ -70,7 +74,11 @@
 //!   step sessions layer by layer and park the running one for a
 //!   strictly tighter queued arrival, resuming EDF-ordered; pop-time
 //!   queue pressure can also cap a greedy sentence's DVFS stretch
-//!   window ([`ServerConfig::pressure_stretch`]);
+//!   window ([`ServerConfig::pressure_stretch`]). Serving is
+//!   **elastic** when opted in ([`server::ElasticConfig`]): idle
+//!   shards steal the EDF-tightest parked session from foreign lanes
+//!   and autoscale onto pressured lanes as extra shards, with
+//!   stolen/migrated/pool-resize counters in [`ServerStats`];
 //! * [`pipeline`] — end-to-end task artifacts: train → calibrate →
 //!   predictor, at test or paper scale;
 //! * [`experiments`] — one driver per table/figure of the paper's
@@ -132,8 +140,10 @@ pub use pipeline::{Scale, TaskArtifacts};
 pub use predictor::{EntropyPredictor, PredictorLut};
 pub use scheduler::{DeadlineScheduler, SchedulePolicy, ScheduledResponse, SchedulerConfig};
 pub use server::{
-    LaneStats, PreemptionPolicy, ResponseHandle, ServeOutcome, Server, ServerConfig,
+    ElasticConfig, LaneStats, PreemptionPolicy, ResponseHandle, ServeOutcome, Server, ServerConfig,
     ServerResponse, ServerStats, SubmitError, WorkerLost,
 };
 pub use serving::{MultiTaskRuntime, ServeError, TaskRuntime};
-pub use session::{InferenceSession, SessionState, StepOutcome};
+pub use session::{
+    InferenceSession, SessionCheckpoint, SessionState, StepOutcome, SESSION_CHECKPOINT_VERSION,
+};

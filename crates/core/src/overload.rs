@@ -122,13 +122,25 @@ pub struct OverloadConfig {
     /// Factor the entropy-exit threshold is multiplied by per
     /// degradation notch (≥ 1: degradation only makes exits easier).
     pub entropy_scale_per_notch: f32,
+    /// Per-class shed preference on the [`LadderStep::Shed`] rung:
+    /// arrivals whose remaining deadline budget is at least this many
+    /// lane horizons are shed *first* — before the feasibility test —
+    /// so loose-deadline classes absorb the loss and tight-deadline
+    /// work keeps being admitted. The rationale is the retry
+    /// asymmetry: a loose-budget client can afford the typed
+    /// retry-after backoff; a tight one cannot. `f64::INFINITY` (the
+    /// default) disables the preference — no finite budget triggers
+    /// it, and only the feasibility test sheds, exactly the PR 6
+    /// class-agnostic behavior. Must be positive (NaN and
+    /// non-positive values are rejected by [`validate`](Self::validate)).
+    pub shed_loose_budget_ratio: f64,
 }
 
 impl Default for OverloadConfig {
     /// Disabled; degrade at pressure 0.5 (backlog worth half the
     /// deadline horizon), recover below 0.25; shed at 1.0 (backlog
     /// alone fills the horizon), step down below 0.5; double the
-    /// entropy threshold per notch.
+    /// entropy threshold per notch; no loose-class shed preference.
     fn default() -> Self {
         Self {
             enabled: false,
@@ -137,6 +149,7 @@ impl Default for OverloadConfig {
             shed_enter: 1.0,
             shed_exit: 0.5,
             entropy_scale_per_notch: 2.0,
+            shed_loose_budget_ratio: f64::INFINITY,
         }
     }
 }
@@ -190,6 +203,11 @@ impl OverloadConfig {
             self.entropy_scale_per_notch.is_finite() && self.entropy_scale_per_notch >= 1.0,
             "entropy_scale_per_notch must be ≥ 1 (degradation only raises the threshold), got {}",
             self.entropy_scale_per_notch
+        );
+        assert!(
+            self.shed_loose_budget_ratio > 0.0,
+            "shed_loose_budget_ratio must be positive (INFINITY disables the preference), got {}",
+            self.shed_loose_budget_ratio
         );
     }
 
@@ -469,6 +487,44 @@ mod tests {
         OverloadConfig {
             enabled: true,
             entropy_scale_per_notch: 0.5,
+            ..OverloadConfig::default()
+        }
+        .validate();
+    }
+
+    #[test]
+    fn loose_shed_preference_defaults_off_and_validates_when_finite() {
+        // The default (INFINITY) disables the preference and passes
+        // validation; any positive finite ratio is accepted.
+        assert_eq!(
+            OverloadConfig::default().shed_loose_budget_ratio,
+            f64::INFINITY
+        );
+        OverloadConfig {
+            enabled: true,
+            shed_loose_budget_ratio: 4.0,
+            ..OverloadConfig::default()
+        }
+        .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "shed_loose_budget_ratio")]
+    fn validate_rejects_non_positive_loose_ratio() {
+        OverloadConfig {
+            enabled: true,
+            shed_loose_budget_ratio: 0.0,
+            ..OverloadConfig::default()
+        }
+        .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "shed_loose_budget_ratio")]
+    fn validate_rejects_nan_loose_ratio() {
+        OverloadConfig {
+            enabled: true,
+            shed_loose_budget_ratio: f64::NAN,
             ..OverloadConfig::default()
         }
         .validate();

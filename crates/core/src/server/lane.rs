@@ -123,6 +123,14 @@ pub(super) struct LaneQueue {
     pub rejected: u64,
     /// Requests shed by the overload ladder at admission.
     pub shed: u64,
+    /// Foreign shards currently attached to this lane's pool (elastic
+    /// autoscaling): they drain the lane alongside its own shards, so
+    /// the pressure signal and admission drain estimates count them.
+    /// Always 0 with elasticity disabled.
+    pub extra_shards: usize,
+    /// Times the lane's effective pool was resized (one per attach and
+    /// one per detach). Always 0 with elasticity disabled.
+    pub pool_resizes: u64,
     /// The lane's overload ladder (inert when disabled), advanced under
     /// this lock at admission and pop time.
     pub controller: OverloadController,
@@ -148,6 +156,19 @@ pub(super) struct ServedTally {
     /// Requests served with an overload-ladder degradation applied
     /// (tier drop and/or scaled exit threshold).
     pub degraded: u64,
+    /// Sum of the modeled compute latencies of degraded serves,
+    /// seconds — the shed feasibility test divides it by `degraded`
+    /// for the *observed* degraded service estimate, so the ladder
+    /// sheds less once degradation has bought real throughput.
+    pub degraded_modeled_total_s: f64,
+    /// Parked sessions this lane's shards stole *from other lanes*
+    /// (counted on the thief's home lane). Always 0 with elasticity
+    /// disabled.
+    pub stolen: u64,
+    /// Parked sessions of *this* lane resumed by a foreign shard
+    /// (counted on the origin lane; server-wide, migrated == stolen).
+    /// Always 0 with elasticity disabled.
+    pub migrated: u64,
 }
 
 /// One task's bounded admission lane.
@@ -205,6 +226,8 @@ impl Lane {
                 submitted: 0,
                 rejected: 0,
                 shed: 0,
+                extra_shards: 0,
+                pool_resizes: 0,
                 controller: OverloadController::new(overload),
             }),
             available: Condvar::new(),
@@ -212,14 +235,66 @@ impl Lane {
         }
     }
 
+    /// The lane's current pressure signal: backlog drain time over the
+    /// deadline horizon, with foreign shards attached by elastic
+    /// autoscaling counted in the drain parallelism.
+    pub(super) fn pressure_of(&self, queue: &LaneQueue) -> f64 {
+        pressure(
+            queue.jobs.len() + queue.parked.len(),
+            self.shards + queue.extra_shards,
+            self.nominal_service_s,
+            self.horizon_s,
+        )
+    }
+
     /// Feeds the lane's current backlog (queued + parked work) through
     /// the overload controller and returns the resulting ladder rung.
     /// Called under the queue lock at admission and pop time; a no-op
     /// returning [`LadderStep::Nominal`] when the ladder is disabled.
     pub(super) fn observe(&self, queue: &mut LaneQueue) -> LadderStep {
-        let backlog = queue.jobs.len() + queue.parked.len();
-        let p = pressure(backlog, self.shards, self.nominal_service_s, self.horizon_s);
+        let p = self.pressure_of(queue);
         queue.controller.observe(p)
+    }
+
+    /// The per-job service estimate the shed feasibility test divides
+    /// the backlog over: the mean *observed* modeled latency of
+    /// degraded serves when the ladder has degraded anything, clamped
+    /// from above by the nominal estimate (degradation only ever buys
+    /// throughput — a noisy early sample must not make the ladder shed
+    /// *more* than the class-agnostic PR 6 rule did). Falls back to
+    /// the pessimistic nominal estimate before the first degraded
+    /// serve completes.
+    pub(super) fn shed_service_estimate_s(&self) -> f64 {
+        let tally = self.tally.lock().expect("tally mutex");
+        if tally.degraded == 0 {
+            return self.nominal_service_s;
+        }
+        let mean = tally.degraded_modeled_total_s / tally.degraded as f64;
+        if mean.is_finite() && mean > 0.0 {
+            mean.min(self.nominal_service_s)
+        } else {
+            self.nominal_service_s
+        }
+    }
+
+    /// Wraps freshly popped work with the pop-time queue signals (the
+    /// tightest surviving deadline and the ladder rung). Must run under
+    /// the same lock that popped the work.
+    fn finish_pop(&self, queue: &mut LaneQueue, work: Work) -> Popped {
+        let successor_deadline_s = queue
+            .jobs
+            .iter()
+            .map(|j| j.deadline_s)
+            .chain(queue.parked.iter().map(|p| p.ctx.deadline_s))
+            .fold(None, |acc: Option<f64>, d| {
+                Some(acc.map_or(d, |a: f64| a.min(d)))
+            });
+        let ladder_step = self.observe(queue);
+        Popped {
+            work,
+            successor_deadline_s,
+            ladder_step,
+        }
     }
 
     /// Blocks until a unit of work is available — a fresh job or a
@@ -230,26 +305,55 @@ impl Lane {
         let mut queue = self.queue.lock().expect("lane mutex");
         loop {
             if let Some(work) = Self::pop_work(&mut queue, self.policy) {
-                let successor_deadline_s = queue
-                    .jobs
-                    .iter()
-                    .map(|j| j.deadline_s)
-                    .chain(queue.parked.iter().map(|p| p.ctx.deadline_s))
-                    .fold(None, |acc: Option<f64>, d| {
-                        Some(acc.map_or(d, |a: f64| a.min(d)))
-                    });
-                let ladder_step = self.observe(&mut queue);
-                return Some(Popped {
-                    work,
-                    successor_deadline_s,
-                    ladder_step,
-                });
+                return Some(self.finish_pop(&mut queue, work));
             }
             if queue.shutting_down {
                 return None;
             }
             queue = self.available.wait(queue).expect("lane mutex");
         }
+    }
+
+    /// Non-blocking [`next_work`](Self::next_work): the next unit of
+    /// work if one is queued or parked right now, else `None`. The
+    /// elastic worker loop polls its home lane through this before
+    /// looking across the pool.
+    pub(super) fn try_next_work(&self) -> Option<Popped> {
+        let mut queue = self.queue.lock().expect("lane mutex");
+        let work = Self::pop_work(&mut queue, self.policy)?;
+        Some(self.finish_pop(&mut queue, work))
+    }
+
+    /// Pops this lane's next unit of work *for a foreign shard* that
+    /// has just attached (elastic grow): policy-ordered like
+    /// [`next_work`](Self::next_work), under the caller's lock.
+    pub(super) fn take_work(&self, queue: &mut LaneQueue) -> Option<Work> {
+        Self::pop_work(queue, self.policy)
+    }
+
+    /// Finalizes a foreign pop: wraps `work` with the pop-time queue
+    /// signals, under the caller's lock (see
+    /// [`finish_pop`](Self::finish_pop)).
+    pub(super) fn finish_foreign_pop(&self, queue: &mut LaneQueue, work: Work) -> Popped {
+        self.finish_pop(queue, work)
+    }
+
+    /// Marks one foreign shard attached to this lane's pool (elastic
+    /// grow): the pressure signal and the admission drain estimates
+    /// count it until [`detach`](Self::detach). Under the caller's
+    /// queue lock, so the grow decision and the pop it pays for are
+    /// atomic.
+    pub(super) fn attach(&self, queue: &mut LaneQueue) {
+        queue.extra_shards += 1;
+        queue.pool_resizes += 1;
+    }
+
+    /// Reverses [`attach`](Self::attach) once the foreign shard stops
+    /// draining this lane (elastic shrink).
+    pub(super) fn detach(&self) {
+        let mut queue = self.queue.lock().expect("lane mutex");
+        queue.extra_shards = queue.extra_shards.saturating_sub(1);
+        queue.pool_resizes += 1;
     }
 
     /// The tightest absolute deadline currently queued (fresh jobs
@@ -311,20 +415,7 @@ impl Lane {
             parked_at: Instant::now(),
         });
         queue.parked_high_water = queue.parked_high_water.max(queue.parked.len());
-        let successor_deadline_s = queue
-            .jobs
-            .iter()
-            .map(|j| j.deadline_s)
-            .chain(queue.parked.iter().map(|p| p.ctx.deadline_s))
-            .fold(None, |acc: Option<f64>, d| {
-                Some(acc.map_or(d, |a: f64| a.min(d)))
-            });
-        let ladder_step = self.observe(&mut queue);
-        Ok(Popped {
-            work: Work::Fresh(job),
-            successor_deadline_s,
-            ladder_step,
-        })
+        Ok(self.finish_pop(&mut queue, Work::Fresh(job)))
     }
 
     /// Picks the next unit of work across jobs and parked sessions in
@@ -441,6 +532,41 @@ mod tests {
     fn fifo_pops_admission_order_regardless_of_deadlines() {
         let (lane, _rx) = lane_with(SchedulePolicy::Fifo, &[0.5, 0.1, 0.3, 0.1, 0.05]);
         assert_eq!(pop_order(&lane), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn shed_estimate_uses_observed_degraded_mean_clamped_to_nominal() {
+        let (lane, _rx) = lane_with(SchedulePolicy::EarliestDeadline, &[]);
+        // No degraded serves yet: the pessimistic nominal estimate.
+        assert_eq!(lane.shed_service_estimate_s(), 10e-3);
+        {
+            let mut tally = lane.tally.lock().expect("tally mutex");
+            tally.degraded = 4;
+            tally.degraded_modeled_total_s = 8e-3; // 2 ms mean
+        }
+        assert_eq!(lane.shed_service_estimate_s(), 2e-3);
+        {
+            // A noisy mean above nominal must not make the ladder shed
+            // more than the class-agnostic rule would.
+            let mut tally = lane.tally.lock().expect("tally mutex");
+            tally.degraded_modeled_total_s = 200e-3; // 50 ms mean
+        }
+        assert_eq!(lane.shed_service_estimate_s(), 10e-3);
+    }
+
+    #[test]
+    fn attach_detach_track_extra_shards_and_resizes() {
+        let (lane, _rx) = lane_with(SchedulePolicy::EarliestDeadline, &[]);
+        {
+            let mut queue = lane.queue.lock().expect("lane mutex");
+            lane.attach(&mut queue);
+            assert_eq!(queue.extra_shards, 1);
+            assert_eq!(queue.pool_resizes, 1);
+        }
+        lane.detach();
+        let queue = lane.queue.lock().expect("lane mutex");
+        assert_eq!(queue.extra_shards, 0);
+        assert_eq!(queue.pool_resizes, 2);
     }
 
     #[test]

@@ -76,6 +76,21 @@
 //! of letting them queue and die. Disabled by default, and inert for
 //! requests that never opt into degradation.
 //!
+//! **Elastic serving** ([`ServerConfig::elastic`]) dissolves the
+//! static lane↔shard binding when load is skewed: every worker keeps a
+//! *home* lane it drains first, but an idle shard may **steal** the
+//! EDF-tightest parked session from any other lane (sessions are
+//! checkpointable — see [`SessionCheckpoint`](crate::session::SessionCheckpoint)
+//! — so any engine shard of the right depth can resume one), or
+//! **attach** to the most pressured foreign lane and drain it as an
+//! extra shard until its work is done. Attached shards count in the
+//! pressure signal and the admission drain estimates, so the overload
+//! ladder sees the grown pool and sheds less. Under a flash crowd on
+//! one task, the idle tasks' shards absorb the spike instead of
+//! spinning idle next to a melting lane. Off by default — a disabled
+//! elastic config keeps every shard pinned to its home lane and the
+//! server bit-identical to a static pool.
+//!
 //! Everything else is the operational contract a front-end owes its
 //! callers: bounded lanes with typed backpressure
 //! ([`SubmitError::QueueFull`]), typed routing failures
@@ -127,6 +142,53 @@ impl PreemptionPolicy {
         match self {
             PreemptionPolicy::Off => false,
             PreemptionPolicy::DeadlineGap(gap) => running_deadline_s - queued_deadline_s > gap,
+        }
+    }
+}
+
+/// Elastic pool behavior ([`ServerConfig::elastic`]): whether and how
+/// idle shards roam across lanes (see the module docs).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ElasticConfig {
+    /// Master switch. Off (the default), every shard drains only its
+    /// home lane and the server is bit-identical to a static pool —
+    /// zero stolen/migrated/resize counters, byte-identical responses.
+    /// On, [`ServerConfig::pressure_stretch`] is forced off: pop-time
+    /// stretch capping assumes the popping worker *is* the lane, and a
+    /// pool that grows and steals breaks that premise.
+    pub enabled: bool,
+    /// An idle shard resumes the EDF-tightest parked session from any
+    /// foreign lane (work stealing). The resume charges parked wall
+    /// time against the sentence's slack exactly as a home resume
+    /// does.
+    pub work_stealing: bool,
+    /// An idle shard attaches to the most pressured foreign lane and
+    /// drains it as an extra shard (autoscaling), detaching when the
+    /// work it took is done.
+    pub autoscale: bool,
+    /// Minimum foreign-lane pressure (see
+    /// [`pressure`](crate::overload::pressure)) before an idle shard
+    /// attaches. Below it, a lane is considered healthy enough to
+    /// drain itself. Must be finite and non-negative.
+    pub grow_pressure: f64,
+    /// How long an idle elastic shard sleeps between cross-pool scans,
+    /// seconds. The home lane's condvar still wakes it immediately for
+    /// home work; the poll bounds how stale its view of *foreign*
+    /// lanes can get. Must be finite and positive.
+    pub idle_poll_s: f64,
+}
+
+impl Default for ElasticConfig {
+    /// Disabled; when enabled, stealing and autoscaling both on, a 0.5
+    /// grow-pressure threshold (half the lane's deadline horizon
+    /// committed), and a 500 µs idle poll.
+    fn default() -> Self {
+        Self {
+            enabled: false,
+            work_stealing: true,
+            autoscale: true,
+            grow_pressure: 0.5,
+            idle_poll_s: 500e-6,
         }
     }
 }
@@ -185,12 +247,17 @@ pub struct ServerConfig {
     /// Disabled by default — every lane then behaves bit-identically
     /// to a pre-overload server.
     pub overload: OverloadConfig,
+    /// Elastic pool behavior: work stealing of parked sessions across
+    /// lanes and pressure-driven autoscaling of per-task shard pools.
+    /// Disabled by default — shards then stay pinned to their home
+    /// lane and the server is bit-identical to a static pool.
+    pub elastic: ElasticConfig,
 }
 
 impl Default for ServerConfig {
     /// One shard per task, 1024-deep lanes, EDF, queue-aware slack on
     /// with a 1 ms noise floor, no service-time emulation, no
-    /// preemption, no pressure stretch.
+    /// preemption, no pressure stretch, no elasticity.
     fn default() -> Self {
         Self {
             shards_per_task: 1,
@@ -202,6 +269,7 @@ impl Default for ServerConfig {
             preemption: PreemptionPolicy::Off,
             pressure_stretch: false,
             overload: OverloadConfig::default(),
+            elastic: ElasticConfig::default(),
         }
     }
 }
@@ -296,7 +364,10 @@ impl std::error::Error for SubmitError {}
 pub struct ServerResponse {
     /// The task that served the request.
     pub task: Task,
-    /// Which shard of the task's pool ran it.
+    /// Which shard finished it — the index within the serving worker's
+    /// *home* pool. With elasticity disabled that is always a shard of
+    /// this task's own pool; an elastic server may finish the request
+    /// on a foreign task's shard (stealing/autoscaling).
     pub shard: usize,
     /// Admission sequence number in the task's lane.
     pub submission: u64,
@@ -421,6 +492,15 @@ struct LaneEntry {
     default_target_s: f64,
 }
 
+/// One lane plus the engine that serves it — the unit an elastic shard
+/// roams over. The registry (one entry per served task, shared by every
+/// worker) is what lets a shard materialize *any* lane's work, not just
+/// its home task's.
+struct PoolEntry {
+    lane: Arc<Lane>,
+    engine: EdgeBertEngine,
+}
+
 /// The channel-based async serving front-end (see the module docs).
 pub struct Server {
     cfg: ServerConfig,
@@ -453,33 +533,49 @@ impl Server {
         if cfg.overload.enabled {
             cfg.overload.validate();
         }
+        if cfg.elastic.enabled {
+            assert!(
+                cfg.elastic.grow_pressure.is_finite() && cfg.elastic.grow_pressure >= 0.0,
+                "elastic grow pressure must be finite and non-negative"
+            );
+            assert!(
+                cfg.elastic.idle_poll_s.is_finite() && cfg.elastic.idle_poll_s > 0.0,
+                "elastic idle poll must be finite and positive"
+            );
+        }
         let epoch = Instant::now();
         let mut lanes = Vec::new();
-        let mut workers = Vec::new();
+        let mut pool = Vec::new();
         for task in runtime.tasks() {
             let rt = runtime.runtime(task).expect("task listed as served");
+            let engine = rt.engine().clone();
             let lane = Arc::new(Lane::new(
                 task,
                 cfg.queue_capacity,
                 cfg.policy,
                 cfg.overload,
                 cfg.shards_per_task,
-                rt.engine().nominal_service_estimate_s(),
-                rt.engine().default_latency_target_s(),
+                engine.nominal_service_estimate_s(),
+                engine.default_latency_target_s(),
             ));
+            lanes.push(LaneEntry {
+                default_target_s: engine.default_latency_target_s(),
+                lane: Arc::clone(&lane),
+            });
+            pool.push(PoolEntry { lane, engine });
+        }
+        let registry = Arc::new(pool);
+        let mut workers = Vec::new();
+        for (home, entry) in registry.iter().enumerate() {
+            let task = entry.lane.task;
             for shard in 0..cfg.shards_per_task {
-                let lane = Arc::clone(&lane);
-                let engine = rt.engine().clone();
+                let registry = Arc::clone(&registry);
                 let handle = std::thread::Builder::new()
                     .name(format!("edgebert-{task}-{shard}"))
-                    .spawn(move || shard_loop(lane, engine, shard, cfg, epoch))
+                    .spawn(move || shard_loop(registry, home, shard, cfg, epoch))
                     .expect("spawn shard worker");
                 workers.push(handle);
             }
-            lanes.push(LaneEntry {
-                default_target_s: rt.engine().default_latency_target_s(),
-                lane,
-            });
         }
         Self {
             cfg,
@@ -541,7 +637,11 @@ impl Server {
             return Err(SubmitError::ShuttingDown);
         }
         let lane = &entry.lane;
-        let drain_slot_s = lane.nominal_service_s / lane.shards.max(1) as f64;
+        // Foreign shards attached by elastic autoscaling drain the
+        // lane too, so they count in the per-slot drain estimates
+        // (always `lane.shards` with elasticity disabled).
+        let effective_shards = (lane.shards + queue.extra_shards).max(1) as f64;
+        let drain_slot_s = lane.nominal_service_s / effective_shards;
         if queue.jobs.len() >= lane.capacity {
             queue.rejected += 1;
             return Err(SubmitError::QueueFull {
@@ -574,23 +674,41 @@ impl Server {
                     // FIFO: everything already queued runs first.
                     SchedulePolicy::Fifo => queue.jobs.len() + queue.parked.len(),
                 };
-                let backlog_s = (ahead + 1) as f64 * drain_slot_s;
+                // The feasibility test divides the backlog over the
+                // *observed* degraded service time once the ladder's
+                // Degrade rung has bought real throughput (clamped by
+                // the nominal estimate, so it only ever sheds less).
+                let shed_slot_s = lane.shed_service_estimate_s() / effective_shards;
+                let backlog_s = (ahead + 1) as f64 * shed_slot_s;
+                // Per-class preference: on the shed rung, arrivals
+                // with a loose remaining budget (≥ ratio × the lane's
+                // deadline horizon) are shed first, regardless of
+                // feasibility — they tolerate a retry far better than
+                // tight-class work tolerates the queueing they cause.
+                // INFINITY (the default) disables the preference; the
+                // finite guard keeps infinite-budget requests from
+                // matching an infinite cut.
+                let loose_cut_s = self.cfg.overload.shed_loose_budget_ratio * lane.horizon_s;
+                let loose = loose_cut_s.is_finite() && key_s >= loose_cut_s;
                 // Negated so an infinite budget always admits and a
                 // NaN budget (sanitized upstream, but cheap to be
                 // safe) sheds rather than queues-and-dies.
                 #[allow(clippy::neg_cmp_op_on_partial_ord)]
-                if !(key_s >= backlog_s) {
+                let infeasible = !(key_s >= backlog_s);
+                if loose || infeasible {
                     queue.shed += 1;
-                    let p = crate::overload::pressure(
-                        queue.jobs.len() + queue.parked.len(),
-                        lane.shards,
-                        lane.nominal_service_s,
-                        lane.horizon_s,
-                    );
+                    let p = lane.pressure_of(&queue);
+                    let retry_after_hint_s = if infeasible {
+                        (backlog_s - key_s).max(shed_slot_s)
+                    } else {
+                        // Feasible but loose: a slot should free once
+                        // the backlog ahead drains.
+                        backlog_s.max(shed_slot_s)
+                    };
                     return Err(SubmitError::Shed {
                         task,
                         pressure: p,
-                        retry_after_hint_s: (backlog_s - key_s).max(drain_slot_s),
+                        retry_after_hint_s,
                     });
                 }
             }
@@ -636,6 +754,9 @@ impl Server {
                     violations: tally.violations,
                     preempted: tally.preempted,
                     resumed: tally.resumed,
+                    stolen: tally.stolen,
+                    migrated: tally.migrated,
+                    pool_resizes: queue.pool_resizes,
                     queued: queue.jobs.len(),
                     parked: queue.parked.len(),
                     queue_high_water: queue.high_water,
@@ -677,21 +798,29 @@ impl Drop for Server {
     }
 }
 
-/// One shard worker: pick the next unit of work (fresh admission or
-/// parked session) in policy order, step it layer by layer — measuring
-/// the wait, stamping the slack and any queue-pressure stretch cap at
-/// first dispatch, (optionally) holding the lane for each step's
-/// modeled latency — and between steps poll the lane for a strictly
-/// tighter arrival, atomically trading the running session for the
-/// tight job at the layer boundary when the preemption policy says to
-/// yield.
+/// One shard worker's entry point: the static loop with elasticity
+/// disabled (the default — the shard drains only its home lane,
+/// bit-identical to the pre-elastic server), the roaming elastic loop
+/// otherwise.
 fn shard_loop(
-    lane: Arc<Lane>,
-    engine: EdgeBertEngine,
+    registry: Arc<Vec<PoolEntry>>,
+    home: usize,
     shard: usize,
     cfg: ServerConfig,
     epoch: Instant,
 ) {
+    if cfg.elastic.enabled {
+        elastic_shard_loop(&registry, home, shard, cfg, epoch);
+    } else {
+        static_shard_loop(&registry[home], shard, cfg, epoch);
+    }
+}
+
+/// The pinned worker loop: pick the home lane's next unit of work
+/// (fresh admission or parked session) in policy order, materialize it
+/// into a running session, and drive it until it completes or yields
+/// the lane.
+fn static_shard_loop(entry: &PoolEntry, shard: usize, cfg: ServerConfig, epoch: Instant) {
     // The cap a popped job's stretch window is clamped under when
     // tighter work waits behind it: the successor must still fit a
     // nominal-speed sentence inside its own deadline. Pop-time capping
@@ -699,101 +828,275 @@ fn shard_loop(
     // shards the queued successor typically dispatches concurrently on
     // another one, and capping would spend energy with no tail win.
     let pressure_stretch = cfg.pressure_stretch && cfg.shards_per_task == 1;
-    let nominal_service_s = engine.nominal_service_estimate_s();
     // A preemption exchange hands this shard the claimed tight job
     // directly, bypassing the queue.
     let mut claimed: Option<Popped> = None;
     loop {
         let popped = match claimed.take() {
             Some(popped) => popped,
-            None => match lane.next_work() {
+            None => match entry.lane.next_work() {
                 Some(popped) => popped,
                 None => return,
             },
         };
-        let (session, ctx) = match popped.work {
-            Work::Fresh(job) => {
-                let queue_delay_s = job.enqueued_at.elapsed().as_secs_f64();
-                // Any pre-stamp from the submitter (an upstream hop's
-                // measured wait) counts toward the total elapsed queue
-                // time.
-                let pre_stamp_s = job.request.effective_elapsed_queue_s();
-                let elapsed_s = pre_stamp_s + queue_delay_s;
-                // Elapsed queue time the engine's DVFS budget is
-                // charged with. The engine always honors the stamp a
-                // request carries — "slack-blind" means the *server*
-                // adds none of its own measured wait on top, not that
-                // a submitter's stamp is erased. The noise floor gates
-                // the *measured* wait alone: a request pre-stamped
-                // above the floor must not have sub-floor wake-up
-                // jitter folded into its budget either.
-                let budgeted_s = if cfg.queue_aware_slack && queue_delay_s >= cfg.slack_floor_s {
-                    elapsed_s
-                } else {
-                    pre_stamp_s
-                };
-                let mut request = job.request;
-                if budgeted_s > pre_stamp_s {
-                    // Server-side deduction; otherwise the request is
-                    // served exactly as submitted, bit-identical to
-                    // `TaskRuntime::serve`.
-                    request = request.with_elapsed_queue_s(budgeted_s);
+        let (session, ctx) = materialize(entry, popped, &cfg, epoch, pressure_stretch);
+        claimed = drive(&entry.lane, session, ctx, shard, cfg);
+    }
+}
+
+/// The roaming worker loop: drain the home lane first, then steal the
+/// EDF-tightest parked session from any foreign lane, then attach to
+/// the most pressured foreign lane as an extra shard. Foreign work is
+/// served through the foreign lane's own engine and accounted on the
+/// foreign lane's tallies (plus the stolen/migrated counters); the
+/// shard detaches once the foreign work is done.
+fn elastic_shard_loop(
+    registry: &[PoolEntry],
+    home: usize,
+    shard: usize,
+    cfg: ServerConfig,
+    epoch: Instant,
+) {
+    let idle_poll = Duration::from_secs_f64(cfg.elastic.idle_poll_s);
+    // A preemption exchange hands this shard the claimed tight job of
+    // the lane it is currently serving, bypassing that lane's queue.
+    let mut claimed: Option<(usize, Popped)> = None;
+    loop {
+        let (idx, popped) = match claimed.take() {
+            Some(next) => next,
+            None => match next_elastic_work(registry, home, &cfg.elastic, idle_poll) {
+                Some(next) => next,
+                None => return,
+            },
+        };
+        let entry = &registry[idx];
+        if idx != home && matches!(popped.work, Work::Resume(_)) {
+            // A parked session crossing lanes: migrated on its origin
+            // lane, stolen on the thief's home lane (server-wide the
+            // two counters agree). One tally lock at a time.
+            entry.lane.tally.lock().expect("tally mutex").migrated += 1;
+            registry[home]
+                .lane
+                .tally
+                .lock()
+                .expect("tally mutex")
+                .stolen += 1;
+        }
+        // Pressure stretch is forced off under elasticity: pop-time
+        // capping assumes the popping worker is the lane's only drain,
+        // and a pool that grows and steals breaks that premise.
+        let (session, ctx) = materialize(entry, popped, &cfg, epoch, false);
+        match drive(&entry.lane, session, ctx, shard, cfg) {
+            Some(next) => claimed = Some((idx, next)),
+            None => {
+                if idx != home {
+                    entry.lane.detach();
                 }
-                if pressure_stretch {
-                    if let Some(successor_deadline_s) = popped.successor_deadline_s {
-                        let now_s = epoch.elapsed().as_secs_f64();
-                        let cap_s = successor_deadline_s - now_s - nominal_service_s;
-                        if cap_s.is_finite() {
-                            request = request.with_stretch_cap_s(cap_s.max(0.0));
-                        }
+            }
+        }
+    }
+}
+
+/// Picks the next unit of work for an elastic shard, blocking until
+/// one exists or the home lane shuts down empty (`None`). Home work
+/// wins outright (a shard never starves its own task); foreign lanes
+/// are consulted only when the home lane is idle, and any foreign pop
+/// attaches the shard to that lane first so the pressure signal and
+/// admission estimates see the grown pool.
+fn next_elastic_work(
+    registry: &[PoolEntry],
+    home: usize,
+    el: &ElasticConfig,
+    idle_poll: Duration,
+) -> Option<(usize, Popped)> {
+    loop {
+        if let Some(popped) = registry[home].lane.try_next_work() {
+            return Some((home, popped));
+        }
+        if el.work_stealing {
+            if let Some(found) = steal_tightest_parked(registry, home) {
+                return Some(found);
+            }
+        }
+        if el.autoscale {
+            if let Some(found) = attach_to_pressured_lane(registry, home, el.grow_pressure) {
+                return Some(found);
+            }
+        }
+        // Nothing anywhere: wait on the home condvar with a timeout —
+        // home admissions wake the shard immediately, and the timed
+        // poll bounds how long freshly pressured *foreign* lanes (which
+        // signal their own condvars, not this one) can go unnoticed.
+        let queue = registry[home].lane.queue.lock().expect("lane mutex");
+        if queue.shutting_down && queue.jobs.is_empty() && queue.parked.is_empty() {
+            // Foreign lanes still draining are their own shards'
+            // responsibility; exiting here is what lets shutdown join
+            // every worker.
+            return None;
+        }
+        let _ = registry[home]
+            .lane
+            .available
+            .wait_timeout(queue, idle_poll)
+            .expect("lane mutex");
+    }
+}
+
+/// Finds and claims the EDF-tightest parked session across all foreign
+/// lanes. Scans one queue lock at a time (two lane locks are never
+/// held together), then re-locks the winner to steal — tolerating the
+/// race where another shard got there first (`None`; the caller's loop
+/// rescans).
+fn steal_tightest_parked(registry: &[PoolEntry], home: usize) -> Option<(usize, Popped)> {
+    let mut best: Option<(usize, (f64, u64))> = None;
+    for (idx, entry) in registry.iter().enumerate() {
+        if idx == home {
+            continue;
+        }
+        let queue = entry.lane.queue.lock().expect("lane mutex");
+        for parked in &queue.parked {
+            let key = (parked.ctx.deadline_s, parked.ctx.seq);
+            if best.is_none_or(|(_, bk)| key < bk) {
+                best = Some((idx, key));
+            }
+        }
+    }
+    let (idx, (_, seq)) = best?;
+    let entry = &registry[idx];
+    let mut queue = entry.lane.queue.lock().expect("lane mutex");
+    let at = queue.parked.iter().position(|p| p.ctx.seq == seq)?;
+    let parked = queue.parked.remove(at);
+    entry.lane.attach(&mut queue);
+    let popped = entry
+        .lane
+        .finish_foreign_pop(&mut queue, Work::Resume(Box::new(parked)));
+    Some((idx, popped))
+}
+
+/// Finds the most pressured foreign lane with work waiting whose
+/// pressure clears the grow threshold, attaches to it, and pops its
+/// next unit of work (fresh or parked, in the lane's own policy
+/// order). Same two-pass, one-lock-at-a-time discipline as stealing.
+fn attach_to_pressured_lane(
+    registry: &[PoolEntry],
+    home: usize,
+    grow_pressure: f64,
+) -> Option<(usize, Popped)> {
+    let mut best: Option<(usize, f64)> = None;
+    for (idx, entry) in registry.iter().enumerate() {
+        if idx == home {
+            continue;
+        }
+        let queue = entry.lane.queue.lock().expect("lane mutex");
+        if queue.jobs.is_empty() && queue.parked.is_empty() {
+            continue;
+        }
+        let p = entry.lane.pressure_of(&queue);
+        if p >= grow_pressure && best.is_none_or(|(_, bp)| p > bp) {
+            best = Some((idx, p));
+        }
+    }
+    let (idx, _) = best?;
+    let entry = &registry[idx];
+    let mut queue = entry.lane.queue.lock().expect("lane mutex");
+    let work = entry.lane.take_work(&mut queue)?;
+    entry.lane.attach(&mut queue);
+    let popped = entry.lane.finish_foreign_pop(&mut queue, work);
+    Some((idx, popped))
+}
+
+/// Turns a popped unit of work into a running session plus its serving
+/// context: a fresh admission measures its wait and stamps slack (and
+/// any queue-pressure stretch cap) before the engine opens the
+/// session; a parked session resumes, charging its parked wall time.
+fn materialize(
+    entry: &PoolEntry,
+    popped: Popped,
+    cfg: &ServerConfig,
+    epoch: Instant,
+    pressure_stretch: bool,
+) -> (InferenceSession, JobContext) {
+    match popped.work {
+        Work::Fresh(job) => {
+            let queue_delay_s = job.enqueued_at.elapsed().as_secs_f64();
+            // Any pre-stamp from the submitter (an upstream hop's
+            // measured wait) counts toward the total elapsed queue
+            // time.
+            let pre_stamp_s = job.request.effective_elapsed_queue_s();
+            let elapsed_s = pre_stamp_s + queue_delay_s;
+            // Elapsed queue time the engine's DVFS budget is
+            // charged with. The engine always honors the stamp a
+            // request carries — "slack-blind" means the *server*
+            // adds none of its own measured wait on top, not that
+            // a submitter's stamp is erased. The noise floor gates
+            // the *measured* wait alone: a request pre-stamped
+            // above the floor must not have sub-floor wake-up
+            // jitter folded into its budget either.
+            let budgeted_s = if cfg.queue_aware_slack && queue_delay_s >= cfg.slack_floor_s {
+                elapsed_s
+            } else {
+                pre_stamp_s
+            };
+            let mut request = job.request;
+            if budgeted_s > pre_stamp_s {
+                // Server-side deduction; otherwise the request is
+                // served exactly as submitted, bit-identical to
+                // `TaskRuntime::serve`.
+                request = request.with_elapsed_queue_s(budgeted_s);
+            }
+            if pressure_stretch {
+                if let Some(successor_deadline_s) = popped.successor_deadline_s {
+                    let now_s = epoch.elapsed().as_secs_f64();
+                    let cap_s = successor_deadline_s - now_s - entry.lane.nominal_service_s;
+                    if cap_s.is_finite() {
+                        request = request.with_stretch_cap_s(cap_s.max(0.0));
                     }
                 }
-                // The verdict charges exactly the elapsed time the
-                // server accounted for. In queue-aware mode a
-                // sub-floor wait was declared measurement noise and
-                // not deducted from the DVFS budget, so it must not
-                // flip the verdict either — otherwise an *idle* server
-                // would mark every sentence whose compute stretches
-                // exactly onto its target as missed, on microseconds
-                // of wake-up jitter. The slack-blind baseline charges
-                // the full measured wait: not accounting for queueing
-                // is precisely the failure it exists to demonstrate.
-                let charged_elapsed_s = if cfg.queue_aware_slack {
-                    budgeted_s
-                } else {
-                    elapsed_s
-                };
-                // The overload ladder's rung at pop time sizes this
-                // sentence's degradation, clamped to the request's own
-                // floor. NONE (disabled ladder, nominal rung, or a
-                // zero floor) takes the exact `begin` path.
-                let degradation = cfg
-                    .overload
-                    .degradation_for(popped.ladder_step, request.max_degradation);
-                (
-                    engine.begin_degraded(&request, degradation),
-                    JobContext {
-                        seq: job.seq,
-                        deadline_s: job.deadline_s,
-                        reply: job.reply,
-                        queue_delay_s,
-                        slack_deducted_s: budgeted_s,
-                        elapsed_s,
-                        charged_elapsed_s,
-                    },
-                )
             }
-            Work::Resume(parked) => {
-                let parked = *parked;
-                let mut session = parked.session;
-                // The parked wall time burned real slack: the next
-                // DVFS decision sees it, and so does the verdict.
-                session.resume(parked.parked_at.elapsed().as_secs_f64());
-                lane.tally.lock().expect("tally mutex").resumed += 1;
-                (session, parked.ctx)
-            }
-        };
-        claimed = drive(&lane, session, ctx, shard, cfg);
+            // The verdict charges exactly the elapsed time the
+            // server accounted for. In queue-aware mode a
+            // sub-floor wait was declared measurement noise and
+            // not deducted from the DVFS budget, so it must not
+            // flip the verdict either — otherwise an *idle* server
+            // would mark every sentence whose compute stretches
+            // exactly onto its target as missed, on microseconds
+            // of wake-up jitter. The slack-blind baseline charges
+            // the full measured wait: not accounting for queueing
+            // is precisely the failure it exists to demonstrate.
+            let charged_elapsed_s = if cfg.queue_aware_slack {
+                budgeted_s
+            } else {
+                elapsed_s
+            };
+            // The overload ladder's rung at pop time sizes this
+            // sentence's degradation, clamped to the request's own
+            // floor. NONE (disabled ladder, nominal rung, or a
+            // zero floor) takes the exact `begin` path.
+            let degradation = cfg
+                .overload
+                .degradation_for(popped.ladder_step, request.max_degradation);
+            (
+                entry.engine.begin_degraded(&request, degradation),
+                JobContext {
+                    seq: job.seq,
+                    deadline_s: job.deadline_s,
+                    reply: job.reply,
+                    queue_delay_s,
+                    slack_deducted_s: budgeted_s,
+                    elapsed_s,
+                    charged_elapsed_s,
+                },
+            )
+        }
+        Work::Resume(parked) => {
+            let parked = *parked;
+            let mut session = parked.session;
+            // The parked wall time burned real slack: the next
+            // DVFS decision sees it, and so does the verdict.
+            session.resume(parked.parked_at.elapsed().as_secs_f64());
+            entry.lane.tally.lock().expect("tally mutex").resumed += 1;
+            (session, parked.ctx)
+        }
     }
 }
 
@@ -890,6 +1193,10 @@ fn drive(
         tally.slack_deducted_total_s += ctx.slack_deducted_s;
         if degraded_notches > 0 {
             tally.degraded += 1;
+            // Feeds the lane's observed degraded service estimate,
+            // which the shed feasibility test prefers over the
+            // pessimistic nominal one.
+            tally.degraded_modeled_total_s += response.result.latency_s;
         }
     }
     // The client may have stopped waiting; a dead handle is not a

@@ -34,6 +34,17 @@ pub struct LaneStats {
     pub preempted: u64,
     /// Times a parked session was resumed.
     pub resumed: u64,
+    /// Parked sessions this lane's shards stole *from other lanes*
+    /// (elastic work stealing; 0 with elasticity disabled).
+    pub stolen: u64,
+    /// Parked sessions of *this* lane resumed by a foreign shard
+    /// (elastic work stealing; server-wide, migrated == stolen; 0 with
+    /// elasticity disabled).
+    pub migrated: u64,
+    /// Times this lane's effective shard pool was resized by elastic
+    /// autoscaling — one per foreign-shard attach and one per detach
+    /// (0 with elasticity disabled).
+    pub pool_resizes: u64,
     /// Requests admitted but not yet served.
     pub queued: usize,
     /// Sessions currently parked at a layer boundary.
@@ -106,6 +117,25 @@ impl ServerStats {
     /// Parked-session resumes across all lanes.
     pub fn resumed(&self) -> u64 {
         self.lanes.iter().map(|l| l.resumed).sum()
+    }
+
+    /// Parked sessions stolen across lanes (counted on the thieves'
+    /// home lanes); always equals [`migrated`](Self::migrated)
+    /// server-wide.
+    pub fn stolen(&self) -> u64 {
+        self.lanes.iter().map(|l| l.stolen).sum()
+    }
+
+    /// Parked sessions resumed by a foreign shard (counted on the
+    /// origin lanes); always equals [`stolen`](Self::stolen)
+    /// server-wide.
+    pub fn migrated(&self) -> u64 {
+        self.lanes.iter().map(|l| l.migrated).sum()
+    }
+
+    /// Elastic pool resizes (attaches + detaches) across all lanes.
+    pub fn pool_resizes(&self) -> u64 {
+        self.lanes.iter().map(|l| l.pool_resizes).sum()
     }
 
     /// The deepest any lane's parked-session pool has been.

@@ -50,6 +50,13 @@ use crate::engine::{
 use crate::overload::Degradation;
 use edgebert_model::ForwardSession;
 use edgebert_tensor::stats::argmax;
+use serde::Serialize;
+
+/// Version tag written into every serialized [`SessionCheckpoint`].
+/// Bumped when the envelope's field set or semantics change; a reader
+/// rejects versions it does not understand instead of resuming a
+/// session it would mis-account.
+pub const SESSION_CHECKPOINT_VERSION: u32 = 1;
 
 /// What one [`InferenceSession::step`] did.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -370,6 +377,87 @@ impl InferenceSession {
         self.state = SessionState::Running;
     }
 
+    /// Serializes a *parked* session into a [`SessionCheckpoint`] — the
+    /// versioned envelope that carries everything but the engine
+    /// handles, so the session can cross a process boundary and be
+    /// rebound with [`EdgeBertEngine::restore_session`]. Returns `None`
+    /// unless the session is parked: a running session has an open
+    /// hardware segment (park first, committing it), and a complete one
+    /// has nothing left to migrate.
+    pub fn checkpoint(&self) -> Option<SessionCheckpoint> {
+        if self.state != SessionState::Parked {
+            return None;
+        }
+        debug_assert!(self.segment.is_none(), "park committed the open segment");
+        Some(SessionCheckpoint {
+            version: SESSION_CHECKPOINT_VERSION,
+            mode: self.mode,
+            latency_target_s: self.latency_target_s,
+            drop: self.drop,
+            elapsed_queue_s: self.elapsed_queue_s,
+            stretch_cap_s: self.stretch_cap_s,
+            fwd: self.fwd.clone(),
+            num_layers: self.num_layers,
+            et: self.et,
+            layers_done: self.layers_done,
+            predicted: self.predicted,
+            committed_latency_s: self.committed_latency_s,
+            committed_energy_j: self.committed_energy_j,
+            point: self.point,
+            feasible: self.feasible,
+            parked_s: self.parked_s,
+            preemptions: self.preemptions,
+            degraded_notches: self.degraded_notches,
+        })
+    }
+
+    /// Rebinds a checkpoint to `engine`, reconstructing the parked
+    /// session ([`EdgeBertEngine::restore_session`] is the public entry
+    /// point). The restored session is [`SessionState::Parked`]: call
+    /// [`resume`](Self::resume) — charging the wall time the envelope
+    /// spent in transit — before stepping, exactly as for an in-process
+    /// parked session.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `engine`'s model depth differs from the
+    /// checkpointing engine's — the layer accounting would be
+    /// meaningless. (Equality of depth is a necessary sanity check, not
+    /// a full compatibility proof: bit-identical resumption requires
+    /// restoring onto an engine built from the same model, LUT, and
+    /// backend configuration.)
+    pub(crate) fn restore(engine: EdgeBertEngine, checkpoint: SessionCheckpoint) -> Self {
+        assert_eq!(
+            checkpoint.num_layers,
+            engine.model().num_layers(),
+            "checkpoint depth does not match the restoring engine's model"
+        );
+        Self {
+            engine,
+            mode: checkpoint.mode,
+            latency_target_s: checkpoint.latency_target_s,
+            drop: checkpoint.drop,
+            elapsed_queue_s: checkpoint.elapsed_queue_s,
+            stretch_cap_s: checkpoint.stretch_cap_s,
+            fwd: checkpoint.fwd,
+            num_layers: checkpoint.num_layers,
+            et: checkpoint.et,
+            state: SessionState::Parked,
+            layers_done: checkpoint.layers_done,
+            predicted: checkpoint.predicted,
+            committed_latency_s: checkpoint.committed_latency_s,
+            committed_energy_j: checkpoint.committed_energy_j,
+            segment: None,
+            point: checkpoint.point,
+            feasible: checkpoint.feasible,
+            parked_s: checkpoint.parked_s,
+            preemptions: checkpoint.preemptions,
+            degraded_notches: checkpoint.degraded_notches,
+            result: None,
+            terminal: StepOutcome::Done,
+        }
+    }
+
     /// The finished sentence result, once complete.
     pub fn result(&self) -> Option<&SentenceResult> {
         self.result.as_ref()
@@ -609,6 +697,136 @@ impl InferenceSession {
             freq_hz: nominal.freq_hz,
             deadline_met: true,
         }
+    }
+}
+
+/// A serialized parked session: everything an [`InferenceSession`]
+/// carries except its engine handles, under a version tag.
+///
+/// Produced by [`InferenceSession::checkpoint`] (parked sessions only —
+/// park commits the open hardware segment, so the envelope never has to
+/// describe a half-priced segment) and consumed by
+/// [`EdgeBertEngine::restore_session`]. The payload is the hidden-state
+/// checkpoint ([`ForwardSession`]), the entropy/exit bookkeeping
+/// (threshold, forecast layer, layers done), and the DVFS slack
+/// accounting (queueing stamp, stretch cap, committed latency/energy,
+/// operating point, parked time) — enough that
+/// `park → serialize → restore → resume` is bit-identical to
+/// `park → resume` on the same engine configuration: the serde tree
+/// round-trips every float exactly (f64 via exact formatting, f32
+/// losslessly through f64).
+///
+/// Deserialization is strict about the version — an envelope written by
+/// an incompatible build is rejected with a typed error rather than
+/// resumed with mis-accounted slack — and validates the layer
+/// bookkeeping against the embedded hidden state.
+#[derive(Debug, Clone, Serialize)]
+pub struct SessionCheckpoint {
+    /// Envelope version ([`SESSION_CHECKPOINT_VERSION`] when produced
+    /// by this build).
+    version: u32,
+    mode: InferenceMode,
+    latency_target_s: f64,
+    drop: DropTarget,
+    elapsed_queue_s: f64,
+    stretch_cap_s: Option<f64>,
+    fwd: ForwardSession,
+    num_layers: usize,
+    et: f32,
+    layers_done: usize,
+    predicted: Option<usize>,
+    committed_latency_s: f64,
+    committed_energy_j: f64,
+    point: OperatingPoint,
+    feasible: bool,
+    parked_s: f64,
+    preemptions: u32,
+    degraded_notches: u8,
+}
+
+impl SessionCheckpoint {
+    /// The envelope's version tag.
+    pub fn version(&self) -> u32 {
+        self.version
+    }
+
+    /// Layers the checkpointed session had completed.
+    pub fn layers_done(&self) -> usize {
+        self.layers_done
+    }
+
+    /// Model depth of the engine that produced the checkpoint (restore
+    /// asserts the restoring engine matches).
+    pub fn num_layers(&self) -> usize {
+        self.num_layers
+    }
+
+    /// Wall time the session had been charged as parked when it was
+    /// checkpointed, seconds.
+    pub fn parked_s(&self) -> f64 {
+        self.parked_s
+    }
+}
+
+// Hand-written (not derived): the version gate must run before any
+// field is interpreted, and the layer bookkeeping is validated against
+// the embedded hidden state so a tampered or truncated envelope fails
+// here, with a typed error, instead of panicking inside a worker.
+impl serde::Deserialize for SessionCheckpoint {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::Error> {
+        let version: u32 = serde::Deserialize::from_value(value.field("version")?)?;
+        if version != SESSION_CHECKPOINT_VERSION {
+            return Err(serde::Error::new(format!(
+                "unsupported session checkpoint version {version} \
+                 (this build reads version {SESSION_CHECKPOINT_VERSION})"
+            )));
+        }
+        let checkpoint = Self {
+            version,
+            mode: serde::Deserialize::from_value(value.field("mode")?)?,
+            latency_target_s: serde::Deserialize::from_value(value.field("latency_target_s")?)?,
+            drop: serde::Deserialize::from_value(value.field("drop")?)?,
+            elapsed_queue_s: serde::Deserialize::from_value(value.field("elapsed_queue_s")?)?,
+            stretch_cap_s: serde::Deserialize::from_value(value.field("stretch_cap_s")?)?,
+            fwd: serde::Deserialize::from_value(value.field("fwd")?)?,
+            num_layers: serde::Deserialize::from_value(value.field("num_layers")?)?,
+            et: serde::Deserialize::from_value(value.field("et")?)?,
+            layers_done: serde::Deserialize::from_value(value.field("layers_done")?)?,
+            predicted: serde::Deserialize::from_value(value.field("predicted")?)?,
+            committed_latency_s: serde::Deserialize::from_value(
+                value.field("committed_latency_s")?,
+            )?,
+            committed_energy_j: serde::Deserialize::from_value(value.field("committed_energy_j")?)?,
+            point: serde::Deserialize::from_value(value.field("point")?)?,
+            feasible: serde::Deserialize::from_value(value.field("feasible")?)?,
+            parked_s: serde::Deserialize::from_value(value.field("parked_s")?)?,
+            preemptions: serde::Deserialize::from_value(value.field("preemptions")?)?,
+            degraded_notches: serde::Deserialize::from_value(value.field("degraded_notches")?)?,
+        };
+        if checkpoint.layers_done != checkpoint.fwd.layers_done() {
+            return Err(serde::Error::new(format!(
+                "checkpoint layer bookkeeping ({}) disagrees with its hidden state ({})",
+                checkpoint.layers_done,
+                checkpoint.fwd.layers_done()
+            )));
+        }
+        if checkpoint.layers_done > checkpoint.num_layers {
+            return Err(serde::Error::new(format!(
+                "checkpoint claims {} of {} layers done",
+                checkpoint.layers_done, checkpoint.num_layers
+            )));
+        }
+        if !(checkpoint.elapsed_queue_s.is_finite() && checkpoint.elapsed_queue_s >= 0.0) {
+            return Err(serde::Error::new(
+                "checkpoint queueing stamp must be finite and non-negative",
+            ));
+        }
+        if !(checkpoint.parked_s.is_finite() && checkpoint.parked_s >= 0.0) {
+            return Err(serde::Error::new(
+                "checkpoint parked time must be finite and non-negative",
+            ));
+        }
+        Ok(checkpoint)
     }
 }
 

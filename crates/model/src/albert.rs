@@ -60,7 +60,11 @@ impl LayerwiseOutput {
 /// logits and entropies observed after layer *k* are bit-identical to
 /// `forward_layers`'s entries for that layer, no matter where the
 /// session was parked in between.
-#[derive(Debug, Clone)]
+///
+/// Sessions serialize (serde): the hidden state and off-ramp outputs
+/// round-trip exactly (f32 values pass through f64 losslessly), so a
+/// checkpoint can cross a process boundary and resume bit-identically.
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ForwardSession {
     /// The live (unnormalized) hidden state entering the next layer.
     hidden: Matrix,

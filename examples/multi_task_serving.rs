@@ -14,6 +14,7 @@
 
 use edgebert::engine::{DropTarget, InferenceRequest};
 use edgebert::pipeline::Scale;
+use edgebert::server::{ElasticConfig, Server, ServerConfig};
 use edgebert::serving::MultiTaskRuntime;
 use edgebert_tasks::{Task, TaskGenerator};
 
@@ -75,4 +76,48 @@ fn main() {
         Err(edgebert::serving::ServeError::TaskNotServed(Task::Sst2))
     );
     println!("\n(an empty runtime refuses requests rather than misrouting them)");
+
+    // The same four lanes, served elastically: a skewed burst lands
+    // entirely on SST-2 while the other three shards idle, and the
+    // pressure signal lets the idle shards attach to the hot lane as
+    // extra drains (ServerConfig::elastic; disabled by default).
+    println!("\nskewed burst on the SST-2 lane, elastic shard pools on...");
+    let server = Server::start(
+        &runtime,
+        ServerConfig {
+            emulate_service_time: true,
+            elastic: ElasticConfig {
+                enabled: true,
+                grow_pressure: 0.05,
+                ..ElasticConfig::default()
+            },
+            ..ServerConfig::default()
+        },
+    );
+    let sst2 = runtime.runtime(Task::Sst2).expect("task is served");
+    let gen = TaskGenerator::standard(Task::Sst2, sst2.model().config.max_seq_len);
+    let burst = gen.generate(32, 0xE1A5);
+    let handles: Vec<_> = burst
+        .iter()
+        .map(|ex| {
+            server
+                .submit(
+                    Task::Sst2,
+                    InferenceRequest::new(ex.tokens.clone()).with_latency_target(100e-3),
+                )
+                .expect("admitted")
+        })
+        .collect();
+    for h in handles {
+        h.wait().expect("workers outlive the burst");
+    }
+    let stats = server.shutdown();
+    let hot = stats.lane(Task::Sst2).expect("lane");
+    println!(
+        "served {} on the hot lane; pool resizes {} (foreign shards \
+         attached/detached), sessions stolen across lanes {}",
+        hot.served,
+        hot.pool_resizes,
+        stats.stolen(),
+    );
 }

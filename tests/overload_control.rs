@@ -170,6 +170,59 @@ fn default_config_keeps_the_ladder_off() {
     assert!(responses.iter().all(|r| r.degraded_notches == 0));
 }
 
+/// The per-class shed preference: on the shed rung, arrivals whose
+/// remaining budget clears `shed_loose_budget_ratio × horizon` are
+/// shed first — even though their loose budget would pass the
+/// feasibility test and be admitted under the class-agnostic rule.
+#[test]
+fn loose_budget_classes_shed_first_on_the_shed_rung() {
+    let n = 24;
+    let rt = runtime().runtime(Task::Sst2).expect("served");
+    let floor_s = rt.engine().nominal_service_estimate_s();
+    let horizon_s = rt.engine().default_latency_target_s();
+    let overload = OverloadConfig {
+        shed_loose_budget_ratio: 2.0,
+        ..twitchy()
+    };
+    let server = Server::start(runtime(), burst_cfg(overload, n + 4));
+    // Drive the lane onto the shed rung with tight traffic, then probe
+    // with a loose-class request the moment shedding starts.
+    let mut tight_sheds = 0u64;
+    let mut loose_outcomes = Vec::new();
+    for tokens in tokens_for(n, 0x0B58) {
+        let req = InferenceRequest::new(tokens.clone())
+            .with_latency_target(2.0 * floor_s)
+            .with_max_degradation(2);
+        match server.submit(Task::Sst2, req) {
+            Ok(h) => drop(h),
+            Err(SubmitError::Shed { .. }) => {
+                tight_sheds += 1;
+                // The lane is on the shed rung right now: a request
+                // with a budget at 3× the horizon is trivially
+                // feasible (it outlasts the whole backlog) but loose —
+                // the preference must shed it anyway.
+                let loose = InferenceRequest::new(tokens).with_latency_target(3.0 * horizon_s);
+                loose_outcomes.push(server.submit(Task::Sst2, loose).map(|_| ()));
+            }
+            Err(other) => panic!("burst admission failed: {other}"),
+        }
+    }
+    let stats = server.shutdown();
+    assert!(tight_sheds >= 1, "the burst must trip the shed rung");
+    assert!(!loose_outcomes.is_empty());
+    assert!(
+        loose_outcomes
+            .iter()
+            .all(|o| matches!(o, Err(SubmitError::Shed { .. }))),
+        "every loose-class probe on the shed rung must be shed first: {loose_outcomes:?}"
+    );
+    assert_eq!(
+        stats.shed(),
+        tight_sheds + loose_outcomes.len() as u64,
+        "both classes' sheds land on the lane counter"
+    );
+}
+
 /// The controller's hysteresis from the outside: holding pressure in
 /// the dead band between exit and enter thresholds never moves the
 /// rung, in either direction.
