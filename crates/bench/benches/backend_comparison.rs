@@ -105,6 +105,7 @@ fn bench(c: &mut Criterion) {
         queue_aware_slack: false,
         pressure_stretch: false,
         overload: Default::default(),
+        telemetry: None,
     };
     let accel_out = drain_load(&accel, &load, cfg);
     let gpu_out = drain_load(&gpu, &load, cfg);

@@ -62,6 +62,7 @@ fn bench(c: &mut Criterion) {
         queue_aware_slack: false,
         pressure_stretch: false,
         overload: Default::default(),
+        telemetry: None,
     };
     let fifo = drain_load(&runtime, &load, cfg(SchedulePolicy::Fifo));
     let edf = drain_load(&runtime, &load, cfg(SchedulePolicy::EarliestDeadline));

@@ -120,6 +120,7 @@ fn bench(c: &mut Criterion) {
                 queue_aware_slack,
                 pressure_stretch: false,
                 overload: Default::default(),
+                telemetry: None,
             },
         );
         class_reports(&load, &responses, &classes)

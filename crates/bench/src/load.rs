@@ -27,6 +27,7 @@
 
 use edgebert::scheduler::{DeadlineScheduler, ScheduledResponse, SchedulerConfig};
 use edgebert::server::{Server, ServerConfig, ServerResponse, ServerStats, SubmitError};
+use edgebert::telemetry::LogHistogram;
 use edgebert::{InferenceRequest, MultiTaskRuntime};
 use edgebert_tasks::{Task, TaskGenerator};
 use edgebert_tensor::stats::percentile;
@@ -726,6 +727,38 @@ pub fn render_server_stats(stats: &ServerStats) -> String {
             lane.pool_resizes,
         ));
     }
+    // Telemetry-on snapshots carry full distributions; render their
+    // quantiles below the counter table. (The old
+    // `queue_delay_mean_s`/`queue_delay_max_s` scalar pair is
+    // deprecated in favor of these — a mean and a max say nothing
+    // about p95/p99 — and is intentionally not rendered here.)
+    if stats.lanes.iter().any(|l| l.histograms.is_some()) {
+        out.push_str(&format!(
+            "\n{:<8} {:<12} {:>7} {:>10} {:>10} {:>10} {:>10}\n",
+            "lane", "metric", "n", "p50", "p95", "p99", "max"
+        ));
+        for lane in &stats.lanes {
+            let Some(h) = &lane.histograms else { continue };
+            let rows: [(&str, &LogHistogram, f64); 4] = [
+                ("queue_ms", &h.queue_delay_s, 1e3),
+                ("sojourn_ms", &h.sojourn_s, 1e3),
+                ("step_ms", &h.step_time_s, 1e3),
+                ("energy_uJ", &h.energy_per_request_j, 1e6),
+            ];
+            for (metric, hist, scale) in rows {
+                out.push_str(&format!(
+                    "{:<8} {:<12} {:>7} {:>10.3} {:>10.3} {:>10.3} {:>10.3}\n",
+                    lane.task.to_string(),
+                    metric,
+                    hist.count(),
+                    hist.p50() * scale,
+                    hist.p95() * scale,
+                    hist.p99() * scale,
+                    hist.max_edge() * scale,
+                ));
+            }
+        }
+    }
     out
 }
 
@@ -837,6 +870,30 @@ impl TailReport {
             p95_ms: percentile(&sojourns_ms, 95.0) as f64,
             p99_ms: percentile(&sojourns_ms, 99.0) as f64,
             violation_rate: violations as f64 / count as f64,
+            shed: 0,
+        }
+    }
+
+    /// Folds a telemetry sojourn histogram into a report: exact
+    /// log-bucketed quantiles (each an upper bound on the true sample,
+    /// within one bucket width ≈ 15.5%) instead of the
+    /// sampled-percentile columns [`from_samples`](Self::from_samples)
+    /// computes. The violation count isn't derivable from a histogram
+    /// alone, so the caller passes it (e.g. from
+    /// [`LaneStats::violations`](edgebert::server::LaneStats)).
+    pub fn from_sojourn_histogram(hist: &LogHistogram, violations: u64) -> Self {
+        let count = hist.count() as usize;
+        Self {
+            count,
+            mean_ms: hist.mean() * 1e3,
+            p50_ms: hist.p50() * 1e3,
+            p95_ms: hist.p95() * 1e3,
+            p99_ms: hist.p99() * 1e3,
+            violation_rate: if count == 0 {
+                0.0
+            } else {
+                violations as f64 / count as f64
+            },
             shed: 0,
         }
     }

@@ -79,6 +79,16 @@
 //!   shards steal the EDF-tightest parked session from foreign lanes
 //!   and autoscale onto pressured lanes as extra shards, with
 //!   stolen/migrated/pool-resize counters in [`ServerStats`];
+//! * [`telemetry`] — observability for the serving stack, default-off
+//!   and bit-identity-neutral: per-request trace spans
+//!   ([`TraceEvent`] chains Admitted→Popped→…→Completed into a
+//!   bounded overwrite-oldest ring with an honest drop counter),
+//!   log-bucketed latency/energy histograms with exact merge/serde
+//!   and exact p50/p95/p99 ([`LogHistogram`], surfaced per lane in
+//!   [`LaneStats::histograms`](server::LaneStats)), periodic lane
+//!   time-series samples of `(pressure, rung, queued, parked,
+//!   extra_shards)`, and JSONL/Prometheus exporters
+//!   ([`Server::telemetry_snapshot`](server::Server::telemetry_snapshot));
 //! * [`pipeline`] — end-to-end task artifacts: train → calibrate →
 //!   predictor, at test or paper scale;
 //! * [`experiments`] — one driver per table/figure of the paper's
@@ -125,6 +135,7 @@ pub mod scheduler;
 pub mod server;
 pub mod serving;
 pub mod session;
+pub mod telemetry;
 
 pub use backend::{
     AcceleratorBackend, BackendSpec, InferenceBackend, MobileGpuBackend, OperatingPoint,
@@ -146,4 +157,8 @@ pub use server::{
 pub use serving::{MultiTaskRuntime, ServeError, TaskRuntime};
 pub use session::{
     InferenceSession, SessionCheckpoint, SessionState, StepOutcome, SESSION_CHECKPOINT_VERSION,
+};
+pub use telemetry::{
+    LaneHistograms, LaneSample, LogHistogram, SpanRecorder, Telemetry, TelemetryConfig,
+    TelemetrySnapshot, TraceEvent, TraceEventKind, TraceSink,
 };

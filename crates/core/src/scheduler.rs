@@ -41,8 +41,14 @@
 use crate::engine::{deadline_met, EdgeBertEngine, InferenceRequest, InferenceResponse};
 use crate::overload::{pressure, Degradation, OverloadConfig, OverloadController};
 use crate::serving::MultiTaskRuntime;
+use crate::telemetry::{
+    LaneTelemetry, LaneTelemetrySnapshot, Telemetry, TelemetryConfig, TelemetrySnapshot,
+    TraceEventKind,
+};
 use edgebert_tasks::Task;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+use std::time::Instant;
 
 /// Queue-ordering policy for a [`DeadlineScheduler`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -111,6 +117,19 @@ pub struct SchedulerConfig {
     /// that silently dropped submissions would break the drain's
     /// one-response-per-submission contract. Off by default.
     pub overload: OverloadConfig,
+    /// Telemetry parity with the wall-clock server (see
+    /// [`crate::telemetry`] and
+    /// [`ServerConfig::telemetry`](crate::server::ServerConfig::telemetry)):
+    /// when set, each drain emits per-request trace spans with
+    /// **virtual** timestamps (`Admitted` at arrival, `Popped` at
+    /// dispatch, `Degraded` when the overload parity mode notches a
+    /// sentence, `Completed` at completion) and folds queue-delay /
+    /// sojourn / energy distributions into per-engine histograms —
+    /// fully deterministic, so two identically-built schedulers fed
+    /// the same submissions produce identical traces. Observation
+    /// only: responses are unchanged. `None` (default) records
+    /// nothing.
+    pub telemetry: Option<TelemetryConfig>,
 }
 
 impl Default for SchedulerConfig {
@@ -126,6 +145,7 @@ impl Default for SchedulerConfig {
             queue_aware_slack: false,
             pressure_stretch: false,
             overload: OverloadConfig::default(),
+            telemetry: None,
         }
     }
 }
@@ -181,6 +201,16 @@ pub struct DeadlineScheduler {
     engines: Vec<(Task, EdgeBertEngine)>,
     cfg: SchedulerConfig,
     pending: Vec<Submission>,
+    /// Telemetry hub (virtual timestamps only — the wall-clock epoch
+    /// is never consulted) plus one histogram set per engine, both
+    /// `None`/empty with telemetry off. A `clone()`d scheduler shares
+    /// the same hub and histograms via the `Arc`s.
+    telemetry: Option<Arc<Telemetry>>,
+    lane_telemetry: Vec<Arc<LaneTelemetry>>,
+    /// Trace ids are globally unique across drains of one scheduler
+    /// (submission indices restart at 0 every drain; reusing them
+    /// would merge two requests' spans into one malformed chain).
+    next_trace_id: u64,
 }
 
 // Schedulers move into serving threads whole.
@@ -199,7 +229,7 @@ impl DeadlineScheduler {
         if cfg.overload.enabled {
             cfg.overload.validate();
         }
-        let engines = runtime
+        let engines: Vec<(Task, EdgeBertEngine)> = runtime
             .tasks()
             .into_iter()
             .map(|task| {
@@ -207,10 +237,24 @@ impl DeadlineScheduler {
                 (task, rt.engine().clone())
             })
             .collect();
+        let telemetry = cfg
+            .telemetry
+            .map(|tcfg| Arc::new(Telemetry::new(tcfg, Instant::now())));
+        let lane_telemetry: Vec<Arc<LaneTelemetry>> = if telemetry.is_some() {
+            engines
+                .iter()
+                .map(|_| Arc::new(LaneTelemetry::new()))
+                .collect()
+        } else {
+            Vec::new()
+        };
         Self {
             engines,
             cfg,
             pending: Vec::new(),
+            telemetry,
+            lane_telemetry,
+            next_trace_id: 0,
         }
     }
 
@@ -344,6 +388,10 @@ impl DeadlineScheduler {
             .map(|_| OverloadController::new(self.cfg.overload))
             .collect();
         let mut notches: Vec<u8> = vec![0; pending.len()];
+        // Trace ids for this drain: `trace_id_base + submission index`,
+        // unique across the scheduler's lifetime.
+        let trace_id_base = self.next_trace_id;
+        self.next_trace_id += pending.len() as u64;
         let mut remaining = served.len();
         while remaining > 0 {
             // Earliest-free worker, ties to the lowest lane.
@@ -469,6 +517,35 @@ impl DeadlineScheduler {
                 };
                 cursor += latency_s;
                 timeline[i] = Some((w, start, cursor));
+                if let Some(hub) = &self.telemetry {
+                    // Virtual-timestamp span prefix. Admission happened
+                    // at arrival on the virtual clock; emitting it here
+                    // (at dispatch) still yields a well-formed chain —
+                    // the ring orders events per request, and arrival ≤
+                    // start keeps timestamps monotone.
+                    let sub = &pending[i];
+                    let id = trace_id_base + i as u64;
+                    let queue_delay_s = start - sub.arrival_s;
+                    hub.record_at(sub.arrival_s, sub.task, id, TraceEventKind::Admitted);
+                    hub.record_at(
+                        start,
+                        sub.task,
+                        id,
+                        TraceEventKind::Popped { queue_delay_s },
+                    );
+                    if notches[i] > 0 {
+                        hub.record_at(
+                            start,
+                            sub.task,
+                            id,
+                            TraceEventKind::Degraded {
+                                notches: notches[i],
+                            },
+                        );
+                    }
+                    let engine_idx = engine_of[i].expect("served member");
+                    self.lane_telemetry[engine_idx].observe_queue_delay(queue_delay_s);
+                }
                 dispatched[i] = true;
                 remaining -= 1;
             }
@@ -491,6 +568,17 @@ impl DeadlineScheduler {
                 let sojourn_s =
                     s.request.effective_elapsed_queue_s() + (completion_s - s.arrival_s);
                 let met = deadline_met(sojourn_s, response.latency_target_s);
+                if let Some(hub) = &self.telemetry {
+                    hub.record_at(
+                        completion_s,
+                        s.task,
+                        trace_id_base + s.index as u64,
+                        TraceEventKind::Completed { verdict: met },
+                    );
+                    let engine_idx = engine_of[s.index].expect("served member");
+                    self.lane_telemetry[engine_idx]
+                        .observe_completion(sojourn_s, response.result.energy_j);
+                }
                 Some(ScheduledResponse {
                     response,
                     worker,
@@ -504,6 +592,34 @@ impl DeadlineScheduler {
                 })
             })
             .collect()
+    }
+
+    /// Copies out everything telemetry recorded across this
+    /// scheduler's drains: virtual-timestamp trace events plus
+    /// per-engine histograms. The time-series section is always empty
+    /// — lane sampling is a wall-clock concern the virtual timeline
+    /// has no analogue for. `None` when
+    /// [`SchedulerConfig::telemetry`] is unset.
+    pub fn telemetry_snapshot(&self) -> Option<TelemetrySnapshot> {
+        let hub = self.telemetry.as_ref()?;
+        let (events, dropped_events) = hub.trace_snapshot();
+        let (samples, dropped_samples) = hub.series_snapshot();
+        let lanes = self
+            .engines
+            .iter()
+            .zip(&self.lane_telemetry)
+            .map(|((task, _), lt)| LaneTelemetrySnapshot {
+                task: *task,
+                histograms: lt.snapshot(),
+            })
+            .collect();
+        Some(TelemetrySnapshot {
+            events,
+            dropped_events,
+            lanes,
+            samples,
+            dropped_samples,
+        })
     }
 }
 

@@ -21,9 +21,10 @@ use crate::engine::InferenceRequest;
 use crate::overload::{pressure, LadderStep, OverloadConfig, OverloadController};
 use crate::scheduler::SchedulePolicy;
 use crate::session::InferenceSession;
+use crate::telemetry::LaneTelemetry;
 use edgebert_tasks::Task;
 use std::sync::mpsc::SyncSender;
-use std::sync::{Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::Instant;
 
 use super::ServerResponse;
@@ -197,9 +198,14 @@ pub(super) struct Lane {
     /// Worker-side tallies (separate lock: held only for a few loads
     /// and stores after a sentence completes, never while serving).
     pub tally: Mutex<ServedTally>,
+    /// Per-lane latency/energy distributions, present iff the server
+    /// runs with telemetry enabled. Shared by every shard (home or
+    /// elastic) driving this lane.
+    pub telemetry: Option<Arc<LaneTelemetry>>,
 }
 
 impl Lane {
+    #[allow(clippy::too_many_arguments)]
     pub fn new(
         task: Task,
         capacity: usize,
@@ -208,6 +214,7 @@ impl Lane {
         shards: usize,
         nominal_service_s: f64,
         horizon_s: f64,
+        telemetry: Option<Arc<LaneTelemetry>>,
     ) -> Self {
         Self {
             task,
@@ -216,6 +223,7 @@ impl Lane {
             shards,
             nominal_service_s,
             horizon_s,
+            telemetry,
             queue: Mutex::new(LaneQueue {
                 jobs: Vec::new(),
                 parked: Vec::new(),
@@ -491,6 +499,7 @@ mod tests {
             1,
             10e-3,
             50e-3,
+            None,
         );
         let mut receivers = Vec::new();
         {

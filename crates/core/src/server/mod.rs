@@ -111,8 +111,13 @@ use crate::overload::{LadderStep, OverloadConfig};
 use crate::scheduler::SchedulePolicy;
 use crate::serving::MultiTaskRuntime;
 use crate::session::InferenceSession;
+use crate::telemetry::{
+    LaneSample, LaneTelemetry, LaneTelemetrySnapshot, Telemetry, TelemetryConfig,
+    TelemetrySnapshot, TraceEventKind,
+};
 use edgebert_tasks::Task;
 use lane::{Job, JobContext, Lane, Popped, Work};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver, RecvTimeoutError};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -252,6 +257,13 @@ pub struct ServerConfig {
     /// Disabled by default — shards then stay pinned to their home
     /// lane and the server is bit-identical to a static pool.
     pub elastic: ElasticConfig,
+    /// Telemetry: per-request trace spans, per-lane latency/energy
+    /// histograms, and periodic lane time-series sampling (see
+    /// [`crate::telemetry`]). `None` (the default) records nothing and
+    /// adds zero allocations to the request path; `Some` observes only
+    /// — admission decisions, request numbering, and inference
+    /// arithmetic are bit-identical either way.
+    pub telemetry: Option<TelemetryConfig>,
 }
 
 impl Default for ServerConfig {
@@ -270,6 +282,7 @@ impl Default for ServerConfig {
             pressure_stretch: false,
             overload: OverloadConfig::default(),
             elastic: ElasticConfig::default(),
+            telemetry: None,
         }
     }
 }
@@ -507,6 +520,11 @@ pub struct Server {
     epoch: Instant,
     lanes: Vec<LaneEntry>,
     workers: Vec<JoinHandle<()>>,
+    /// Telemetry hub, present iff [`ServerConfig::telemetry`] is set.
+    telemetry: Option<Arc<Telemetry>>,
+    /// The lane time-series sampler thread (telemetry only).
+    sampler: Option<JoinHandle<()>>,
+    sampler_stop: Arc<AtomicBool>,
 }
 
 impl Server {
@@ -544,6 +562,9 @@ impl Server {
             );
         }
         let epoch = Instant::now();
+        let telemetry = cfg
+            .telemetry
+            .map(|tcfg| Arc::new(Telemetry::new(tcfg, epoch)));
         let mut lanes = Vec::new();
         let mut pool = Vec::new();
         for task in runtime.tasks() {
@@ -557,6 +578,7 @@ impl Server {
                 cfg.shards_per_task,
                 engine.nominal_service_estimate_s(),
                 engine.default_latency_target_s(),
+                telemetry.as_ref().map(|_| Arc::new(LaneTelemetry::new())),
             ));
             lanes.push(LaneEntry {
                 default_target_s: engine.default_latency_target_s(),
@@ -570,18 +592,33 @@ impl Server {
             let task = entry.lane.task;
             for shard in 0..cfg.shards_per_task {
                 let registry = Arc::clone(&registry);
+                let hub = telemetry.clone();
                 let handle = std::thread::Builder::new()
                     .name(format!("edgebert-{task}-{shard}"))
-                    .spawn(move || shard_loop(registry, home, shard, cfg, epoch))
+                    .spawn(move || shard_loop(registry, home, shard, cfg, epoch, hub))
                     .expect("spawn shard worker");
                 workers.push(handle);
             }
         }
+        let sampler_stop = Arc::new(AtomicBool::new(false));
+        let sampler = telemetry.as_ref().map(|hub| {
+            let hub = Arc::clone(hub);
+            let stop = Arc::clone(&sampler_stop);
+            let lanes: Vec<Arc<Lane>> = registry.iter().map(|e| Arc::clone(&e.lane)).collect();
+            let period = Duration::from_secs_f64(hub.config().sample_period_s);
+            std::thread::Builder::new()
+                .name("edgebert-telemetry-sampler".into())
+                .spawn(move || sampler_loop(&lanes, &hub, &stop, period))
+                .expect("spawn telemetry sampler")
+        });
         Self {
             cfg,
             epoch,
             lanes,
             workers,
+            telemetry,
+            sampler,
+            sampler_stop,
         }
     }
 
@@ -698,6 +735,18 @@ impl Server {
                 if loose || infeasible {
                     queue.shed += 1;
                     let p = lane.pressure_of(&queue);
+                    if let Some(hub) = &self.telemetry {
+                        // Shed requests never consume a submission
+                        // sequence number (numbering stays identical
+                        // with telemetry off), so their trace ids
+                        // count down from the top instead.
+                        hub.record_at(
+                            (now - self.epoch).as_secs_f64(),
+                            task,
+                            u64::MAX - (queue.shed - 1),
+                            TraceEventKind::Shed { pressure: p },
+                        );
+                    }
                     let retry_after_hint_s = if infeasible {
                         (backlog_s - key_s).max(shed_slot_s)
                     } else {
@@ -724,6 +773,16 @@ impl Server {
             reply: tx,
         });
         queue.high_water = queue.high_water.max(queue.jobs.len());
+        if let Some(hub) = &self.telemetry {
+            // Emitted while the queue lock pins the pop: the worker
+            // cannot record `Popped` before `Admitted` lands.
+            hub.record_at(
+                (now - self.epoch).as_secs_f64(),
+                task,
+                submission,
+                TraceEventKind::Admitted,
+            );
+        }
         drop(queue);
         entry.lane.available.notify_one();
         Ok(ResponseHandle {
@@ -764,10 +823,43 @@ impl Server {
                     queue_delay_mean_s: tally.queue_delay_total_s / served,
                     queue_delay_max_s: tally.queue_delay_max_s,
                     slack_deducted_mean_s: tally.slack_deducted_total_s / served,
+                    histograms: entry.lane.telemetry.as_ref().map(|lt| lt.snapshot()),
                 }
             })
             .collect();
-        ServerStats { lanes }
+        ServerStats::from_lanes(lanes)
+    }
+
+    /// Everything the telemetry subsystem recorded so far: trace
+    /// events, per-lane histograms, lane time-series, and drop
+    /// counters. `None` when [`ServerConfig::telemetry`] is off. Can be
+    /// taken at any time; for a complete trace of a finished load, use
+    /// [`shutdown_with_telemetry`](Self::shutdown_with_telemetry).
+    pub fn telemetry_snapshot(&self) -> Option<TelemetrySnapshot> {
+        let hub = self.telemetry.as_ref()?;
+        let (events, dropped_events) = hub.trace_snapshot();
+        let (samples, dropped_samples) = hub.series_snapshot();
+        let lanes = self
+            .lanes
+            .iter()
+            .filter_map(|entry| {
+                entry
+                    .lane
+                    .telemetry
+                    .as_ref()
+                    .map(|lt| LaneTelemetrySnapshot {
+                        task: entry.lane.task,
+                        histograms: lt.snapshot(),
+                    })
+            })
+            .collect();
+        Some(TelemetrySnapshot {
+            events,
+            dropped_events,
+            lanes,
+            samples,
+            dropped_samples,
+        })
     }
 
     /// Gracefully shuts down: admission closes, every already-admitted
@@ -779,6 +871,15 @@ impl Server {
         self.stats()
     }
 
+    /// [`shutdown`](Self::shutdown), additionally returning the final
+    /// telemetry snapshot (taken *after* the drain, so every served
+    /// request's span chain is complete). The snapshot is `None` when
+    /// telemetry is off.
+    pub fn shutdown_with_telemetry(mut self) -> (ServerStats, Option<TelemetrySnapshot>) {
+        self.close_and_join();
+        (self.stats(), self.telemetry_snapshot())
+    }
+
     fn close_and_join(&mut self) {
         for entry in &self.lanes {
             entry.lane.queue.lock().expect("lane mutex").shutting_down = true;
@@ -786,6 +887,45 @@ impl Server {
         }
         for worker in self.workers.drain(..) {
             worker.join().expect("shard worker exits cleanly");
+        }
+        self.sampler_stop.store(true, Ordering::Relaxed);
+        if let Some(sampler) = self.sampler.take() {
+            sampler.join().expect("telemetry sampler exits cleanly");
+        }
+    }
+}
+
+/// The lane time-series sampler: every `period`, snapshot each lane's
+/// control state `(pressure, rung, queued, parked, extra_shards)` into
+/// the hub's series ring. One short queue-lock hold per lane per tick;
+/// shutdown latency is bounded by sleeping in small slices.
+fn sampler_loop(
+    lanes: &[Arc<Lane>],
+    hub: &Arc<Telemetry>,
+    stop: &Arc<AtomicBool>,
+    period: Duration,
+) {
+    let slice = period.min(Duration::from_millis(20));
+    while !stop.load(Ordering::Relaxed) {
+        for lane in lanes {
+            let queue = lane.queue.lock().expect("lane mutex");
+            let sample = LaneSample {
+                t_s: hub.now_s(),
+                task: lane.task,
+                pressure: lane.pressure_of(&queue),
+                rung: queue.controller.step(),
+                queued: queue.jobs.len(),
+                parked: queue.parked.len(),
+                extra_shards: queue.extra_shards,
+            };
+            drop(queue);
+            hub.sample(sample);
+        }
+        let mut slept = Duration::ZERO;
+        while slept < period && !stop.load(Ordering::Relaxed) {
+            let nap = slice.min(period - slept);
+            std::thread::sleep(nap);
+            slept += nap;
         }
     }
 }
@@ -808,11 +948,12 @@ fn shard_loop(
     shard: usize,
     cfg: ServerConfig,
     epoch: Instant,
+    telemetry: Option<Arc<Telemetry>>,
 ) {
     if cfg.elastic.enabled {
-        elastic_shard_loop(&registry, home, shard, cfg, epoch);
+        elastic_shard_loop(&registry, home, shard, cfg, epoch, telemetry.as_ref());
     } else {
-        static_shard_loop(&registry[home], shard, cfg, epoch);
+        static_shard_loop(&registry[home], shard, cfg, epoch, telemetry.as_ref());
     }
 }
 
@@ -820,7 +961,13 @@ fn shard_loop(
 /// (fresh admission or parked session) in policy order, materialize it
 /// into a running session, and drive it until it completes or yields
 /// the lane.
-fn static_shard_loop(entry: &PoolEntry, shard: usize, cfg: ServerConfig, epoch: Instant) {
+fn static_shard_loop(
+    entry: &PoolEntry,
+    shard: usize,
+    cfg: ServerConfig,
+    epoch: Instant,
+    telemetry: Option<&Arc<Telemetry>>,
+) {
     // The cap a popped job's stretch window is clamped under when
     // tighter work waits behind it: the successor must still fit a
     // nominal-speed sentence inside its own deadline. Pop-time capping
@@ -839,7 +986,15 @@ fn static_shard_loop(entry: &PoolEntry, shard: usize, cfg: ServerConfig, epoch: 
                 None => return,
             },
         };
-        let (session, ctx) = materialize(entry, popped, &cfg, epoch, pressure_stretch);
+        let (session, ctx) = materialize(
+            entry,
+            popped,
+            &cfg,
+            epoch,
+            pressure_stretch,
+            telemetry,
+            None,
+        );
         claimed = drive(&entry.lane, session, ctx, shard, cfg);
     }
 }
@@ -856,6 +1011,7 @@ fn elastic_shard_loop(
     shard: usize,
     cfg: ServerConfig,
     epoch: Instant,
+    telemetry: Option<&Arc<Telemetry>>,
 ) {
     let idle_poll = Duration::from_secs_f64(cfg.elastic.idle_poll_s);
     // A preemption exchange hands this shard the claimed tight job of
@@ -870,22 +1026,36 @@ fn elastic_shard_loop(
             },
         };
         let entry = &registry[idx];
-        if idx != home && matches!(popped.work, Work::Resume(_)) {
+        let stolen = idx != home && matches!(popped.work, Work::Resume(_));
+        if stolen {
             // A parked session crossing lanes: migrated on its origin
-            // lane, stolen on the thief's home lane (server-wide the
-            // two counters agree). One tally lock at a time.
-            entry.lane.tally.lock().expect("tally mutex").migrated += 1;
-            registry[home]
-                .lane
-                .tally
-                .lock()
-                .expect("tally mutex")
-                .stolen += 1;
+            // lane, stolen on the thief's home lane. Both tallies are
+            // locked together, in global lane-index order (tally
+            // mutexes are leaf locks — never held while taking any
+            // other lock — so the ordered pair cannot deadlock), which
+            // makes the pair of increments atomic: `stolen ==
+            // migrated` server-wide holds at every instant, and
+            // `ServerStats::from_lanes` asserts it on every snapshot.
+            let (lo, hi) = (idx.min(home), idx.max(home));
+            let lo_tally = registry[lo].lane.tally.lock().expect("tally mutex");
+            let hi_tally = registry[hi].lane.tally.lock().expect("tally mutex");
+            let (mut origin, mut thief) = if idx < home {
+                (lo_tally, hi_tally)
+            } else {
+                (hi_tally, lo_tally)
+            };
+            origin.migrated += 1;
+            thief.stolen += 1;
         }
+        let thief_lane = if stolen {
+            Some(registry[home].lane.task)
+        } else {
+            None
+        };
         // Pressure stretch is forced off under elasticity: pop-time
         // capping assumes the popping worker is the lane's only drain,
         // and a pool that grows and steals breaks that premise.
-        let (session, ctx) = materialize(entry, popped, &cfg, epoch, false);
+        let (session, ctx) = materialize(entry, popped, &cfg, epoch, false, telemetry, thief_lane);
         match drive(&entry.lane, session, ctx, shard, cfg) {
             Some(next) => claimed = Some((idx, next)),
             None => {
@@ -1009,12 +1179,19 @@ fn attach_to_pressured_lane(
 /// context: a fresh admission measures its wait and stamps slack (and
 /// any queue-pressure stretch cap) before the engine opens the
 /// session; a parked session resumes, charging its parked wall time.
+/// `telemetry`/`thief_lane` are observation-only: a fresh pop emits
+/// `Popped` (and `Degraded` when the ladder bit) and attaches the
+/// request's span recorder to the session; a resume emits `Resumed`,
+/// attributing the thief's home lane when the session crossed lanes.
+#[allow(clippy::too_many_arguments)]
 fn materialize(
     entry: &PoolEntry,
     popped: Popped,
     cfg: &ServerConfig,
     epoch: Instant,
     pressure_stretch: bool,
+    telemetry: Option<&Arc<Telemetry>>,
+    thief_lane: Option<Task>,
 ) -> (InferenceSession, JobContext) {
     match popped.work {
         Work::Fresh(job) => {
@@ -1075,8 +1252,22 @@ fn materialize(
             let degradation = cfg
                 .overload
                 .degradation_for(popped.ladder_step, request.max_degradation);
+            let mut session = entry.engine.begin_degraded(&request, degradation);
+            if let Some(hub) = telemetry {
+                let recorder = hub.recorder(entry.lane.task, job.seq);
+                recorder.emit(TraceEventKind::Popped { queue_delay_s });
+                if degradation.tier_notches > 0 {
+                    recorder.emit(TraceEventKind::Degraded {
+                        notches: degradation.tier_notches,
+                    });
+                }
+                session.attach_trace(recorder);
+            }
+            if let Some(lt) = &entry.lane.telemetry {
+                lt.observe_queue_delay(queue_delay_s);
+            }
             (
-                entry.engine.begin_degraded(&request, degradation),
+                session,
                 JobContext {
                     seq: job.seq,
                     deadline_s: job.deadline_s,
@@ -1094,6 +1285,9 @@ fn materialize(
             // The parked wall time burned real slack: the next
             // DVFS decision sees it, and so does the verdict.
             session.resume(parked.parked_at.elapsed().as_secs_f64());
+            if let Some(recorder) = session.trace() {
+                recorder.emit(TraceEventKind::Resumed { thief_lane });
+            }
             entry.lane.tally.lock().expect("tally mutex").resumed += 1;
             (session, parked.ctx)
         }
@@ -1131,7 +1325,13 @@ fn drive(
         std::thread::sleep(Duration::from_secs_f64((due_s - spent_s).clamp(0.0, 10.0)));
     };
     loop {
-        session.step();
+        if let Some(lt) = &lane.telemetry {
+            let step_started = Instant::now();
+            session.step();
+            lt.observe_step(step_started.elapsed().as_secs_f64());
+        } else {
+            session.step();
+        }
         if cfg.emulate_service_time && per_step_emulation {
             emulate_to_accrued(&session);
         }
@@ -1182,6 +1382,12 @@ fn drive(
         ctx.charged_elapsed_s + parked_s + response.result.latency_s,
         response.latency_target_s,
     );
+    if let Some(recorder) = session.trace() {
+        recorder.emit(TraceEventKind::Completed { verdict: met });
+    }
+    if let Some(lt) = &lane.telemetry {
+        lt.observe_completion(sojourn_s, response.result.energy_j);
+    }
     {
         let mut tally = lane.tally.lock().expect("tally mutex");
         tally.served += 1;

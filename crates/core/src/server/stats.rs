@@ -1,5 +1,6 @@
 //! Serving statistics: per-lane and whole-server snapshots.
 
+use crate::telemetry::LaneHistograms;
 use edgebert_tasks::Task;
 use serde::{Deserialize, Serialize};
 
@@ -54,14 +55,29 @@ pub struct LaneStats {
     /// Deepest the parked-session pool has been since start.
     pub max_parked_depth: usize,
     /// Mean measured queueing delay over served requests, seconds.
+    ///
+    /// *Deprecated in favor of [`histograms`](Self::histograms)*: the
+    /// mean hides the tail entirely — prefer
+    /// `histograms.queue_delay_s` quantiles when telemetry is on.
+    /// Kept (not `#[deprecated]`) so stats snapshots stay usable with
+    /// telemetry off.
     pub queue_delay_mean_s: f64,
     /// Largest measured queueing delay, seconds.
+    ///
+    /// *Deprecated in favor of [`histograms`](Self::histograms)*: a
+    /// single max says nothing about p95/p99 — prefer
+    /// `histograms.queue_delay_s` quantiles when telemetry is on.
     pub queue_delay_max_s: f64,
     /// Mean elapsed queue time charged to served requests' DVFS
     /// budgets, seconds (just the submitter pre-stamps — usually zero
     /// — when queue-aware slack is off or waits stayed under the
     /// noise floor).
     pub slack_deducted_mean_s: f64,
+    /// Full queue-delay / sojourn / step-time / energy distributions,
+    /// recorded when [`ServerConfig::telemetry`](super::ServerConfig)
+    /// is enabled (`None` otherwise). Exact log-bucketed quantiles —
+    /// the lossless replacement for the mean/max pair above.
+    pub histograms: Option<LaneHistograms>,
 }
 
 /// A snapshot of the whole server's counters.
@@ -72,6 +88,30 @@ pub struct ServerStats {
 }
 
 impl ServerStats {
+    /// Builds a snapshot from per-lane stats, asserting the server's
+    /// cross-lane invariant: every stolen parked session was migrated
+    /// from exactly one origin lane, so server-wide `stolen ==
+    /// migrated`. The elastic loop increments both counters under a
+    /// single ordered double-lock precisely so this holds at *every*
+    /// instant a snapshot can observe.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the summed counters disagree — that means a counting
+    /// path updated one side without the other, a bug worth failing
+    /// loudly over rather than reporting silently skewed stats.
+    pub fn from_lanes(lanes: Vec<LaneStats>) -> Self {
+        let stats = Self { lanes };
+        assert_eq!(
+            stats.stolen(),
+            stats.migrated(),
+            "server-wide invariant violated: stolen ({}) != migrated ({})",
+            stats.stolen(),
+            stats.migrated()
+        );
+        stats
+    }
+
     /// Requests admitted across all lanes.
     pub fn submitted(&self) -> u64 {
         self.lanes.iter().map(|l| l.submitted).sum()
@@ -121,14 +161,16 @@ impl ServerStats {
 
     /// Parked sessions stolen across lanes (counted on the thieves'
     /// home lanes); always equals [`migrated`](Self::migrated)
-    /// server-wide.
+    /// server-wide — enforced by [`from_lanes`](Self::from_lanes) on
+    /// every snapshot.
     pub fn stolen(&self) -> u64 {
         self.lanes.iter().map(|l| l.stolen).sum()
     }
 
     /// Parked sessions resumed by a foreign shard (counted on the
     /// origin lanes); always equals [`stolen`](Self::stolen)
-    /// server-wide.
+    /// server-wide — enforced by [`from_lanes`](Self::from_lanes) on
+    /// every snapshot.
     pub fn migrated(&self) -> u64 {
         self.lanes.iter().map(|l| l.migrated).sum()
     }
@@ -155,5 +197,58 @@ impl ServerStats {
     /// The lane snapshot for one task, if served.
     pub fn lane(&self, task: Task) -> Option<&LaneStats> {
         self.lanes.iter().find(|l| l.task == task)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lane(task: Task, stolen: u64, migrated: u64) -> LaneStats {
+        LaneStats {
+            task,
+            shards: 1,
+            submitted: 0,
+            rejected: 0,
+            shed: 0,
+            degraded: 0,
+            ladder_step_changes: 0,
+            served: 0,
+            violations: 0,
+            preempted: 0,
+            resumed: 0,
+            stolen,
+            migrated,
+            pool_resizes: 0,
+            queued: 0,
+            parked: 0,
+            queue_high_water: 0,
+            max_parked_depth: 0,
+            queue_delay_mean_s: 0.0,
+            queue_delay_max_s: 0.0,
+            slack_deducted_mean_s: 0.0,
+            histograms: None,
+        }
+    }
+
+    /// The documented invariant holds per-server, not per-lane: a
+    /// steal is counted `stolen` on the thief's home lane and
+    /// `migrated` on the origin lane, so individual lanes may differ
+    /// as long as the sums agree.
+    #[test]
+    fn cross_lane_steals_balance() {
+        let stats = ServerStats::from_lanes(vec![lane(Task::Sst2, 3, 1), lane(Task::Qnli, 1, 3)]);
+        assert_eq!(stats.stolen(), 4);
+        assert_eq!(stats.migrated(), 4);
+    }
+
+    /// Regression for the doc-vs-behavior drift this constructor
+    /// fixes: `migrated == stolen` was documented as a server-wide
+    /// invariant but never asserted anywhere, so a counting bug would
+    /// have shipped silently skewed stats.
+    #[test]
+    #[should_panic(expected = "stolen (2) != migrated (1)")]
+    fn unbalanced_steal_counters_panic() {
+        ServerStats::from_lanes(vec![lane(Task::Sst2, 2, 0), lane(Task::Qnli, 0, 1)]);
     }
 }

@@ -48,6 +48,7 @@ use crate::engine::{
     deadline_met, DropTarget, EdgeBertEngine, InferenceMode, InferenceResponse, SentenceResult,
 };
 use crate::overload::Degradation;
+use crate::telemetry::{SpanRecorder, TraceEventKind};
 use edgebert_model::ForwardSession;
 use edgebert_tensor::stats::argmax;
 use serde::Serialize;
@@ -149,6 +150,11 @@ pub struct InferenceSession {
     degraded_notches: u8,
     result: Option<SentenceResult>,
     terminal: StepOutcome,
+    /// Attached trace recorder (serving layers attach one when
+    /// telemetry is on; `None` — and zero overhead — otherwise).
+    /// Survives park/steal/resume in-process, but is *not*
+    /// checkpointed: a restored session starts untraced.
+    trace: Option<SpanRecorder>,
 }
 
 impl InferenceSession {
@@ -220,6 +226,26 @@ impl InferenceSession {
             degraded_notches: degradation.tier_notches,
             result: None,
             terminal: StepOutcome::Done,
+            trace: None,
+        }
+    }
+
+    /// Attach a telemetry recorder: subsequent steps emit
+    /// `SegmentStart`/`EntropyExit`/`Parked` span events. Observation
+    /// only — attaching a recorder never changes the arithmetic.
+    pub fn attach_trace(&mut self, recorder: SpanRecorder) {
+        self.trace = Some(recorder);
+    }
+
+    /// The attached telemetry recorder, if any.
+    pub fn trace(&self) -> Option<&SpanRecorder> {
+        self.trace.as_ref()
+    }
+
+    #[inline]
+    fn emit(&self, kind: TraceEventKind) {
+        if let Some(recorder) = &self.trace {
+            recorder.emit(kind);
         }
     }
 
@@ -355,6 +381,7 @@ impl InferenceSession {
         }
         self.state = SessionState::Parked;
         self.preemptions += 1;
+        self.emit(TraceEventKind::Parked);
         true
     }
 
@@ -455,6 +482,7 @@ impl InferenceSession {
             degraded_notches: checkpoint.degraded_notches,
             result: None,
             terminal: StepOutcome::Done,
+            trace: None,
         }
     }
 
@@ -519,6 +547,11 @@ impl InferenceSession {
         let backend = self.engine.backend();
         if self.layers_done == 0 {
             let nominal = backend.nominal();
+            self.emit(TraceEventKind::SegmentStart {
+                layer: 1,
+                voltage: nominal.voltage as f64,
+                freq_hz: nominal.freq_hz,
+            });
             let overhead = backend.sentence_overhead();
             let wake_s = backend.wake_transition_s();
             let embed = backend.embedding_read_cost();
@@ -545,6 +578,7 @@ impl InferenceSession {
                     ),
                 };
                 self.predicted = Some(1);
+                self.emit(TraceEventKind::EntropyExit { layer: 1 });
                 return self.complete(result, StepOutcome::Exited);
             }
             self.predicted = Some(
@@ -586,6 +620,9 @@ impl InferenceSession {
                     && deadline_met(self.elapsed_charged_s() + latency_s, self.latency_target_s),
             };
             let outcome = if exited {
+                self.emit(TraceEventKind::EntropyExit {
+                    layer: layer as u32,
+                });
                 StepOutcome::Exited
             } else {
                 StepOutcome::Done
@@ -637,6 +674,11 @@ impl InferenceSession {
             }
         };
         let transition_s = backend.transition_s(&decision);
+        self.emit(TraceEventKind::SegmentStart {
+            layer: (self.layers_done + 1) as u32,
+            voltage: decision.voltage as f64,
+            freq_hz: decision.freq_hz,
+        });
         self.point = decision;
         self.feasible = feasible;
         self.segment = Some(SegmentRun {
@@ -650,12 +692,16 @@ impl InferenceSession {
     /// completed result is the monolithic `run_conventional_ee_at`
     /// expression (`overhead + run_layers(exit) + embed`), bit for bit.
     fn step_conventional_ee(&mut self) -> StepOutcome {
+        self.emit_nominal_segment_start();
         let (layer, h) = self.engine.model().forward_next_layer(&mut self.fwd);
         self.layers_done = layer;
         let exited = h < self.et;
         if exited || layer == self.num_layers {
             let result = self.nominal_result(InferenceMode::ConventionalEe, layer);
             let outcome = if exited {
+                self.emit(TraceEventKind::EntropyExit {
+                    layer: layer as u32,
+                });
                 StepOutcome::Exited
             } else {
                 StepOutcome::Done
@@ -667,6 +713,7 @@ impl InferenceSession {
 
     /// Full-depth inference at nominal V/F, one layer at a time.
     fn step_base(&mut self) -> StepOutcome {
+        self.emit_nominal_segment_start();
         let (layer, _) = self.engine.model().forward_next_layer(&mut self.fwd);
         self.layers_done = layer;
         if layer == self.num_layers {
@@ -674,6 +721,20 @@ impl InferenceSession {
             return self.complete(result, StepOutcome::Done);
         }
         StepOutcome::Continue
+    }
+
+    /// Base/EE sessions run one nominal-V/F segment end to end: emit
+    /// its `SegmentStart` before the first layer (traced sessions
+    /// only; the nominal lookup is skipped entirely otherwise).
+    fn emit_nominal_segment_start(&self) {
+        if self.trace.is_some() && self.layers_done == 0 {
+            let nominal = self.engine.backend().nominal();
+            self.emit(TraceEventKind::SegmentStart {
+                layer: 1,
+                voltage: nominal.voltage as f64,
+                freq_hz: nominal.freq_hz,
+            });
+        }
     }
 
     /// The nominal-V/F result shared by Base and conventional EE:

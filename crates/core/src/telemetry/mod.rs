@@ -1,0 +1,298 @@
+//! Observability for the serving stack: per-request trace spans,
+//! log-bucketed latency/energy histograms, lane time-series sampling,
+//! and exporters (JSONL traces, Prometheus text format).
+//!
+//! Telemetry ships **default-off** (`ServerConfig::telemetry: None`)
+//! and is bit-identity-neutral when on: it only observes — request
+//! numbering, admission decisions, DVFS choices, and inference
+//! arithmetic are unchanged (shed trace ids count down from
+//! `u64::MAX` precisely so admission sequence numbers stay untouched).
+//! The hot-path contract is *never block, never allocate*: rings are
+//! preallocated and pushed with `try_lock` (contention counts a drop),
+//! events are `Copy`, and histograms are fixed arrays. A dedicated
+//! overhead test pins the disabled path to zero allocations per
+//! request.
+//!
+//! - [`span`] — typed [`TraceEvent`]s, the [`TraceSink`] trait, the
+//!   bounded overwrite-oldest [`TraceRing`], and the per-request
+//!   [`SpanRecorder`] handle threaded through submit → pop → step →
+//!   park/resume → response.
+//! - [`hist`] — [`LogHistogram`]: fixed geometric bucket grid, exact
+//!   merge and serde, exact p50/p95/p99 extraction.
+//! - [`series`] — periodic [`LaneSample`]s of `(pressure, rung,
+//!   queued, parked, extra_shards)` per lane.
+//! - [`export`] — JSONL trace dump, Prometheus text render, and the
+//!   span-chain well-formedness validator.
+
+pub mod export;
+pub mod hist;
+pub mod series;
+pub mod span;
+
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use edgebert_tasks::Task;
+use serde::{Deserialize, Serialize};
+
+pub use export::{render_prometheus, render_trace_jsonl, span_chains, validate_span_chain};
+pub use hist::{LaneHistograms, LogHistogram};
+pub use series::{LaneSample, SeriesRing};
+pub use span::{SpanRecorder, TraceEvent, TraceEventKind, TraceRing, TraceSink};
+
+/// Capacities and cadence for the telemetry subsystem. `Copy` so it
+/// can live inside the `Copy` server/scheduler configs.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TelemetryConfig {
+    /// Trace-ring capacity in events (overwrite-oldest beyond this).
+    pub trace_capacity: usize,
+    /// Time-series ring capacity in samples.
+    pub series_capacity: usize,
+    /// Lane sampling period, seconds (wall-clock server only; the
+    /// virtual-timeline scheduler records no series).
+    pub sample_period_s: f64,
+}
+
+impl Default for TelemetryConfig {
+    fn default() -> Self {
+        Self {
+            trace_capacity: 65_536,
+            series_capacity: 8_192,
+            sample_period_s: 1e-3,
+        }
+    }
+}
+
+impl TelemetryConfig {
+    /// Panics on a nonsensical configuration (zero trace capacity or a
+    /// non-positive sampling period).
+    pub fn validate(&self) {
+        assert!(
+            self.trace_capacity >= 1,
+            "telemetry trace_capacity must be at least 1"
+        );
+        assert!(
+            self.sample_period_s.is_finite() && self.sample_period_s > 0.0,
+            "telemetry sample_period_s must be finite and positive, got {}",
+            self.sample_period_s
+        );
+    }
+}
+
+/// The shared telemetry hub: one trace ring and one time-series ring,
+/// stamped against a single epoch (the server's own, so event
+/// timestamps compare directly with lane deadlines).
+pub struct Telemetry {
+    cfg: TelemetryConfig,
+    epoch: Instant,
+    trace: TraceRing,
+    series: SeriesRing,
+}
+
+impl std::fmt::Debug for Telemetry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Telemetry")
+            .field("cfg", &self.cfg)
+            .field("dropped_events", &self.trace.dropped())
+            .field("dropped_samples", &self.series.dropped())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Telemetry {
+    /// A hub with rings sized by `cfg`, stamping seconds since `epoch`.
+    pub fn new(cfg: TelemetryConfig, epoch: Instant) -> Self {
+        cfg.validate();
+        Self {
+            cfg,
+            epoch,
+            trace: TraceRing::new(cfg.trace_capacity),
+            series: SeriesRing::new(cfg.series_capacity),
+        }
+    }
+
+    /// The configuration this hub was built with.
+    pub fn config(&self) -> TelemetryConfig {
+        self.cfg
+    }
+
+    /// Seconds elapsed since the hub epoch.
+    pub fn now_s(&self) -> f64 {
+        self.epoch.elapsed().as_secs_f64()
+    }
+
+    /// A per-request recorder emitting into this hub's trace ring.
+    pub fn recorder(self: &Arc<Self>, task: Task, request: u64) -> SpanRecorder {
+        SpanRecorder::new(
+            Arc::clone(self) as Arc<dyn TraceSink>,
+            task,
+            request,
+            self.epoch,
+        )
+    }
+
+    /// Record one event at an explicit timestamp (hot paths that
+    /// already hold an `Instant`, and virtual timelines).
+    pub fn record_at(&self, t_s: f64, task: Task, request: u64, kind: TraceEventKind) {
+        self.trace.record(TraceEvent {
+            t_s,
+            task,
+            request,
+            kind,
+        });
+    }
+
+    /// Push one lane time-series sample.
+    pub fn sample(&self, sample: LaneSample) {
+        self.series.record(sample);
+    }
+
+    /// Retained trace events oldest→newest plus the drop counter.
+    pub fn trace_snapshot(&self) -> (Vec<TraceEvent>, u64) {
+        self.trace.snapshot()
+    }
+
+    /// Retained lane samples oldest→newest plus the drop counter.
+    pub fn series_snapshot(&self) -> (Vec<LaneSample>, u64) {
+        self.series.snapshot()
+    }
+}
+
+impl TraceSink for Telemetry {
+    fn record(&self, event: TraceEvent) {
+        self.trace.record(event);
+    }
+}
+
+/// Per-lane distribution recorder. Lives on the lane behind an `Arc`
+/// so every shard driving that lane folds into the same histograms.
+/// The mutex is leaf-level and uncontended in practice (one short
+/// lock per observation); unlike the rings it uses a blocking lock —
+/// a dropped histogram sample would silently bias quantiles.
+#[derive(Debug, Default)]
+pub struct LaneTelemetry {
+    hist: Mutex<LaneHistograms>,
+}
+
+impl LaneTelemetry {
+    /// Empty distributions.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record an admission-to-pop queue delay, seconds.
+    pub fn observe_queue_delay(&self, delay_s: f64) {
+        self.hist
+            .lock()
+            .expect("lane telemetry poisoned")
+            .queue_delay_s
+            .record(delay_s);
+    }
+
+    /// Record one completed request's sojourn and modeled energy.
+    pub fn observe_completion(&self, sojourn_s: f64, energy_j: f64) {
+        let mut h = self.hist.lock().expect("lane telemetry poisoned");
+        h.sojourn_s.record(sojourn_s);
+        h.energy_per_request_j.record(energy_j);
+    }
+
+    /// Record the wall-clock compute time of one session step.
+    pub fn observe_step(&self, step_s: f64) {
+        self.hist
+            .lock()
+            .expect("lane telemetry poisoned")
+            .step_time_s
+            .record(step_s);
+    }
+
+    /// Copy out the current distributions.
+    pub fn snapshot(&self) -> LaneHistograms {
+        *self.hist.lock().expect("lane telemetry poisoned")
+    }
+}
+
+/// One lane's distributions inside a [`TelemetrySnapshot`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LaneTelemetrySnapshot {
+    /// Lane task.
+    pub task: Task,
+    /// The lane's recorded distributions.
+    pub histograms: LaneHistograms,
+}
+
+/// Everything the telemetry subsystem knows, copied out at once:
+/// trace events, per-lane histograms, lane time-series, and the drop
+/// counters that bound what the rings forgot.
+#[derive(Debug, Clone, Serialize)]
+pub struct TelemetrySnapshot {
+    /// Trace events oldest→newest.
+    pub events: Vec<TraceEvent>,
+    /// Trace events lost to ring contention or overwriting.
+    pub dropped_events: u64,
+    /// Per-lane histogram sets.
+    pub lanes: Vec<LaneTelemetrySnapshot>,
+    /// Lane time-series samples oldest→newest.
+    pub samples: Vec<LaneSample>,
+    /// Samples lost to ring contention or overwriting.
+    pub dropped_samples: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_round_trips_through_serde() {
+        let cfg = TelemetryConfig {
+            trace_capacity: 1024,
+            series_capacity: 64,
+            sample_period_s: 0.5,
+        };
+        let json = serde::json::to_string(&cfg);
+        let back: TelemetryConfig = serde::json::from_str(&json).expect("round trip");
+        assert_eq!(cfg, back);
+    }
+
+    #[test]
+    #[should_panic(expected = "trace_capacity")]
+    fn zero_trace_capacity_is_rejected() {
+        Telemetry::new(
+            TelemetryConfig {
+                trace_capacity: 0,
+                ..TelemetryConfig::default()
+            },
+            Instant::now(),
+        );
+    }
+
+    #[test]
+    fn hub_recorder_attributes_events() {
+        let hub = Arc::new(Telemetry::new(TelemetryConfig::default(), Instant::now()));
+        hub.recorder(Task::Sst2, 11).emit(TraceEventKind::Admitted);
+        hub.record_at(
+            2.0,
+            Task::Qnli,
+            12,
+            TraceEventKind::Completed { verdict: false },
+        );
+        let (events, dropped) = hub.trace_snapshot();
+        assert_eq!(events.len(), 2);
+        assert_eq!(dropped, 0);
+        assert_eq!(events[1].t_s, 2.0);
+        assert_eq!(events[1].request, 12);
+    }
+
+    #[test]
+    fn lane_telemetry_folds_observations() {
+        let lt = LaneTelemetry::new();
+        lt.observe_queue_delay(0.010);
+        lt.observe_completion(0.100, 25e-6);
+        lt.observe_step(0.002);
+        let h = lt.snapshot();
+        assert_eq!(h.queue_delay_s.count(), 1);
+        assert_eq!(h.sojourn_s.count(), 1);
+        assert_eq!(h.energy_per_request_j.count(), 1);
+        assert_eq!(h.step_time_s.count(), 1);
+        assert!(h.energy_per_request_j.p50() >= 25e-6);
+    }
+}

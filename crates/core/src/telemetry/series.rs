@@ -1,0 +1,105 @@
+//! Lane time-series sampling: periodic snapshots of each lane's
+//! control state so overload and elasticity dynamics become plottable
+//! curves instead of terminal counters.
+//!
+//! The sampler itself is a thread the server owns (spawned only when
+//! telemetry is enabled); this module defines the sample shape and its
+//! bounded ring. Samples share the trace ring's drop-counting
+//! semantics: a full ring overwrites oldest, contention drops.
+
+use edgebert_tasks::Task;
+use serde::{Deserialize, Serialize};
+
+use super::span::Ring;
+use crate::overload::LadderStep;
+
+/// One periodic observation of a lane's control state.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LaneSample {
+    /// Seconds since the telemetry epoch.
+    pub t_s: f64,
+    /// Lane task.
+    pub task: Task,
+    /// Overload pressure signal (backlog service demand / horizon).
+    pub pressure: f64,
+    /// Admission-ladder rung at sample time.
+    pub rung: LadderStep,
+    /// Fresh jobs queued.
+    pub queued: usize,
+    /// Parked (preempted) sessions.
+    pub parked: usize,
+    /// Autoscaled shards attached beyond the nominal pool.
+    pub extra_shards: usize,
+}
+
+/// Bounded overwrite-oldest ring of [`LaneSample`]s.
+pub struct SeriesRing {
+    ring: Ring<LaneSample>,
+}
+
+impl SeriesRing {
+    /// A ring retaining at most `capacity` samples.
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            ring: Ring::new(capacity),
+        }
+    }
+
+    /// Push one sample without blocking (contention counts a drop).
+    pub fn record(&self, sample: LaneSample) {
+        self.ring.push(sample);
+    }
+
+    /// Samples lost to contention or overwriting.
+    pub fn dropped(&self) -> u64 {
+        self.ring.dropped()
+    }
+
+    /// Retained samples oldest→newest plus the drop counter.
+    pub fn snapshot(&self) -> (Vec<LaneSample>, u64) {
+        self.ring.snapshot()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sample_round_trips_through_serde() {
+        let s = LaneSample {
+            t_s: 1.5,
+            task: Task::Qqp,
+            pressure: 0.75,
+            rung: LadderStep::Nominal,
+            queued: 4,
+            parked: 1,
+            extra_shards: 2,
+        };
+        let json = serde::json::to_string(&s);
+        let back: LaneSample = serde::json::from_str(&json).expect("round trip");
+        assert_eq!(s, back);
+    }
+
+    #[test]
+    fn series_ring_bounds_and_counts() {
+        let ring = SeriesRing::new(2);
+        for i in 0..4 {
+            ring.record(LaneSample {
+                t_s: i as f64,
+                task: Task::Sst2,
+                pressure: 0.0,
+                rung: LadderStep::Nominal,
+                queued: i,
+                parked: 0,
+                extra_shards: 0,
+            });
+        }
+        let (samples, dropped) = ring.snapshot();
+        assert_eq!(
+            samples.iter().map(|s| s.queued).collect::<Vec<_>>(),
+            vec![2, 3]
+        );
+        assert_eq!(dropped, 2);
+    }
+}

@@ -1,0 +1,394 @@
+//! Per-request trace spans: typed events, the lock-cheap sink, and the
+//! bounded overwrite-oldest ring they land in.
+//!
+//! The hot-path contract is **never block, never allocate**: the ring
+//! is preallocated at construction, `record` uses `try_lock` (a
+//! contended push is counted as a drop instead of waiting), and every
+//! event is `Copy`. A full ring overwrites its oldest event and counts
+//! the overwrite, so the drop counter is the single honesty signal for
+//! both contention and capacity loss.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use edgebert_tasks::Task;
+use serde::{Serialize, Value};
+
+/// One step in a request's span chain.
+///
+/// `SegmentStart` carries the chosen operating point as plain
+/// voltage/frequency fields (not [`crate::engine::OperatingPoint`]) so
+/// the event stays `Copy` and serializes flat.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TraceEventKind {
+    /// Request accepted into a lane queue.
+    Admitted,
+    /// Worker popped the request off the EDF queue.
+    Popped {
+        /// Seconds spent queued before the pop.
+        queue_delay_s: f64,
+    },
+    /// A DVFS segment opened: layers from `layer` run at this point.
+    SegmentStart {
+        /// First layer of the segment (1-based).
+        layer: u32,
+        /// Supply voltage of the chosen operating point, volts.
+        voltage: f64,
+        /// Clock frequency of the chosen operating point, Hz.
+        freq_hz: f64,
+    },
+    /// The entropy predictor exited early after `layer`.
+    EntropyExit {
+        /// Layer after which the exit fired (1-based).
+        layer: u32,
+    },
+    /// Session parked (preempted) with layers still to run.
+    Parked,
+    /// Parked session resumed; `thief_lane` names the foreign lane's
+    /// task when a work-stealing shard resumed it, `None` on-home.
+    Resumed {
+        /// Home task of the stealing shard, if stolen.
+        thief_lane: Option<Task>,
+    },
+    /// Admission shed the request (overload ladder).
+    Shed {
+        /// Lane pressure at the shed decision.
+        pressure: f64,
+    },
+    /// Service started with this many accuracy-tier notches dropped.
+    Degraded {
+        /// Tier notches deducted by the overload ladder.
+        notches: u8,
+    },
+    /// Response sent.
+    Completed {
+        /// Whether the deadline was met.
+        verdict: bool,
+    },
+}
+
+impl TraceEventKind {
+    /// Stable discriminant name used by the serializer and exporters.
+    pub fn name(&self) -> &'static str {
+        match self {
+            TraceEventKind::Admitted => "admitted",
+            TraceEventKind::Popped { .. } => "popped",
+            TraceEventKind::SegmentStart { .. } => "segment_start",
+            TraceEventKind::EntropyExit { .. } => "entropy_exit",
+            TraceEventKind::Parked => "parked",
+            TraceEventKind::Resumed { .. } => "resumed",
+            TraceEventKind::Shed { .. } => "shed",
+            TraceEventKind::Degraded { .. } => "degraded",
+            TraceEventKind::Completed { .. } => "completed",
+        }
+    }
+}
+
+// Hand-written: the serde_derive shim only handles unit enum variants,
+// and a tagged map (`"kind"` discriminant + payload fields) is the
+// JSONL shape consumers want anyway.
+impl Serialize for TraceEventKind {
+    fn to_value(&self) -> Value {
+        let mut fields: Vec<(String, Value)> =
+            vec![("kind".into(), Value::Str(self.name().into()))];
+        match *self {
+            TraceEventKind::Admitted | TraceEventKind::Parked => {}
+            TraceEventKind::Popped { queue_delay_s } => {
+                fields.push(("queue_delay_s".into(), queue_delay_s.to_value()));
+            }
+            TraceEventKind::SegmentStart {
+                layer,
+                voltage,
+                freq_hz,
+            } => {
+                fields.push(("layer".into(), Value::U64(layer as u64)));
+                fields.push(("voltage".into(), voltage.to_value()));
+                fields.push(("freq_hz".into(), freq_hz.to_value()));
+            }
+            TraceEventKind::EntropyExit { layer } => {
+                fields.push(("layer".into(), Value::U64(layer as u64)));
+            }
+            TraceEventKind::Resumed { thief_lane } => {
+                fields.push(("thief_lane".into(), thief_lane.to_value()));
+            }
+            TraceEventKind::Shed { pressure } => {
+                fields.push(("pressure".into(), pressure.to_value()));
+            }
+            TraceEventKind::Degraded { notches } => {
+                fields.push(("notches".into(), Value::U64(notches as u64)));
+            }
+            TraceEventKind::Completed { verdict } => {
+                fields.push(("verdict".into(), Value::Bool(verdict)));
+            }
+        }
+        Value::Map(fields)
+    }
+}
+
+/// A timestamped, request-attributed trace event. Timestamps are
+/// seconds since the owning hub's epoch (the server's own epoch, so
+/// they compare directly with lane deadlines) and are monotone within
+/// a request's chain.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraceEvent {
+    /// Seconds since the telemetry epoch.
+    pub t_s: f64,
+    /// Lane/task the request belongs to.
+    pub task: Task,
+    /// Request id: the lane submission sequence number (matches
+    /// `ServerResponse::submission`). Shed requests — which never
+    /// consume a sequence number, keeping admission numbering
+    /// identical with telemetry off — get synthetic ids counting down
+    /// from `u64::MAX`.
+    pub request: u64,
+    /// What happened.
+    pub kind: TraceEventKind,
+}
+
+impl Serialize for TraceEvent {
+    fn to_value(&self) -> Value {
+        let mut fields: Vec<(String, Value)> = vec![
+            ("t_s".into(), self.t_s.to_value()),
+            ("task".into(), self.task.to_value()),
+            ("request".into(), Value::U64(self.request)),
+        ];
+        match self.kind.to_value() {
+            Value::Map(kind_fields) => fields.extend(kind_fields),
+            other => fields.push(("kind".into(), other)),
+        }
+        Value::Map(fields)
+    }
+}
+
+/// Anything that can accept trace events from the hot path. `record`
+/// must be cheap and must never block.
+pub trait TraceSink: Send + Sync {
+    /// Accept one event (or drop it — the sink decides, never blocks).
+    fn record(&self, event: TraceEvent);
+}
+
+/// Bounded overwrite-oldest ring. Generic so the lane time-series
+/// sampler reuses the same drop-counting semantics.
+pub(crate) struct Ring<T> {
+    capacity: usize,
+    inner: Mutex<RingInner<T>>,
+    /// Pushes abandoned because the ring mutex was contended.
+    contended: AtomicU64,
+}
+
+struct RingInner<T> {
+    /// Preallocated storage; grows by push only until `capacity`.
+    slots: Vec<T>,
+    /// Index of the oldest slot once the ring is full.
+    head: usize,
+    /// Events overwritten after the ring filled.
+    overwritten: u64,
+}
+
+impl<T: Copy> Ring<T> {
+    pub(crate) fn new(capacity: usize) -> Self {
+        Self {
+            capacity,
+            inner: Mutex::new(RingInner {
+                slots: Vec::with_capacity(capacity),
+                head: 0,
+                overwritten: 0,
+            }),
+            contended: AtomicU64::new(0),
+        }
+    }
+
+    /// Push without blocking: a contended mutex or zero capacity
+    /// counts the value as dropped. Never allocates (the slot vector
+    /// was preallocated).
+    pub(crate) fn push(&self, value: T) {
+        let Ok(mut inner) = self.inner.try_lock() else {
+            self.contended.fetch_add(1, Ordering::Relaxed);
+            return;
+        };
+        if self.capacity == 0 {
+            inner.overwritten += 1;
+        } else if inner.slots.len() < self.capacity {
+            inner.slots.push(value);
+        } else {
+            let head = inner.head;
+            inner.slots[head] = value;
+            inner.head = (head + 1) % self.capacity;
+            inner.overwritten += 1;
+        }
+    }
+
+    /// Total values lost to contention or overwriting.
+    pub(crate) fn dropped(&self) -> u64 {
+        let overwritten = self
+            .inner
+            .lock()
+            .expect("telemetry ring poisoned")
+            .overwritten;
+        self.contended.load(Ordering::Relaxed) + overwritten
+    }
+
+    /// Copy out the retained values oldest→newest plus the drop count.
+    /// Takes the full lock — snapshots are off the hot path.
+    pub(crate) fn snapshot(&self) -> (Vec<T>, u64) {
+        let inner = self.inner.lock().expect("telemetry ring poisoned");
+        let mut out = Vec::with_capacity(inner.slots.len());
+        out.extend_from_slice(&inner.slots[inner.head..]);
+        out.extend_from_slice(&inner.slots[..inner.head]);
+        let dropped = self.contended.load(Ordering::Relaxed) + inner.overwritten;
+        (out, dropped)
+    }
+}
+
+/// The bounded trace-event ring every [`TraceSink`] implementation in
+/// this crate ultimately writes to.
+pub struct TraceRing {
+    ring: Ring<TraceEvent>,
+}
+
+impl TraceRing {
+    /// A ring retaining at most `capacity` events.
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            ring: Ring::new(capacity),
+        }
+    }
+
+    /// Events lost to contention or overwriting since construction.
+    pub fn dropped(&self) -> u64 {
+        self.ring.dropped()
+    }
+
+    /// Retained events oldest→newest plus the drop counter.
+    pub fn snapshot(&self) -> (Vec<TraceEvent>, u64) {
+        self.ring.snapshot()
+    }
+}
+
+impl TraceSink for TraceRing {
+    fn record(&self, event: TraceEvent) {
+        self.ring.push(event);
+    }
+}
+
+/// A cheap, cloneable handle stamping events for one request. Cloned
+/// into the session so park/steal/resume keep emitting into the same
+/// sink with the same attribution; excluded from checkpoints (a
+/// restored session starts untraced).
+#[derive(Clone)]
+pub struct SpanRecorder {
+    sink: Arc<dyn TraceSink>,
+    task: Task,
+    request: u64,
+    epoch: Instant,
+}
+
+impl std::fmt::Debug for SpanRecorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SpanRecorder")
+            .field("task", &self.task)
+            .field("request", &self.request)
+            .finish_non_exhaustive()
+    }
+}
+
+impl SpanRecorder {
+    /// A recorder stamping `task`/`request` with seconds since `epoch`.
+    pub fn new(sink: Arc<dyn TraceSink>, task: Task, request: u64, epoch: Instant) -> Self {
+        Self {
+            sink,
+            task,
+            request,
+            epoch,
+        }
+    }
+
+    /// Emit `kind` stamped with the current time. Never blocks or
+    /// allocates.
+    pub fn emit(&self, kind: TraceEventKind) {
+        self.sink.record(TraceEvent {
+            t_s: self.epoch.elapsed().as_secs_f64(),
+            task: self.task,
+            request: self.request,
+            kind,
+        });
+    }
+
+    /// Emit `kind` at an explicit timestamp (virtual timelines).
+    pub fn emit_at(&self, t_s: f64, kind: TraceEventKind) {
+        self.sink.record(TraceEvent {
+            t_s,
+            task: self.task,
+            request: self.request,
+            kind,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn event(request: u64, t_s: f64) -> TraceEvent {
+        TraceEvent {
+            t_s,
+            task: Task::Sst2,
+            request,
+            kind: TraceEventKind::Admitted,
+        }
+    }
+
+    #[test]
+    fn ring_overwrites_oldest_and_counts_drops() {
+        let ring = TraceRing::new(3);
+        for i in 0..5 {
+            ring.record(event(i, i as f64));
+        }
+        let (events, dropped) = ring.snapshot();
+        assert_eq!(
+            events.iter().map(|e| e.request).collect::<Vec<_>>(),
+            vec![2, 3, 4]
+        );
+        assert_eq!(dropped, 2);
+    }
+
+    #[test]
+    fn zero_capacity_ring_drops_everything() {
+        let ring = TraceRing::new(0);
+        ring.record(event(0, 0.0));
+        let (events, dropped) = ring.snapshot();
+        assert!(events.is_empty());
+        assert_eq!(dropped, 1);
+    }
+
+    #[test]
+    fn recorder_timestamps_are_monotone() {
+        let ring = Arc::new(TraceRing::new(8));
+        let rec = SpanRecorder::new(ring.clone(), Task::Qnli, 7, Instant::now());
+        rec.emit(TraceEventKind::Admitted);
+        rec.emit(TraceEventKind::Completed { verdict: true });
+        let (events, _) = ring.snapshot();
+        assert_eq!(events.len(), 2);
+        assert!(events[0].t_s <= events[1].t_s);
+        assert!(events
+            .iter()
+            .all(|e| e.request == 7 && e.task == Task::Qnli));
+    }
+
+    #[test]
+    fn event_serializes_with_kind_discriminant() {
+        let e = TraceEvent {
+            t_s: 0.5,
+            task: Task::Mnli,
+            request: 3,
+            kind: TraceEventKind::Popped {
+                queue_delay_s: 0.25,
+            },
+        };
+        let json = serde::json::to_string(&e);
+        assert!(json.contains("\"kind\":\"popped\""), "{json}");
+        assert!(json.contains("\"queue_delay_s\":0.25"), "{json}");
+        assert!(json.contains("\"request\":3"), "{json}");
+    }
+}

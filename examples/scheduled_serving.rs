@@ -73,6 +73,7 @@ fn main() {
         queue_aware_slack: false,
         pressure_stretch: false,
         overload: Default::default(),
+        telemetry: None,
     };
     let fifo = drain_load(&runtime, &load, cfg(SchedulePolicy::Fifo));
     let edf = drain_load(&runtime, &load, cfg(SchedulePolicy::EarliestDeadline));

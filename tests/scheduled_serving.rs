@@ -42,6 +42,7 @@ fn cfg(policy: SchedulePolicy) -> SchedulerConfig {
         queue_aware_slack: false,
         pressure_stretch: false,
         overload: Default::default(),
+        telemetry: None,
     }
 }
 

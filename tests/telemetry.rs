@@ -1,0 +1,407 @@
+//! Integration tests for the `edgebert::telemetry` subsystem: span
+//! chains recorded under real server load, bit-identity neutrality of
+//! the enabled path, deterministic virtual-timeline traces from the
+//! scheduler, exporter content, and log-histogram edge cases (zero
+//! samples, single sample, disjoint merges, serde exactness, and
+//! proptest quantile monotonicity).
+
+use edgebert::pipeline::{Scale, TaskArtifacts};
+use edgebert::scheduler::{DeadlineScheduler, SchedulerConfig};
+use edgebert::server::{Server, ServerConfig};
+use edgebert::serving::{MultiTaskRuntime, TaskRuntime};
+use edgebert::telemetry::{
+    render_prometheus, render_trace_jsonl, span_chains, validate_span_chain, LogHistogram,
+    TelemetryConfig, TraceEventKind,
+};
+use edgebert::InferenceRequest;
+use edgebert_tasks::{Task, TaskGenerator};
+use proptest::prelude::*;
+use std::sync::OnceLock;
+use std::time::Duration;
+
+fn runtime() -> &'static MultiTaskRuntime {
+    static CELL: OnceLock<MultiTaskRuntime> = OnceLock::new();
+    CELL.get_or_init(|| {
+        MultiTaskRuntime::from_runtimes([
+            TaskRuntime::from_artifacts(&TaskArtifacts::build(Task::Sst2, Scale::Test, 0x7E1E)),
+            TaskRuntime::from_artifacts(&TaskArtifacts::build(Task::Qnli, Scale::Test, 0x7E1F)),
+        ])
+    })
+}
+
+fn tokens_for(task: Task, n: usize, seed: u64) -> Vec<Vec<u32>> {
+    let rt = runtime().runtime(task).expect("served");
+    let gen = TaskGenerator::standard(task, rt.model().config.max_seq_len);
+    gen.generate(n, seed)
+        .examples()
+        .iter()
+        .map(|ex| ex.tokens.clone())
+        .collect()
+}
+
+fn telemetry_config() -> ServerConfig {
+    ServerConfig {
+        queue_aware_slack: false,
+        telemetry: Some(TelemetryConfig {
+            sample_period_s: 1e-4,
+            ..TelemetryConfig::default()
+        }),
+        ..ServerConfig::default()
+    }
+}
+
+/// The acceptance contract: with telemetry on, every served request
+/// leaves a well-formed span chain (Admitted → Popped → … → Completed,
+/// monotone timestamps), the JSONL dump has one line per event, and
+/// the Prometheus render carries non-empty queue-delay and energy
+/// histograms.
+#[test]
+fn server_load_produces_wellformed_span_chains_and_exports() {
+    let rt = runtime();
+    let server = Server::start(rt, telemetry_config());
+    // Sequential submit/wait: no two threads ever race a ring push, so
+    // the ring is provably lossless and every chain must be complete.
+    let mut ids = Vec::new();
+    for (i, tokens) in tokens_for(Task::Sst2, 4, 61)
+        .into_iter()
+        .chain(tokens_for(Task::Qnli, 4, 62))
+        .enumerate()
+    {
+        let task = if i < 4 { Task::Sst2 } else { Task::Qnli };
+        let req = InferenceRequest::new(tokens).with_latency_target(50e-3);
+        let handle = server.submit(task, req).expect("admitted");
+        ids.push((task, handle.submission()));
+        handle.wait().expect("served");
+    }
+    // Let the lane sampler take some ticks before shutdown.
+    std::thread::sleep(Duration::from_millis(10));
+    let (stats, snapshot) = server.shutdown_with_telemetry();
+    let snapshot = snapshot.expect("telemetry was enabled");
+
+    assert_eq!(
+        snapshot.dropped_events, 0,
+        "sequential load cannot contend the ring"
+    );
+    let chains = span_chains(&snapshot.events);
+    for &(task, id) in &ids {
+        let (_, chain) = chains
+            .iter()
+            .find(|((t, r), _)| *t == task && *r == id)
+            .unwrap_or_else(|| panic!("no span chain for {task} #{id}"));
+        validate_span_chain(chain)
+            .unwrap_or_else(|e| panic!("malformed chain for {task} #{id}: {e}"));
+        assert!(
+            chain
+                .iter()
+                .any(|ev| matches!(ev.kind, TraceEventKind::SegmentStart { .. })),
+            "served request should record at least one compute segment"
+        );
+    }
+
+    // JSONL: one line per event, each a JSON object.
+    let jsonl = render_trace_jsonl(&snapshot.events);
+    assert_eq!(jsonl.lines().count(), snapshot.events.len());
+    assert!(jsonl
+        .lines()
+        .all(|l| l.starts_with('{') && l.ends_with('}')));
+
+    // Prometheus: queue-delay and energy histogram families present
+    // and non-empty, lane gauges present.
+    let prom = render_prometheus(&snapshot);
+    assert!(prom.contains("edgebert_queue_delay_seconds_bucket"));
+    assert!(prom.contains("edgebert_energy_joules_bucket"));
+    for lane in &snapshot.lanes {
+        assert!(lane.histograms.queue_delay_s.count() > 0);
+        assert!(lane.histograms.energy_per_request_j.count() > 0);
+        assert!(lane.histograms.sojourn_s.count() > 0);
+    }
+    assert!(
+        !snapshot.samples.is_empty(),
+        "sampler should have ticked during the run"
+    );
+
+    // The stats snapshot carries the same distributions.
+    for lane in &stats.lanes {
+        let h = lane
+            .histograms
+            .expect("telemetry-on stats carry histograms");
+        assert_eq!(h.sojourn_s.count(), lane.served);
+    }
+}
+
+/// Telemetry is observation-only: the exact same submissions through a
+/// telemetry-on server produce bit-identical engine responses to a
+/// telemetry-off server.
+#[test]
+fn telemetry_is_bit_identity_neutral() {
+    let rt = runtime();
+    let off = ServerConfig {
+        queue_aware_slack: false,
+        ..ServerConfig::default()
+    };
+    let on = ServerConfig {
+        telemetry: Some(TelemetryConfig::default()),
+        ..off
+    };
+    let submissions: Vec<(Task, InferenceRequest)> = tokens_for(Task::Sst2, 3, 71)
+        .into_iter()
+        .map(|t| {
+            (
+                Task::Sst2,
+                InferenceRequest::new(t).with_latency_target(40e-3),
+            )
+        })
+        .chain(tokens_for(Task::Qnli, 3, 72).into_iter().map(|t| {
+            (
+                Task::Qnli,
+                InferenceRequest::new(t).with_latency_target(80e-3),
+            )
+        }))
+        .collect();
+    let serve_all = |cfg: ServerConfig| {
+        let server = Server::start(rt, cfg);
+        let responses: Vec<_> = submissions
+            .iter()
+            .map(|(task, req)| {
+                server
+                    .submit(*task, req.clone())
+                    .expect("admitted")
+                    .wait()
+                    .expect("served")
+                    .response
+            })
+            .collect();
+        server.shutdown();
+        responses
+    };
+    assert_eq!(serve_all(off), serve_all(on));
+}
+
+/// The scheduler's virtual-timestamp traces are fully deterministic:
+/// two identically-built schedulers fed the same submissions emit
+/// identical event lists, every chain validates, and responses stay
+/// bit-identical to a telemetry-off drain.
+#[test]
+fn scheduler_traces_are_deterministic_and_wellformed() {
+    let rt = runtime();
+    let cfg_on = SchedulerConfig {
+        telemetry: Some(TelemetryConfig::default()),
+        ..SchedulerConfig::default()
+    };
+    let load: Vec<(Task, InferenceRequest, f64)> = tokens_for(Task::Sst2, 3, 81)
+        .into_iter()
+        .enumerate()
+        .map(|(i, t)| {
+            (
+                Task::Sst2,
+                InferenceRequest::new(t).with_latency_target(30e-3),
+                2e-3 * i as f64,
+            )
+        })
+        .chain(
+            tokens_for(Task::Qnli, 3, 82)
+                .into_iter()
+                .enumerate()
+                .map(|(i, t)| {
+                    (
+                        Task::Qnli,
+                        InferenceRequest::new(t).with_latency_target(90e-3),
+                        1e-3 + 3e-3 * i as f64,
+                    )
+                }),
+        )
+        .collect();
+    let drain_with = |cfg: SchedulerConfig| {
+        let mut sched = DeadlineScheduler::new(rt, cfg);
+        for (task, req, arrival) in &load {
+            sched.submit(*task, req.clone(), *arrival);
+        }
+        let out = sched.drain();
+        (out, sched.telemetry_snapshot())
+    };
+
+    let (out_a, snap_a) = drain_with(cfg_on);
+    let (out_b, snap_b) = drain_with(cfg_on);
+    let (out_off, snap_off) = drain_with(SchedulerConfig::default());
+    assert!(snap_off.is_none(), "telemetry off records nothing");
+
+    let snap_a = snap_a.expect("telemetry on");
+    let snap_b = snap_b.expect("telemetry on");
+    assert_eq!(
+        snap_a.events, snap_b.events,
+        "virtual traces must be reproducible"
+    );
+    assert_eq!(snap_a.dropped_events, 0);
+
+    // Observation only: responses identical across telemetry on/off.
+    for ((a, b), off) in out_a.iter().zip(&out_b).zip(&out_off) {
+        assert_eq!(a, b);
+        assert_eq!(
+            a.as_ref().map(|r| &r.response),
+            off.as_ref().map(|r| &r.response)
+        );
+    }
+
+    // One well-formed chain per submission, with virtual timestamps.
+    let chains = span_chains(&snap_a.events);
+    assert_eq!(chains.len(), load.len());
+    for ((task, id), chain) in &chains {
+        validate_span_chain(chain)
+            .unwrap_or_else(|e| panic!("malformed chain for {task} #{id}: {e}"));
+        assert!(matches!(chain[0].kind, TraceEventKind::Admitted));
+        assert!(matches!(chain[1].kind, TraceEventKind::Popped { .. }));
+        assert!(matches!(
+            chain.last().expect("non-empty").kind,
+            TraceEventKind::Completed { .. }
+        ));
+    }
+
+    // Per-engine histograms folded one entry per served sentence.
+    for lane in &snap_a.lanes {
+        assert_eq!(lane.histograms.queue_delay_s.count(), 3);
+        assert_eq!(lane.histograms.sojourn_s.count(), 3);
+        assert_eq!(lane.histograms.energy_per_request_j.count(), 3);
+    }
+}
+
+/// A second drain on the same scheduler must not collide trace ids
+/// with the first — chains stay one-per-request across drains.
+#[test]
+fn scheduler_trace_ids_are_unique_across_drains() {
+    let rt = runtime();
+    let mut sched = DeadlineScheduler::new(
+        rt,
+        SchedulerConfig {
+            telemetry: Some(TelemetryConfig::default()),
+            ..SchedulerConfig::default()
+        },
+    );
+    let toks = tokens_for(Task::Sst2, 2, 91);
+    for round in 0..2 {
+        for t in &toks {
+            sched.submit(
+                Task::Sst2,
+                InferenceRequest::new(t.clone()).with_latency_target(50e-3),
+                round as f64,
+            );
+        }
+        sched.drain();
+    }
+    let snap = sched.telemetry_snapshot().expect("telemetry on");
+    let chains = span_chains(&snap.events);
+    assert_eq!(
+        chains.len(),
+        4,
+        "2 drains × 2 submissions → 4 distinct chains"
+    );
+    for (_, chain) in &chains {
+        validate_span_chain(chain).expect("well-formed chain");
+    }
+}
+
+#[test]
+fn empty_histogram_reports_zeros() {
+    let h = LogHistogram::new();
+    assert!(h.is_empty());
+    assert_eq!(h.count(), 0);
+    assert_eq!(h.p50(), 0.0);
+    assert_eq!(h.p99(), 0.0);
+    assert_eq!(h.max_edge(), 0.0);
+    assert_eq!(h.mean(), 0.0);
+    assert_eq!(h.cumulative_nonzero().count(), 0);
+}
+
+#[test]
+fn single_sample_histogram_brackets_it() {
+    let mut h = LogHistogram::new();
+    h.record(3.2e-3);
+    assert_eq!(h.count(), 1);
+    // Every quantile is the same bucket's upper edge, which bounds the
+    // sample from above within one bucket width (10^(1/16) ≈ 1.155).
+    let edge = h.p50();
+    assert_eq!(edge, h.p95());
+    assert_eq!(edge, h.p99());
+    assert_eq!(edge, h.max_edge());
+    assert!((3.2e-3..=3.2e-3 * 1.156).contains(&edge));
+}
+
+#[test]
+fn disjoint_ranges_merge_exactly() {
+    let mut low = LogHistogram::new();
+    let mut high = LogHistogram::new();
+    for i in 0..50 {
+        low.record(1e-6 * (1.0 + i as f64 / 50.0)); // [1µs, 2µs)
+        high.record(1.0 + i as f64 / 50.0); // [1s, 2s)
+    }
+    let mut merged = low;
+    merged.merge(&high);
+    assert_eq!(merged.count(), 100);
+    // Median sits in the low range, p99 in the high range.
+    assert!(
+        merged.p50() < 1e-5,
+        "p50 {} should be in the µs range",
+        merged.p50()
+    );
+    assert!(
+        merged.p99() > 0.5,
+        "p99 {} should be in the seconds range",
+        merged.p99()
+    );
+    assert_eq!(merged.sum(), low.sum() + high.sum());
+}
+
+#[test]
+fn histogram_serde_round_trip_is_exact() {
+    let mut h = LogHistogram::new();
+    for &v in &[0.0, 1e-9, 4.2e-5, 0.37, 999.0, 1e7, -3.0] {
+        h.record(v);
+    }
+    let json = serde::json::to_string(&h);
+    let back: LogHistogram = serde::json::from_str(&json).expect("round trip");
+    // Bit-exact: counts are integers and the sum travels as the same
+    // f64 (the shim renders f64 with full round-trip precision).
+    assert_eq!(h, back);
+    assert_eq!(h.p99(), back.p99());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Quantiles are monotone in `q` and bound every recorded sample.
+    #[test]
+    fn quantiles_are_monotone_and_bound_samples(
+        values in prop::collection::vec(1e-8f64..5e2, 1..200),
+        qa in 0.0f64..1.0,
+        qb in 0.0f64..1.0,
+    ) {
+        let mut h = LogHistogram::new();
+        let mut max_v = 0.0f64;
+        for &v in &values {
+            h.record(v);
+            max_v = max_v.max(v);
+        }
+        let (lo, hi) = if qa <= qb { (qa, qb) } else { (qb, qa) };
+        prop_assert!(h.quantile(lo) <= h.quantile(hi),
+            "quantile({lo}) > quantile({hi})");
+        prop_assert!(h.max_edge() >= max_v * 0.999,
+            "max edge {} below largest sample {max_v}", h.max_edge());
+        prop_assert_eq!(h.count(), values.len() as u64);
+    }
+
+    /// Merging preserves counts and keeps quantiles within the merged
+    /// supports' bounds.
+    #[test]
+    fn merge_preserves_counts(
+        a in prop::collection::vec(1e-8f64..5e2, 0..100),
+        b in prop::collection::vec(1e-8f64..5e2, 0..100),
+    ) {
+        let mut ha = LogHistogram::new();
+        let mut hb = LogHistogram::new();
+        for &v in &a { ha.record(v); }
+        for &v in &b { hb.record(v); }
+        let mut merged = ha;
+        merged.merge(&hb);
+        prop_assert_eq!(merged.count(), (a.len() + b.len()) as u64);
+        prop_assert!(merged.max_edge() >= ha.max_edge().max(hb.max_edge()) * 0.999);
+    }
+}

@@ -1,0 +1,116 @@
+//! Pins the telemetry hot-path contract: the disabled path allocates
+//! nothing per request, and the enabled steady-state primitives (ring
+//! record, histogram record, span-recorder emit) allocate nothing
+//! either — rings are preallocated, events are `Copy`, histograms are
+//! fixed arrays.
+//!
+//! One `#[test]` function on purpose: integration-test binaries run
+//! their tests on parallel threads, and a second thread's allocations
+//! would bleed into the global counter and flake the assertion.
+
+use edgebert::telemetry::{
+    SpanRecorder, Telemetry, TelemetryConfig, TraceEventKind, TraceRing, TraceSink,
+};
+use edgebert_tasks::Task;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static COUNTER: CountingAllocator = CountingAllocator;
+
+/// Allocations observed while running `f`.
+fn allocations_during(f: impl FnOnce()) -> u64 {
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    f();
+    ALLOCATIONS.load(Ordering::Relaxed) - before
+}
+
+#[test]
+fn telemetry_hot_paths_do_not_allocate() {
+    // --- Disabled path: the per-request cost of `telemetry: None` is
+    // a skipped `if let` — provably allocation-free.
+    let disabled: Option<Arc<Telemetry>> = None;
+    let n = allocations_during(|| {
+        for i in 0..10_000u64 {
+            if let Some(hub) = &disabled {
+                hub.record_at(0.0, Task::Sst2, i, TraceEventKind::Admitted);
+            }
+        }
+    });
+    assert_eq!(n, 0, "disabled telemetry path must not allocate");
+
+    // --- Enabled steady state: every per-event primitive works on
+    // preallocated storage. Warm the ring past capacity first so the
+    // overwrite path (the steady state under load) is what's measured.
+    let hub = Arc::new(Telemetry::new(
+        TelemetryConfig {
+            trace_capacity: 64,
+            series_capacity: 8,
+            ..TelemetryConfig::default()
+        },
+        Instant::now(),
+    ));
+    let recorder: SpanRecorder = hub.recorder(Task::Sst2, 1);
+    recorder.emit(TraceEventKind::Admitted);
+
+    let n = allocations_during(|| {
+        for i in 0..10_000u64 {
+            hub.record_at(
+                i as f64,
+                Task::Sst2,
+                i,
+                TraceEventKind::Popped { queue_delay_s: 0.0 },
+            );
+            recorder.emit(TraceEventKind::SegmentStart {
+                layer: 1,
+                voltage: 0.55,
+                freq_hz: 20e6,
+            });
+            recorder.emit_at(i as f64, TraceEventKind::Completed { verdict: true });
+        }
+    });
+    assert_eq!(n, 0, "enabled ring record/emit must not allocate");
+
+    // Standalone ring: record through the trait object too.
+    let ring = TraceRing::new(16);
+    let first = {
+        let (events, _) = hub.trace_snapshot();
+        events[0]
+    };
+    let n = allocations_during(|| {
+        for _ in 0..10_000 {
+            ring.record(first);
+        }
+    });
+    assert_eq!(n, 0, "ring overwrite steady state must not allocate");
+
+    // Histogram record: fixed arrays, pure arithmetic.
+    let mut hist = edgebert::telemetry::LogHistogram::new();
+    let n = allocations_during(|| {
+        for i in 0..10_000 {
+            hist.record(1e-6 * (1 + i % 997) as f64);
+        }
+    });
+    assert_eq!(n, 0, "histogram record must not allocate");
+    assert_eq!(hist.count(), 10_000);
+}
