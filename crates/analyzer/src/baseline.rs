@@ -1,0 +1,223 @@
+//! The grandfathering baseline: a checked-in TOML file that names
+//! triaged pre-existing findings so new violations fail CI while the
+//! backlog burns down.
+//!
+//! Entries match on `(lint, file, function)` — deliberately not on
+//! line numbers, which shift with every edit. The parser handles the
+//! subset of TOML the analyzer emits: `[[finding]]` tables with
+//! `key = "value"` pairs and `#` comments. `invalid-directive`
+//! findings can never be baselined.
+
+use crate::lints::{Finding, Lint};
+
+/// One grandfathered finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BaselineEntry {
+    pub lint: Lint,
+    pub file: String,
+    pub function: String,
+}
+
+/// Parse baseline TOML text.
+pub fn parse(text: &str) -> Result<Vec<BaselineEntry>, String> {
+    let mut entries = Vec::new();
+    let mut current: Option<(Option<Lint>, Option<String>, Option<String>)> = None;
+    for (n, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if line == "[[finding]]" {
+            if let Some(entry) = current.take() {
+                entries.push(finish(entry, n)?);
+            }
+            current = Some((None, None, None));
+            continue;
+        }
+        let Some((key, value)) = line.split_once('=') else {
+            return Err(format!("baseline line {}: expected key = \"value\"", n + 1));
+        };
+        let key = key.trim();
+        let value = value.trim();
+        let Some(value) = value.strip_prefix('"').and_then(|v| v.split('"').next()) else {
+            return Err(format!(
+                "baseline line {}: value for `{key}` must be double-quoted",
+                n + 1
+            ));
+        };
+        let Some(entry) = current.as_mut() else {
+            return Err(format!(
+                "baseline line {}: `{key}` outside a [[finding]] table",
+                n + 1
+            ));
+        };
+        match key {
+            "lint" => {
+                let lint = Lint::from_id(value)
+                    .ok_or_else(|| format!("baseline line {}: unknown lint `{value}`", n + 1))?;
+                if lint.unsuppressible() {
+                    return Err(format!(
+                        "baseline line {}: lint `{value}` cannot be baselined",
+                        n + 1
+                    ));
+                }
+                entry.0 = Some(lint);
+            }
+            "file" => entry.1 = Some(value.to_string()),
+            "function" => entry.2 = Some(value.to_string()),
+            other => {
+                return Err(format!("baseline line {}: unknown key `{other}`", n + 1));
+            }
+        }
+    }
+    if let Some(entry) = current.take() {
+        entries.push(finish(entry, text.lines().count())?);
+    }
+    Ok(entries)
+}
+
+fn finish(
+    (lint, file, function): (Option<Lint>, Option<String>, Option<String>),
+    line: usize,
+) -> Result<BaselineEntry, String> {
+    Ok(BaselineEntry {
+        lint: lint.ok_or(format!(
+            "baseline entry ending at line {line}: missing `lint`"
+        ))?,
+        file: file.ok_or(format!(
+            "baseline entry ending at line {line}: missing `file`"
+        ))?,
+        function: function.ok_or(format!(
+            "baseline entry ending at line {line}: missing `function`"
+        ))?,
+    })
+}
+
+/// Render findings as baseline TOML (for `--emit-baseline`).
+/// `invalid-directive` findings are never emitted.
+pub fn render(findings: &[Finding]) -> String {
+    let mut out = String::from(
+        "# edgebert-analyzer baseline — triaged pre-existing findings.\n\
+         # Entries match on (lint, file, function); new findings outside\n\
+         # this list fail the analyzer. Regenerate a candidate list with\n\
+         # `cargo run -p edgebert-analyzer -- --workspace --emit-baseline`.\n",
+    );
+    let mut seen: Vec<(Lint, &str, &str)> = Vec::new();
+    for f in findings {
+        if f.lint.unsuppressible() {
+            continue;
+        }
+        let key = (f.lint, f.file.as_str(), f.function.as_str());
+        if seen.contains(&key) {
+            continue;
+        }
+        seen.push(key);
+        out.push_str(&format!(
+            "\n[[finding]]\nlint = \"{}\"\nfile = \"{}\"\nfunction = \"{}\"\n",
+            f.lint, f.file, f.function
+        ));
+    }
+    out
+}
+
+/// Split findings into (remaining, baselined count, unused entries).
+pub fn apply(
+    findings: Vec<Finding>,
+    baseline: &[BaselineEntry],
+) -> (Vec<Finding>, usize, Vec<BaselineEntry>) {
+    let mut used = vec![false; baseline.len()];
+    let mut remaining = Vec::new();
+    let mut matched = 0usize;
+    for f in findings {
+        let hit = baseline
+            .iter()
+            .position(|b| b.lint == f.lint && b.file == f.file && b.function == f.function);
+        match hit {
+            Some(i) if !f.lint.unsuppressible() => {
+                used[i] = true;
+                matched += 1;
+            }
+            _ => remaining.push(f),
+        }
+    }
+    let unused = baseline
+        .iter()
+        .zip(&used)
+        .filter(|(_, u)| !**u)
+        .map(|(b, _)| b.clone())
+        .collect();
+    (remaining, matched, unused)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_through_render_and_parse() {
+        let findings = vec![
+            Finding {
+                lint: Lint::WallClock,
+                file: "crates/core/src/scheduler.rs".into(),
+                line: 242,
+                function: "DeadlineScheduler::drain".into(),
+                message: "m".into(),
+            },
+            Finding {
+                lint: Lint::InvalidDirective,
+                file: "x.rs".into(),
+                line: 1,
+                function: "<module>".into(),
+                message: "never baselined".into(),
+            },
+        ];
+        let toml = render(&findings);
+        let entries = parse(&toml).expect("parse");
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].lint, Lint::WallClock);
+        assert_eq!(entries[0].function, "DeadlineScheduler::drain");
+    }
+
+    #[test]
+    fn apply_matches_on_lint_file_function() {
+        let baseline = vec![BaselineEntry {
+            lint: Lint::FloatEq,
+            file: "a.rs".into(),
+            function: "f".into(),
+        }];
+        let findings = vec![
+            Finding {
+                lint: Lint::FloatEq,
+                file: "a.rs".into(),
+                line: 10,
+                function: "f".into(),
+                message: "m".into(),
+            },
+            Finding {
+                lint: Lint::FloatEq,
+                file: "a.rs".into(),
+                line: 20,
+                function: "g".into(),
+                message: "m".into(),
+            },
+        ];
+        let (remaining, matched, unused) = apply(findings, &baseline);
+        assert_eq!(matched, 1);
+        assert_eq!(remaining.len(), 1);
+        assert_eq!(remaining[0].function, "g");
+        assert!(unused.is_empty());
+    }
+
+    #[test]
+    fn unknown_lint_in_baseline_is_an_error() {
+        let err = parse("[[finding]]\nlint = \"bogus\"\nfile = \"a\"\nfunction = \"b\"\n");
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn invalid_directive_cannot_be_baselined() {
+        let err =
+            parse("[[finding]]\nlint = \"invalid-directive\"\nfile = \"a\"\nfunction = \"b\"\n");
+        assert!(err.is_err());
+    }
+}

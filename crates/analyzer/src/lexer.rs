@@ -1,0 +1,429 @@
+//! A hand-rolled lexer for the subset of Rust the analyzer needs.
+//!
+//! The goal is not a faithful grammar: it is a token stream precise
+//! enough to track identifiers, call sites, braces, and line comments
+//! (which carry `// analyzer:` directives). Multi-character operators
+//! are only fused when the fusion can never split a generic-argument
+//! list — `>>`, `<<`, `<=`, `>=` stay single characters so
+//! `Vec<Vec<u8>>` lexes the same way the compiler sees it.
+
+/// What a token is. String payloads are owned so the token stream can
+/// outlive the source buffer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword.
+    Ident(String),
+    /// Integer or float literal, verbatim (including suffix).
+    Number(String),
+    /// String literal (contents dropped).
+    Str,
+    /// Character literal (contents dropped).
+    Char,
+    /// Lifetime such as `'a` (name dropped).
+    Lifetime,
+    /// Punctuation; multi-character only for the fused set.
+    Punct(&'static str),
+}
+
+/// One token with the 1-based line it starts on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    pub kind: TokKind,
+    pub line: u32,
+}
+
+impl Token {
+    /// The identifier text, if this is an identifier.
+    pub fn ident(&self) -> Option<&str> {
+        match &self.kind {
+            TokKind::Ident(s) => Some(s.as_str()),
+            _ => None,
+        }
+    }
+
+    /// True when this token is exactly the given punctuation.
+    pub fn is_punct(&self, p: &str) -> bool {
+        matches!(&self.kind, TokKind::Punct(q) if *q == p)
+    }
+}
+
+/// One `//` line comment with its 1-based line and the text after the
+/// slashes (untrimmed). Block comments are skipped — directives must
+/// be line comments.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LineComment {
+    pub line: u32,
+    pub text: String,
+}
+
+/// The result of lexing one file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    pub tokens: Vec<Token>,
+    pub comments: Vec<LineComment>,
+}
+
+/// Operators fused into one token. Deliberately excludes `>>`/`<<`/
+/// `<=`/`>=` (generic-list ambiguity) — order matters: longest first
+/// within a shared prefix.
+const FUSED: &[&str] = &[
+    "::", "->", "=>", "==", "!=", "&&", "||", "..", "+=", "-=", "*=", "/=",
+];
+
+/// Lex `src` into tokens plus line comments.
+pub fn lex(src: &str) -> Lexed {
+    let bytes = src.as_bytes();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    while i < bytes.len() {
+        let c = bytes[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            b' ' | b'\t' | b'\r' => i += 1,
+            b'/' if bytes.get(i + 1) == Some(&b'/') => {
+                let start = i + 2;
+                let mut j = start;
+                while j < bytes.len() && bytes[j] != b'\n' {
+                    j += 1;
+                }
+                out.comments.push(LineComment {
+                    line,
+                    text: src[start..j].to_string(),
+                });
+                i = j;
+            }
+            b'/' if bytes.get(i + 1) == Some(&b'*') => {
+                // Nested block comments, newline-counted, not recorded.
+                let mut depth = 1usize;
+                let mut j = i + 2;
+                while j < bytes.len() && depth > 0 {
+                    if bytes[j] == b'\n' {
+                        line += 1;
+                        j += 1;
+                    } else if bytes[j] == b'/' && bytes.get(j + 1) == Some(&b'*') {
+                        depth += 1;
+                        j += 2;
+                    } else if bytes[j] == b'*' && bytes.get(j + 1) == Some(&b'/') {
+                        depth -= 1;
+                        j += 2;
+                    } else {
+                        j += 1;
+                    }
+                }
+                i = j;
+            }
+            b'"' => {
+                i = skip_string(bytes, i, &mut line);
+                out.tokens.push(Token {
+                    kind: TokKind::Str,
+                    line,
+                });
+            }
+            b'\'' => {
+                // Lifetime (`'a`) vs char literal (`'a'`, `'\n'`).
+                let is_lifetime = match bytes.get(i + 1) {
+                    Some(&n) if n.is_ascii_alphabetic() || n == b'_' => {
+                        // `'a'` is a char; `'a` followed by non-quote is
+                        // a lifetime. `'ab'` is not valid Rust anyway.
+                        bytes.get(i + 2) != Some(&b'\'')
+                    }
+                    _ => false,
+                };
+                if is_lifetime {
+                    let mut j = i + 1;
+                    while j < bytes.len() && (bytes[j].is_ascii_alphanumeric() || bytes[j] == b'_')
+                    {
+                        j += 1;
+                    }
+                    out.tokens.push(Token {
+                        kind: TokKind::Lifetime,
+                        line,
+                    });
+                    i = j;
+                } else {
+                    let mut j = i + 1;
+                    while j < bytes.len() && bytes[j] != b'\'' {
+                        if bytes[j] == b'\\' {
+                            j += 1;
+                        }
+                        if bytes[j] == b'\n' {
+                            line += 1;
+                        }
+                        j += 1;
+                    }
+                    out.tokens.push(Token {
+                        kind: TokKind::Char,
+                        line,
+                    });
+                    i = (j + 1).min(bytes.len());
+                }
+            }
+            _ if c.is_ascii_digit() => {
+                let (j, text) = lex_number(src, bytes, i);
+                out.tokens.push(Token {
+                    kind: TokKind::Number(text),
+                    line,
+                });
+                i = j;
+            }
+            _ if c.is_ascii_alphabetic() || c == b'_' || c >= 0x80 => {
+                let mut j = i;
+                while j < bytes.len()
+                    && (bytes[j].is_ascii_alphanumeric() || bytes[j] == b'_' || bytes[j] >= 0x80)
+                {
+                    j += 1;
+                }
+                let word = &src[i..j];
+                // Raw / byte string prefixes: r"", r#""#, b"", br"".
+                if matches!(word, "r" | "b" | "br" | "rb")
+                    && matches!(bytes.get(j), Some(&b'"') | Some(&b'#'))
+                    && word.contains('r')
+                {
+                    i = skip_raw_string(bytes, j, &mut line);
+                    out.tokens.push(Token {
+                        kind: TokKind::Str,
+                        line,
+                    });
+                } else if word == "b" && bytes.get(j) == Some(&b'"') {
+                    i = skip_string(bytes, j, &mut line);
+                    out.tokens.push(Token {
+                        kind: TokKind::Str,
+                        line,
+                    });
+                } else {
+                    out.tokens.push(Token {
+                        kind: TokKind::Ident(word.to_string()),
+                        line,
+                    });
+                    i = j;
+                }
+            }
+            _ => {
+                let rest = &src[i..];
+                let fused = FUSED.iter().find(|op| rest.starts_with(**op));
+                if let Some(op) = fused {
+                    out.tokens.push(Token {
+                        kind: TokKind::Punct(op),
+                        line,
+                    });
+                    i += op.len();
+                } else {
+                    out.tokens.push(Token {
+                        kind: TokKind::Punct(single_punct(c)),
+                        line,
+                    });
+                    i += 1;
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Skip a normal (escaped) string literal starting at the opening
+/// quote; returns the index past the closing quote.
+fn skip_string(bytes: &[u8], open: usize, line: &mut u32) -> usize {
+    let mut j = open + 1;
+    while j < bytes.len() {
+        match bytes[j] {
+            b'\\' => j += 2,
+            b'"' => return j + 1,
+            b'\n' => {
+                *line += 1;
+                j += 1;
+            }
+            _ => j += 1,
+        }
+    }
+    j
+}
+
+/// Skip a raw string starting at the first `#` or `"` after the `r`
+/// prefix; returns the index past the closing delimiter.
+fn skip_raw_string(bytes: &[u8], mut j: usize, line: &mut u32) -> usize {
+    let mut hashes = 0usize;
+    while bytes.get(j) == Some(&b'#') {
+        hashes += 1;
+        j += 1;
+    }
+    if bytes.get(j) != Some(&b'"') {
+        return j;
+    }
+    j += 1;
+    while j < bytes.len() {
+        if bytes[j] == b'\n' {
+            *line += 1;
+            j += 1;
+            continue;
+        }
+        if bytes[j] == b'"' {
+            let mut k = j + 1;
+            let mut seen = 0usize;
+            while seen < hashes && bytes.get(k) == Some(&b'#') {
+                seen += 1;
+                k += 1;
+            }
+            if seen == hashes {
+                return k;
+            }
+        }
+        j += 1;
+    }
+    j
+}
+
+/// Lex a numeric literal; returns (index past the literal, verbatim
+/// text). Handles hex/octal/binary prefixes, fractions, exponents
+/// (including signed), and type suffixes. `1.0` vs `1..n` vs tuple
+/// indexing `x.0` are disambiguated by requiring a digit after `.`.
+fn lex_number(src: &str, bytes: &[u8], start: usize) -> (usize, String) {
+    let mut j = start;
+    let radix_prefixed = bytes[j] == b'0'
+        && matches!(
+            bytes.get(j + 1),
+            Some(&b'x') | Some(&b'X') | Some(&b'o') | Some(&b'O') | Some(&b'b') | Some(&b'B')
+        );
+    if radix_prefixed {
+        j += 2;
+        while j < bytes.len() && (bytes[j].is_ascii_alphanumeric() || bytes[j] == b'_') {
+            j += 1;
+        }
+        return (j, src[start..j].to_string());
+    }
+    while j < bytes.len() && (bytes[j].is_ascii_digit() || bytes[j] == b'_') {
+        j += 1;
+    }
+    if bytes.get(j) == Some(&b'.') && bytes.get(j + 1).is_some_and(|b| b.is_ascii_digit()) {
+        j += 1;
+        while j < bytes.len() && (bytes[j].is_ascii_digit() || bytes[j] == b'_') {
+            j += 1;
+        }
+    }
+    if matches!(bytes.get(j), Some(&b'e') | Some(&b'E'))
+        && (bytes.get(j + 1).is_some_and(|b| b.is_ascii_digit())
+            || (matches!(bytes.get(j + 1), Some(&b'+') | Some(&b'-'))
+                && bytes.get(j + 2).is_some_and(|b| b.is_ascii_digit())))
+    {
+        j += 2;
+        while j < bytes.len() && (bytes[j].is_ascii_digit() || bytes[j] == b'_') {
+            j += 1;
+        }
+    }
+    // Type suffix (f64, u32, usize, ...).
+    while j < bytes.len() && (bytes[j].is_ascii_alphanumeric() || bytes[j] == b'_') {
+        j += 1;
+    }
+    (j, src[start..j].to_string())
+}
+
+/// Intern single-byte punctuation as a static str.
+fn single_punct(c: u8) -> &'static str {
+    match c {
+        b'{' => "{",
+        b'}' => "}",
+        b'(' => "(",
+        b')' => ")",
+        b'[' => "[",
+        b']' => "]",
+        b';' => ";",
+        b',' => ",",
+        b'.' => ".",
+        b':' => ":",
+        b'<' => "<",
+        b'>' => ">",
+        b'=' => "=",
+        b'+' => "+",
+        b'-' => "-",
+        b'*' => "*",
+        b'/' => "/",
+        b'%' => "%",
+        b'&' => "&",
+        b'|' => "|",
+        b'^' => "^",
+        b'!' => "!",
+        b'?' => "?",
+        b'#' => "#",
+        b'@' => "@",
+        b'~' => "~",
+        b'$' => "$",
+        _ => "?",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .iter()
+            .filter_map(|t| t.ident().map(str::to_string))
+            .collect()
+    }
+
+    #[test]
+    fn generics_are_not_fused() {
+        let toks = lex("let x: Vec<Vec<u8>> = v;").tokens;
+        assert!(toks.iter().any(|t| t.is_punct(">")));
+        assert!(!toks.iter().any(|t| t.is_punct(">>")));
+    }
+
+    #[test]
+    fn fused_operators_survive() {
+        let toks = lex("a::b -> c == d != e && f || g .. h").tokens;
+        for op in ["::", "->", "==", "!=", "&&", "||", ".."] {
+            assert!(toks.iter().any(|t| t.is_punct(op)), "missing {op}");
+        }
+    }
+
+    #[test]
+    fn lifetimes_vs_chars() {
+        let toks = lex("fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; }").tokens;
+        let lifetimes = toks.iter().filter(|t| t.kind == TokKind::Lifetime).count();
+        let chars = toks.iter().filter(|t| t.kind == TokKind::Char).count();
+        assert_eq!(lifetimes, 2);
+        assert_eq!(chars, 2);
+    }
+
+    #[test]
+    fn comments_are_collected_with_lines() {
+        let l = lex("fn a() {}\n// analyzer: hot-path\nfn b() {}\n/* block\ncomment */ fn c() {}");
+        assert_eq!(l.comments.len(), 1);
+        assert_eq!(l.comments[0].line, 2);
+        assert_eq!(l.comments[0].text.trim(), "analyzer: hot-path");
+        assert_eq!(idents("fn c() {}"), vec!["fn", "c"]);
+        // Block comment newlines still advance line numbers.
+        let c_tok = l
+            .tokens
+            .iter()
+            .find(|t| t.ident() == Some("c"))
+            .expect("c token");
+        assert_eq!(c_tok.line, 5);
+    }
+
+    #[test]
+    fn numbers_with_exponents_and_suffixes() {
+        let toks = lex("let a = 1e-3; let b = 2.5f64; let c = 0xFF; let d = x.0;").tokens;
+        let nums: Vec<&str> = toks
+            .iter()
+            .filter_map(|t| match &t.kind {
+                TokKind::Number(n) => Some(n.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(nums, vec!["1e-3", "2.5f64", "0xFF", "0"]);
+    }
+
+    #[test]
+    fn raw_and_byte_strings_skip_contents() {
+        let l = lex(r###"let a = r#"no // directive in "here""#; let b = b"bytes";"###);
+        assert_eq!(l.comments.len(), 0);
+        let strs = l.tokens.iter().filter(|t| t.kind == TokKind::Str).count();
+        assert_eq!(strs, 2);
+    }
+}

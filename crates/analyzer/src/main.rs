@@ -1,0 +1,152 @@
+//! CLI for `edgebert-analyzer`.
+//!
+//! ```text
+//! edgebert-analyzer [--workspace | <paths>...] [--baseline <file>]
+//!                   [--json] [--emit-baseline]
+//! ```
+//!
+//! Exit codes: 0 clean (or everything baselined/allowed), 1 findings,
+//! 2 usage or I/O error.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use edgebert_analyzer::report::{render_json, render_text, Totals};
+use edgebert_analyzer::{baseline, scan};
+
+struct Args {
+    workspace: bool,
+    paths: Vec<PathBuf>,
+    baseline: Option<PathBuf>,
+    json: bool,
+    emit_baseline: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        workspace: false,
+        paths: Vec::new(),
+        baseline: None,
+        json: false,
+        emit_baseline: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--workspace" => args.workspace = true,
+            "--baseline" => {
+                let v = it.next().ok_or("--baseline requires a path")?;
+                args.baseline = Some(PathBuf::from(v));
+            }
+            "--json" => args.json = true,
+            "--emit-baseline" => args.emit_baseline = true,
+            "--help" | "-h" => {
+                return Err("usage: edgebert-analyzer [--workspace | <paths>...] \
+                     [--baseline <file>] [--json] [--emit-baseline]"
+                    .to_string())
+            }
+            p if !p.starts_with('-') => args.paths.push(PathBuf::from(p)),
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    if !args.workspace && args.paths.is_empty() {
+        return Err("pass --workspace or at least one file/directory".to_string());
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+
+    // Assemble the file set.
+    let mut files: Vec<(String, String)> = Vec::new();
+    let mut baseline_path = args.baseline.clone();
+    if args.workspace {
+        let cwd = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+        let Some(root) = edgebert_analyzer::workspace_root(&cwd) else {
+            eprintln!("--workspace: no [workspace] Cargo.toml found above {cwd:?}");
+            return ExitCode::from(2);
+        };
+        match edgebert_analyzer::collect_workspace_files(&root) {
+            Ok(f) => files = f,
+            Err(e) => {
+                eprintln!("walking workspace: {e}");
+                return ExitCode::from(2);
+            }
+        }
+        // --workspace auto-loads the checked-in baseline when present.
+        if baseline_path.is_none() {
+            let candidate = root.join("analyzer-baseline.toml");
+            if candidate.is_file() {
+                baseline_path = Some(candidate);
+            }
+        }
+    }
+    for p in &args.paths {
+        if p.is_dir() {
+            if let Err(e) = edgebert_analyzer::collect_rs_files(p, Path::new(""), &mut files) {
+                eprintln!("walking {p:?}: {e}");
+                return ExitCode::from(2);
+            }
+        } else {
+            match std::fs::read_to_string(p) {
+                Ok(src) => files.push((p.to_string_lossy().replace('\\', "/"), src)),
+                Err(e) => {
+                    eprintln!("reading {p:?}: {e}");
+                    return ExitCode::from(2);
+                }
+            }
+        }
+    }
+
+    let report = scan::analyze(&files);
+
+    if args.emit_baseline {
+        print!("{}", baseline::render(&report.findings));
+        return ExitCode::SUCCESS;
+    }
+
+    let (findings, baselined, unused) = match &baseline_path {
+        Some(p) => {
+            let text = match std::fs::read_to_string(p) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("reading baseline {p:?}: {e}");
+                    return ExitCode::from(2);
+                }
+            };
+            let entries = match baseline::parse(&text) {
+                Ok(e) => e,
+                Err(msg) => {
+                    eprintln!("{msg}");
+                    return ExitCode::from(2);
+                }
+            };
+            baseline::apply(report.findings, &entries)
+        }
+        None => (report.findings, 0, Vec::new()),
+    };
+
+    let totals = Totals {
+        suppressed: report.suppressed,
+        baselined,
+    };
+    if args.json {
+        print!("{}", render_json(&findings, totals, &unused));
+    } else {
+        print!("{}", render_text(&findings, totals, &unused));
+    }
+    // Stale baseline entries fail the run too: the baseline may only
+    // ever shrink, and a fixed finding must take its entry with it.
+    if findings.is_empty() && unused.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}

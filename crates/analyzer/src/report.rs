@@ -1,0 +1,138 @@
+//! Human-readable and JSON rendering of analysis results. JSON is
+//! hand-rolled — the analyzer has zero dependencies by design.
+
+use crate::baseline::BaselineEntry;
+use crate::lints::Finding;
+
+/// Counters accompanying the findings list.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct Totals {
+    pub suppressed: usize,
+    pub baselined: usize,
+}
+
+/// Plain-text report: one line per finding plus a summary.
+pub fn render_text(findings: &[Finding], totals: Totals, unused: &[BaselineEntry]) -> String {
+    let mut out = String::new();
+    for f in findings {
+        out.push_str(&f.to_string());
+        out.push('\n');
+    }
+    for b in unused {
+        out.push_str(&format!(
+            "note: unused baseline entry [{}] {} (in {})\n",
+            b.lint, b.file, b.function
+        ));
+    }
+    out.push_str(&format!(
+        "{} finding{} ({} suppressed by allow, {} baselined)\n",
+        findings.len(),
+        if findings.len() == 1 { "" } else { "s" },
+        totals.suppressed,
+        totals.baselined,
+    ));
+    out
+}
+
+/// JSON report (`--json`): findings, counters, and unused baseline
+/// entries in one object.
+pub fn render_json(findings: &[Finding], totals: Totals, unused: &[BaselineEntry]) -> String {
+    let mut out = String::from("{\n  \"findings\": [");
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{\"lint\": {}, \"file\": {}, \"line\": {}, \"function\": {}, \"message\": {}}}",
+            json_str(f.lint.id()),
+            json_str(&f.file),
+            f.line,
+            json_str(&f.function),
+            json_str(&f.message)
+        ));
+    }
+    if !findings.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("],\n  \"unused_baseline\": [");
+    for (i, b) in unused.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{\"lint\": {}, \"file\": {}, \"function\": {}}}",
+            json_str(b.lint.id()),
+            json_str(&b.file),
+            json_str(&b.function)
+        ));
+    }
+    if !unused.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str(&format!(
+        "],\n  \"suppressed\": {},\n  \"baselined\": {}\n}}\n",
+        totals.suppressed, totals.baselined
+    ));
+    out
+}
+
+/// Minimal JSON string escaping.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lints::Lint;
+
+    #[test]
+    fn json_escapes_and_structures() {
+        let findings = vec![Finding {
+            lint: Lint::FloatEq,
+            file: "a\"b.rs".into(),
+            line: 3,
+            function: "f".into(),
+            message: "uses \"==\"".into(),
+        }];
+        let json = render_json(
+            &findings,
+            Totals {
+                suppressed: 1,
+                baselined: 2,
+            },
+            &[],
+        );
+        assert!(json.contains("\"lint\": \"float-eq\""));
+        assert!(json.contains("a\\\"b.rs"));
+        assert!(json.contains("\"suppressed\": 1"));
+        assert!(json.contains("\"baselined\": 2"));
+    }
+
+    #[test]
+    fn text_summary_counts() {
+        let text = render_text(
+            &[],
+            Totals {
+                suppressed: 3,
+                baselined: 4,
+            },
+            &[],
+        );
+        assert!(text.contains("0 findings (3 suppressed by allow, 4 baselined)"));
+    }
+}

@@ -1,0 +1,126 @@
+//! Fixture corpus: every lint family has a minimal source file under
+//! `tests/fixtures/` that must produce *exactly* its expected finding —
+//! same lint, same line, same function — plus a clean fixture that must
+//! stay silent and a broken-suppression fixture whose directive is
+//! itself the finding.
+
+use edgebert_analyzer::{analyze, Finding, Lint};
+use std::path::Path;
+
+fn run_fixture(name: &str) -> Vec<Finding> {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    let src = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("read fixture {}: {e}", path.display()));
+    analyze(&[(name.to_string(), src)]).findings
+}
+
+/// Asserts the fixture yields exactly one finding of `lint` at `line`
+/// inside `function`.
+fn assert_single(name: &str, lint: Lint, line: u32, function: &str) {
+    let findings = run_fixture(name);
+    assert_eq!(
+        findings.len(),
+        1,
+        "{name}: expected exactly one finding, got {findings:?}"
+    );
+    let f = &findings[0];
+    assert_eq!(f.lint, lint, "{name}: wrong lint: {f}");
+    assert_eq!(f.line, line, "{name}: wrong line: {f}");
+    assert_eq!(f.function, function, "{name}: wrong function: {f}");
+}
+
+#[test]
+fn nested_lock_direct() {
+    assert_single("nested_lock.rs", Lint::NestedLock, 13, "sum");
+}
+
+#[test]
+fn nested_lock_one_level_interprocedural() {
+    assert_single(
+        "nested_lock_interprocedural.rs",
+        Lint::NestedLock,
+        18,
+        "State::drain",
+    );
+}
+
+#[test]
+fn lock_held_across_session_step() {
+    assert_single(
+        "lock_across_step.rs",
+        Lint::LockAcrossStep,
+        14,
+        "serve_locked",
+    );
+}
+
+#[test]
+fn lock_unwrap_inside_worker_loop() {
+    assert_single("lock_unwrap_in_loop.rs", Lint::LockUnwrapInLoop, 9, "drain");
+}
+
+#[test]
+fn hot_path_allocation() {
+    assert_single("hot_path_alloc.rs", Lint::HotPathAlloc, 5, "record");
+}
+
+#[test]
+fn hot_path_blocking_lock() {
+    assert_single("hot_path_block.rs", Lint::HotPathBlock, 8, "push");
+}
+
+#[test]
+fn hot_path_panicking_unwrap() {
+    assert_single("hot_path_panic.rs", Lint::HotPathPanic, 5, "latest");
+}
+
+#[test]
+fn wall_clock_read_outside_module() {
+    assert_single("wall_clock.rs", Lint::WallClock, 5, "stamp");
+}
+
+#[test]
+fn hash_map_iteration() {
+    assert_single("hash_iter.rs", Lint::HashIter, 8, "total");
+}
+
+#[test]
+fn float_exact_equality() {
+    assert_single("float_eq.rs", Lint::FloatEq, 5, "at_quarter");
+}
+
+#[test]
+fn unseeded_rng() {
+    assert_single("unseeded_rng.rs", Lint::UnseededRng, 4, "jitter");
+}
+
+#[test]
+fn clean_fixture_is_silent() {
+    let findings = run_fixture("clean.rs");
+    assert!(findings.is_empty(), "clean.rs flagged: {findings:?}");
+}
+
+#[test]
+fn allow_without_reason_is_invalid_and_suppresses_nothing() {
+    let findings = run_fixture("allow_no_reason.rs");
+    let invalid: Vec<_> = findings
+        .iter()
+        .filter(|f| f.lint == Lint::InvalidDirective)
+        .collect();
+    assert_eq!(
+        invalid.len(),
+        1,
+        "expected one invalid-directive: {findings:?}"
+    );
+    assert_eq!(invalid[0].line, 4);
+    // The malformed allow must not silence the underlying finding.
+    assert!(
+        findings
+            .iter()
+            .any(|f| f.lint == Lint::WallClock && f.line == 6),
+        "broken allow silenced the wall-clock read: {findings:?}"
+    );
+    assert_eq!(findings.len(), 2, "unexpected extras: {findings:?}");
+}

@@ -1,0 +1,7 @@
+//! Fixture: a suppression without its mandatory reason string — the
+//! directive itself is the finding, and it cannot be suppressed.
+
+// analyzer: allow(wall-clock)
+pub fn stamp() -> std::time::Instant {
+    std::time::Instant::now()
+}

@@ -1,0 +1,24 @@
+//! Fixture: disciplined code — deterministic comparisons, scoped
+//! locks released before the next acquisition, no hot-path sins.
+
+use std::sync::Mutex;
+
+pub struct Tally {
+    pub served: Mutex<u64>,
+    pub queue: Mutex<Vec<f64>>,
+}
+
+pub fn serve(t: &Tally, deadline_s: f64) -> Option<f64> {
+    let popped = {
+        let mut queue = t.queue.lock().unwrap();
+        queue.pop()
+    };
+    let value = popped?;
+    let mut served = t.served.lock().unwrap();
+    *served += 1;
+    if value.total_cmp(&deadline_s).is_le() {
+        Some(value)
+    } else {
+        None
+    }
+}

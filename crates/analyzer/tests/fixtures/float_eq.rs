@@ -1,0 +1,6 @@
+//! Fixture: exact float equality against a non-zero literal — the
+//! value is computed, so bit-exact comparison is a latent flake.
+
+pub fn at_quarter(x: f64) -> bool {
+    x == 0.25 // line 5: float-eq
+}

@@ -1,0 +1,13 @@
+//! Fixture: iterating a HashMap — order varies run to run, so any
+//! derived output is nondeterministic.
+
+use std::collections::HashMap;
+
+pub fn total(counts: &HashMap<String, u64>) -> u64 {
+    let mut sum = 0;
+    for (_k, v) in counts {
+        // line 8: hash-iteration
+        sum += v;
+    }
+    sum
+}

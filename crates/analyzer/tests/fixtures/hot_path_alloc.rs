@@ -1,0 +1,7 @@
+//! Fixture: heap allocation inside a declared hot path.
+
+// analyzer: hot-path
+pub fn record(values: &mut Vec<u32>, x: u32) {
+    let staged = vec![x, x + 1]; // line 5: hot-path-alloc
+    values.extend_from_slice(&staged);
+}

@@ -1,0 +1,13 @@
+//! Fixture: a blocking lock inside a declared hot path — `try_lock`
+//! (count a drop on contention) is the contract here.
+
+use std::sync::Mutex;
+
+// analyzer: hot-path
+pub fn push(ring: &Mutex<[u32; 8]>, head: &mut usize, x: u32) {
+    let mut slots = ring.lock(); // line 8: hot-path-block
+    if let Ok(slots) = slots.as_mut() {
+        slots[*head % 8] = x;
+        *head += 1;
+    }
+}

@@ -1,0 +1,6 @@
+//! Fixture: a panicking unwrap inside a declared hot path.
+
+// analyzer: hot-path
+pub fn latest(samples: &[f64]) -> f64 {
+    *samples.last().unwrap() // line 5: hot-path-panic
+}

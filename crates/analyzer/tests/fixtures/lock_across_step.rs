@@ -1,0 +1,16 @@
+//! Fixture: a lane lock held across an inference-session step — the
+//! whole queue stalls for the duration of a forward pass.
+
+use std::sync::Mutex;
+
+pub struct Session;
+
+impl Session {
+    pub fn step(&mut self) {}
+}
+
+pub fn serve_locked(queue: &Mutex<Vec<u32>>, session: &mut Session) {
+    let guard = queue.lock().unwrap();
+    session.step(); // line 14: lock-across-step
+    drop(guard);
+}

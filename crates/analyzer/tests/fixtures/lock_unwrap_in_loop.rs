@@ -1,0 +1,14 @@
+//! Fixture: `lock().expect()` inside an annotated worker drain loop —
+//! one poisoned mutex cascades a panic across every sibling shard.
+
+use std::sync::Mutex;
+
+// analyzer: worker-loop
+pub fn drain(queue: &Mutex<Vec<u32>>) {
+    loop {
+        let mut q = queue.lock().expect("queue mutex"); // line 9: lock-unwrap-in-loop
+        if q.pop().is_none() {
+            break;
+        }
+    }
+}

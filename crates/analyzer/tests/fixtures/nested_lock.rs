@@ -1,0 +1,15 @@
+//! Fixture: direct nested lock acquisition — the second `lock()` runs
+//! while the first guard is still live.
+
+use std::sync::Mutex;
+
+pub struct Pair {
+    pub a: Mutex<u32>,
+    pub b: Mutex<u32>,
+}
+
+pub fn sum(p: &Pair) -> u32 {
+    let ga = p.a.lock().unwrap();
+    let gb = p.b.lock().unwrap(); // line 13: nested-lock
+    *ga + *gb
+}

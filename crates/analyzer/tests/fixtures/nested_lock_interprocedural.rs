@@ -1,0 +1,21 @@
+//! Fixture: interprocedural nested lock — the helper returns a guard,
+//! and the caller invokes it while already holding one.
+
+use std::sync::{Mutex, MutexGuard};
+
+pub struct State {
+    pub stats: Mutex<u64>,
+    pub queue: Mutex<Vec<u32>>,
+}
+
+impl State {
+    pub fn stats_lock(&self) -> MutexGuard<'_, u64> {
+        self.stats.lock().unwrap()
+    }
+
+    pub fn drain(&self) -> u64 {
+        let queue = self.queue.lock().unwrap();
+        let stats = self.stats_lock(); // line 18: nested-lock (one level deep)
+        *stats + queue.len() as u64
+    }
+}

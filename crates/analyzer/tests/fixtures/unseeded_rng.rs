@@ -1,0 +1,6 @@
+//! Fixture: an unseeded RNG — every run draws a different stream.
+
+pub fn jitter() -> u64 {
+    let mut rng = rand::thread_rng(); // line 4: unseeded-rng
+    rng.next_u64()
+}

@@ -1,0 +1,6 @@
+//! Fixture: a wall-clock read outside any allowlisted wall-clock
+//! module — nondeterminism leaking into reproducible code.
+
+pub fn stamp() -> std::time::Instant {
+    std::time::Instant::now() // line 5: wall-clock
+}

@@ -1,0 +1,87 @@
+//! The analyzer run on its own workspace: the repo must be clean under
+//! the checked-in baseline, and the contracts the serving stack claims
+//! in its comments — hot-path telemetry push, hot-path lane pop — must
+//! actually carry the annotations the analyzer verifies.
+
+use edgebert_analyzer::{analyze, baseline, collect_workspace_files, workspace_root};
+use std::path::Path;
+
+fn workspace_report() -> edgebert_analyzer::Report {
+    let root = workspace_root(Path::new(env!("CARGO_MANIFEST_DIR")))
+        .expect("analyzer lives inside the workspace");
+    let files = collect_workspace_files(&root).expect("walk workspace sources");
+    assert!(
+        files.len() > 20,
+        "workspace walk looks wrong: {} files",
+        files.len()
+    );
+    analyze(&files)
+}
+
+#[test]
+fn workspace_is_clean_under_checked_in_baseline() {
+    let root = workspace_root(Path::new(env!("CARGO_MANIFEST_DIR"))).expect("workspace root");
+    let text =
+        std::fs::read_to_string(root.join("analyzer-baseline.toml")).expect("baseline present");
+    let entries = baseline::parse(&text).expect("baseline parses");
+    let report = workspace_report();
+    let (remaining, _baselined, unused) = baseline::apply(report.findings, &entries);
+    assert!(
+        remaining.is_empty(),
+        "unbaselined findings:\n{}",
+        remaining
+            .iter()
+            .map(|f| f.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    assert!(
+        unused.is_empty(),
+        "stale baseline entries: {unused:?} — remove them from analyzer-baseline.toml"
+    );
+}
+
+#[test]
+fn telemetry_push_and_lane_pop_paths_are_declared_hot() {
+    let report = workspace_report();
+    let hot: Vec<&str> = report
+        .hot_path_fns
+        .iter()
+        .map(|(_, q)| q.as_str())
+        .collect();
+    for expected in [
+        // Telemetry push path.
+        "Ring::push",
+        "TraceRing::record",
+        "SeriesRing::record",
+        "SpanRecorder::emit",
+        "SpanRecorder::emit_at",
+        "Telemetry::record_at",
+        "Telemetry::sample",
+        // Lane pop path.
+        "Lane::pop_work",
+        "Lane::best",
+        "Lane::finish_pop",
+    ] {
+        assert!(
+            hot.contains(&expected),
+            "{expected} lost its hot-path annotation (have: {hot:?})"
+        );
+    }
+}
+
+#[test]
+fn shard_drain_loops_are_declared_worker_loops() {
+    let report = workspace_report();
+    let loops: Vec<&str> = report
+        .worker_loop_fns
+        .iter()
+        .map(|(_, q)| q.as_str())
+        .collect();
+    for expected in ["static_shard_loop", "elastic_shard_loop", "sampler_loop"] {
+        assert!(
+            loops.contains(&expected),
+            "{expected} lost its worker-loop annotation (have: {loops:?})"
+        );
+    }
+}

@@ -119,8 +119,7 @@ fn main() {
                     .max_by(|a, b| {
                         a.calib_conv[0]
                             .avg_exit_layer
-                            .partial_cmp(&b.calib_conv[0].avg_exit_layer)
-                            .expect("exit layers are finite")
+                            .total_cmp(&b.calib_conv[0].avg_exit_layer)
                     })
                     .expect("artifacts built for fig7");
                 let engine = art.engine_at(50e-3, edgebert::DropTarget::OnePercent, true);

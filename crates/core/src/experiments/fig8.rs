@@ -97,11 +97,7 @@ pub fn energy_optimal_n(f: &Fig8, task: &str) -> usize {
     f.points
         .iter()
         .filter(|p| p.task == task && p.variant == "aas+sparse")
-        .min_by(|a, b| {
-            a.energy_j
-                .partial_cmp(&b.energy_j)
-                .expect("no NaN energies")
-        })
+        .min_by(|a, b| a.energy_j.total_cmp(&b.energy_j))
         .map(|p| p.n)
         .unwrap_or(16)
 }

@@ -352,6 +352,7 @@ impl Degradation {
 
     /// Whether this is the identity (no tier drop, no threshold scale).
     pub fn is_none(&self) -> bool {
+        // analyzer: allow(float-eq) reason="1.0 is an exact sentinel: NONE is constructed with the literal and scale factors are never computed, so the identity compares bit-exactly"
         self.tier_notches == 0 && self.entropy_scale == 1.0
     }
 

@@ -239,6 +239,7 @@ impl DeadlineScheduler {
             .collect();
         let telemetry = cfg
             .telemetry
+            // analyzer: allow(wall-clock) reason="the telemetry hub epoch is the one wall-clock read the virtual-timeline scheduler makes; trace timestamps are virtual and never consult it again"
             .map(|tcfg| Arc::new(Telemetry::new(tcfg, Instant::now())));
         let lane_telemetry: Vec<Arc<LaneTelemetry>> = if telemetry.is_some() {
             engines
@@ -371,7 +372,10 @@ impl DeadlineScheduler {
             .iter()
             .filter(|s| engine_of[s.index].is_some())
             .collect();
-        served.sort_by(|a, b| key(a).partial_cmp(&key(b)).expect("finite keys"));
+        served.sort_by(|a, b| {
+            let (ka, kb) = (key(a), key(b));
+            ka.0.total_cmp(&kb.0).then(ka.1.cmp(&kb.1))
+        });
 
         let workers = self.cfg.workers.max(1);
         let max_batch = self.cfg.max_batch.max(1);
@@ -464,9 +468,9 @@ impl DeadlineScheduler {
                                     s.index != i && !dispatched[s.index] && s.arrival_s <= start
                                 })
                                 .min_by(|a, b| {
-                                    (deadline_abs[a.index], a.index)
-                                        .partial_cmp(&(deadline_abs[b.index], b.index))
-                                        .expect("finite keys")
+                                    deadline_abs[a.index]
+                                        .total_cmp(&deadline_abs[b.index])
+                                        .then(a.index.cmp(&b.index))
                                 });
                             if let Some(next) = successor {
                                 let next_engine =

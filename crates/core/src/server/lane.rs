@@ -17,6 +17,8 @@
 //! parked sessions — in policy order, so parked sessions resume
 //! EDF-ordered relative to everything else waiting on the lane.
 
+// analyzer: wall-clock-module reason="lane timestamps (enqueued_at, parked_at) measure real queueing and parked wall time on the wall-clock serving path"
+
 use crate::engine::InferenceRequest;
 use crate::overload::{pressure, LadderStep, OverloadConfig, OverloadController};
 use crate::scheduler::SchedulePolicy;
@@ -24,7 +26,7 @@ use crate::session::InferenceSession;
 use crate::telemetry::LaneTelemetry;
 use edgebert_tasks::Task;
 use std::sync::mpsc::SyncSender;
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::time::Instant;
 
 use super::ServerResponse;
@@ -243,6 +245,21 @@ impl Lane {
         }
     }
 
+    /// Locks the served-work tally, recovering from mutex poisoning.
+    ///
+    /// The tally is a bag of monotonic counters and running sums; every
+    /// update is a single `+=` on a copy-on-read snapshot consumer, so a
+    /// panic mid-update cannot leave it torn in a way later readers
+    /// would misinterpret — at worst one increment is lost. Recovering
+    /// via [`PoisonError::into_inner`] keeps stats and shard drains
+    /// alive after a worker panic. The *queue* mutex deliberately keeps
+    /// panic-on-poison semantics instead: a torn `LaneQueue` can break
+    /// the one-response-per-submission invariant, and propagating the
+    /// panic there is the safe choice.
+    pub(super) fn tally_lock(&self) -> MutexGuard<'_, ServedTally> {
+        self.tally.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
     /// The lane's current pressure signal: backlog drain time over the
     /// deadline horizon, with foreign shards attached by elastic
     /// autoscaling counted in the drain parallelism.
@@ -273,7 +290,7 @@ impl Lane {
     /// the pessimistic nominal estimate before the first degraded
     /// serve completes.
     pub(super) fn shed_service_estimate_s(&self) -> f64 {
-        let tally = self.tally.lock().expect("tally mutex");
+        let tally = self.tally_lock();
         if tally.degraded == 0 {
             return self.nominal_service_s;
         }
@@ -288,6 +305,7 @@ impl Lane {
     /// Wraps freshly popped work with the pop-time queue signals (the
     /// tightest surviving deadline and the ladder rung). Must run under
     /// the same lock that popped the work.
+    // analyzer: hot-path
     fn finish_pop(&self, queue: &mut LaneQueue, work: Work) -> Popped {
         let successor_deadline_s = queue
             .jobs
@@ -413,6 +431,7 @@ impl Lane {
             return Err(Box::new((session, ctx)));
         };
         let pressured = policy.should_preempt(ctx.deadline_s, deadline_s);
+        // analyzer: allow(lock-across-step) reason="park commits the open DVFS segment under the queue lock on purpose: the park decision and the claimed job swap must be atomic or two shards react to the same tight arrival"
         if !pressured || !session.park() {
             return Err(Box::new((session, ctx)));
         }
@@ -431,6 +450,7 @@ impl Lane {
     /// deadline (ties to the earlier admission). A parked session and
     /// a fresh job compare under the same key, so resumes are
     /// EDF-ordered relative to everything waiting on the lane.
+    // analyzer: hot-path
     fn pop_work(queue: &mut LaneQueue, policy: SchedulePolicy) -> Option<Work> {
         let job_key = Self::best(queue.jobs.iter().map(|j| (j.deadline_s, j.seq)), policy);
         let parked_key = Self::best(
@@ -440,9 +460,11 @@ impl Lane {
         match (job_key, parked_key) {
             (None, None) => None,
             (Some((at, _)), None) => Some(Work::Fresh(queue.jobs.remove(at))),
+            // analyzer: allow(hot-path-alloc) reason="boxing a resumed ParkedJob is one pointer-sized allocation per park/resume cycle, amortized over a whole preempted sentence; keeping Work small keeps every fresh pop allocation-free"
             (None, Some((at, _))) => Some(Work::Resume(Box::new(queue.parked.remove(at)))),
             (Some((jat, jkey)), Some((pat, pkey))) => {
                 if pkey <= jkey {
+                    // analyzer: allow(hot-path-alloc) reason="boxing a resumed ParkedJob is one pointer-sized allocation per park/resume cycle, amortized over a whole preempted sentence"
                     Some(Work::Resume(Box::new(queue.parked.remove(pat))))
                 } else {
                     Some(Work::Fresh(queue.jobs.remove(jat)))
@@ -454,6 +476,7 @@ impl Lane {
     /// The index and policy key of the best entry: FIFO by sequence,
     /// EDF by `(deadline, seq)`. Non-finite deadlines sort last (wire
     /// garbage must not poison the comparator).
+    // analyzer: hot-path
     #[allow(clippy::type_complexity)]
     fn best(
         keys: impl Iterator<Item = (f64, u64)>,
@@ -467,7 +490,7 @@ impl Lane {
                 };
                 (i, key)
             })
-            .min_by(|(_, a), (_, b)| a.partial_cmp(b).expect("sanitized keys"))
+            .min_by(|(_, a), (_, b)| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)))
     }
 
     /// Pops the next *fresh* job under `policy` (unit-test seam; the

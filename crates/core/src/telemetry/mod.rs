@@ -24,6 +24,8 @@
 //! - [`export`] — JSONL trace dump, Prometheus text render, and the
 //!   span-chain well-formedness validator.
 
+// analyzer: wall-clock-module reason="telemetry hub owns the server epoch; timestamps here only stamp observability records and never feed admission, scheduling, or inference decisions"
+
 pub mod export;
 pub mod hist;
 pub mod series;
@@ -133,6 +135,7 @@ impl Telemetry {
 
     /// Record one event at an explicit timestamp (hot paths that
     /// already hold an `Instant`, and virtual timelines).
+    // analyzer: hot-path
     pub fn record_at(&self, t_s: f64, task: Task, request: u64, kind: TraceEventKind) {
         self.trace.record(TraceEvent {
             t_s,
@@ -143,6 +146,7 @@ impl Telemetry {
     }
 
     /// Push one lane time-series sample.
+    // analyzer: hot-path
     pub fn sample(&self, sample: LaneSample) {
         self.series.record(sample);
     }
@@ -159,6 +163,7 @@ impl Telemetry {
 }
 
 impl TraceSink for Telemetry {
+    // analyzer: hot-path
     fn record(&self, event: TraceEvent) {
         self.trace.record(event);
     }

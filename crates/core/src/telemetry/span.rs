@@ -8,6 +8,8 @@
 //! the overwrite, so the drop counter is the single honesty signal for
 //! both contention and capacity loss.
 
+// analyzer: wall-clock-module reason="span recorders stamp trace events with wall-clock time; timestamps are observability-only and never feed scheduling decisions"
+
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
@@ -202,6 +204,7 @@ impl<T: Copy> Ring<T> {
     /// Push without blocking: a contended mutex or zero capacity
     /// counts the value as dropped. Never allocates (the slot vector
     /// was preallocated).
+    // analyzer: hot-path
     pub(crate) fn push(&self, value: T) {
         let Ok(mut inner) = self.inner.try_lock() else {
             self.contended.fetch_add(1, Ordering::Relaxed);
@@ -210,6 +213,7 @@ impl<T: Copy> Ring<T> {
         if self.capacity == 0 {
             inner.overwritten += 1;
         } else if inner.slots.len() < self.capacity {
+            // analyzer: allow(hot-path-alloc) reason="slots was Vec::with_capacity(capacity) at construction and len < capacity is checked above, so this push never reallocates"
             inner.slots.push(value);
         } else {
             let head = inner.head;
@@ -267,7 +271,9 @@ impl TraceRing {
 }
 
 impl TraceSink for TraceRing {
+    // analyzer: hot-path
     fn record(&self, event: TraceEvent) {
+        // analyzer: allow(hot-path-alloc) reason="Ring::push is the non-allocating try_lock ring push above, not Vec::push"
         self.ring.push(event);
     }
 }
@@ -306,6 +312,7 @@ impl SpanRecorder {
 
     /// Emit `kind` stamped with the current time. Never blocks or
     /// allocates.
+    // analyzer: hot-path
     pub fn emit(&self, kind: TraceEventKind) {
         self.sink.record(TraceEvent {
             t_s: self.epoch.elapsed().as_secs_f64(),
@@ -316,6 +323,7 @@ impl SpanRecorder {
     }
 
     /// Emit `kind` at an explicit timestamp (virtual timelines).
+    // analyzer: hot-path
     pub fn emit_at(&self, t_s: f64, kind: TraceEventKind) {
         self.sink.record(TraceEvent {
             t_s,

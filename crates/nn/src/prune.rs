@@ -59,8 +59,7 @@ pub fn topk_mask(scores: &Matrix, sparsity: f32) -> Matrix {
     let mut idx: Vec<usize> = (0..n).collect();
     idx.sort_by(|&a, &b| {
         scores.as_slice()[b]
-            .partial_cmp(&scores.as_slice()[a])
-            .expect("NaN score in topk_mask")
+            .total_cmp(&scores.as_slice()[a])
             .then(a.cmp(&b))
     });
     let mut mask = Matrix::zeros(scores.rows(), scores.cols());

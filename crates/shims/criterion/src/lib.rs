@@ -10,6 +10,8 @@
 //! benches double as smoke-runs of the experiment drivers, which is what
 //! the repro workflow needs.
 
+// analyzer: wall-clock-module reason="a benchmark harness exists to read the wall clock; measured ns/iter is the product, not a determinism hazard"
+
 use std::fmt::Display;
 use std::time::{Duration, Instant};
 
