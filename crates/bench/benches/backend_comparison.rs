@@ -106,6 +106,7 @@ fn bench(c: &mut Criterion) {
         pressure_stretch: false,
         overload: Default::default(),
         telemetry: None,
+        energy: None,
     };
     let accel_out = drain_load(&accel, &load, cfg);
     let gpu_out = drain_load(&gpu, &load, cfg);

@@ -121,6 +121,7 @@ fn bench(c: &mut Criterion) {
                 pressure_stretch: false,
                 overload: Default::default(),
                 telemetry: None,
+                energy: None,
             },
         );
         class_reports(&load, &responses, &classes)

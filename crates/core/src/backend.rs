@@ -136,6 +136,57 @@ pub trait InferenceBackend: std::fmt::Debug + Send + Sync {
         elapsed_queue_s: f64,
     ) -> OperatingPoint;
 
+    /// [`decide`](Self::decide) under a per-lane power envelope: the
+    /// chosen operating point may not draw more than `cap_w` watts of
+    /// sustained compute power. Feasibility is judged *honestly*
+    /// against the capped point — an envelope that forbids the
+    /// deadline-meeting point yields an infeasible decision rather
+    /// than a silently re-priced one (mirroring how `stretch_cap_s`
+    /// bounds only the compute window). The default delegates to
+    /// [`decide`](Self::decide): a backend that cannot scale V/F (or
+    /// does not model power) has no point below its fixed draw to
+    /// clamp to, so the envelope cannot constrain it.
+    fn decide_capped(
+        &self,
+        remaining_cycles: u64,
+        remaining_seconds: f64,
+        elapsed_queue_s: f64,
+        _cap_w: f64,
+    ) -> OperatingPoint {
+        self.decide(remaining_cycles, remaining_seconds, elapsed_queue_s)
+    }
+
+    /// Sustained compute power drawn at the nominal operating point,
+    /// watts — the anchor a fleet energy budget divides per-lane
+    /// envelopes against. The default, `f64::INFINITY`, means the
+    /// backend does not model power: every envelope then reads as
+    /// unconstrained, and the energy coordinator leaves the backend's
+    /// decisions untouched.
+    fn nominal_power_w(&self) -> f64 {
+        f64::INFINITY
+    }
+
+    /// Sustained compute power at the floor (minimum-energy) operating
+    /// point, watts — the least a running shard of this backend can
+    /// draw, and therefore the per-shard price an autoscaler must fit
+    /// inside a lane's envelope before attaching another shard. Equals
+    /// [`nominal_power_w`](Self::nominal_power_w) on fixed-V/F
+    /// backends.
+    fn floor_power_w(&self) -> f64 {
+        self.nominal_power_w()
+    }
+
+    /// How much longer a nominal-speed sentence takes when this
+    /// backend's operating point is clamped under a `cap_w` envelope:
+    /// `f_nominal / f_capped ≥ 1`. Admission-side feasibility
+    /// estimates (the overload shed rung) multiply their per-job
+    /// service estimate by this, so an envelope-constrained lane sheds
+    /// against the throughput it can actually deliver. The default,
+    /// 1.0, matches backends the envelope cannot constrain.
+    fn envelope_service_scale(&self, _cap_w: f64) -> f64 {
+        1.0
+    }
+
     /// Time to transition from the nominal point to `to`, seconds.
     fn transition_s(&self, to: &OperatingPoint) -> f64;
 
@@ -190,6 +241,7 @@ pub struct AcceleratorBackend {
     layer_cycles: u64,
     rram: ReramArray,
     embed_bits: usize,
+    nominal_power_w: f64,
 }
 
 impl AcceleratorBackend {
@@ -205,6 +257,12 @@ impl AcceleratorBackend {
         let layer = sim.layer_workload(workload);
         let layer_cycles = layer.cycles();
         let embed_bits = sentence_embedding_bits(workload.seq_len, 128, 0.4);
+        // Sustained compute power at nominal V/F: average power of a
+        // nominal-point layer run. Layers are homogeneous, so one layer
+        // prices the same watts as full depth; the fleet coordinator
+        // scales envelopes relative to this anchor.
+        let nominal_cost = sim.run_layers(&layer, 1, accel.vdd_nominal, accel.freq_max_hz);
+        let nominal_power_w = nominal_cost.energy_j / nominal_cost.seconds;
         Self {
             dvfs: DvfsController::new(accel),
             sim,
@@ -212,6 +270,7 @@ impl AcceleratorBackend {
             layer_cycles,
             rram: ReramArray::new(cell_tech, envm_capacity_mb),
             embed_bits,
+            nominal_power_w,
         }
     }
 
@@ -293,6 +352,50 @@ impl InferenceBackend for AcceleratorBackend {
             freq_hz: d.freq_hz,
             feasible: d.feasible,
         }
+    }
+
+    fn decide_capped(
+        &self,
+        remaining_cycles: u64,
+        remaining_seconds: f64,
+        elapsed_queue_s: f64,
+        cap_w: f64,
+    ) -> OperatingPoint {
+        debug_assert!(
+            elapsed_queue_s >= 0.0 && elapsed_queue_s.is_finite(),
+            "queueing delay must be finite and non-negative, got {elapsed_queue_s}"
+        );
+        let rel_cap = cap_w / self.nominal_power_w;
+        let d = self.dvfs.decide_power_capped(
+            remaining_cycles,
+            remaining_seconds - elapsed_queue_s,
+            rel_cap,
+        );
+        OperatingPoint {
+            voltage: d.voltage,
+            freq_hz: d.freq_hz,
+            feasible: d.feasible,
+        }
+    }
+
+    fn nominal_power_w(&self) -> f64 {
+        self.nominal_power_w
+    }
+
+    fn floor_power_w(&self) -> f64 {
+        let floor = self.floor();
+        self.nominal_power_w * self.dvfs.relative_power(floor.voltage, floor.freq_hz)
+    }
+
+    fn envelope_service_scale(&self, cap_w: f64) -> f64 {
+        let rel_cap = cap_w / self.nominal_power_w;
+        if rel_cap >= 1.0 {
+            return 1.0;
+        }
+        let (_, f_cap) = self.dvfs.power_capped_point(rel_cap);
+        // power_capped_point never stalls the clock, so f_cap > 0 and
+        // the scale is a finite slowdown factor ≥ 1.
+        (self.sim.config().freq_max_hz / f_cap).max(1.0)
     }
 
     fn transition_s(&self, to: &OperatingPoint) -> f64 {
@@ -472,6 +575,13 @@ impl InferenceBackend for MobileGpuBackend {
         point
     }
 
+    fn nominal_power_w(&self) -> f64 {
+        // Fixed rail: the board draws its measured effective power
+        // whenever it computes, so nominal == floor == that draw (the
+        // trait's floor default picks it up).
+        self.gpu.effective_power_w()
+    }
+
     fn transition_s(&self, _to: &OperatingPoint) -> f64 {
         0.0
     }
@@ -630,6 +740,105 @@ mod tests {
         let bad = MobileGpuBackend::with_flop_scale(gpu, f64::NAN);
         assert_eq!(bad.flop_scale(), 1.0);
         assert!(bad.full_inference(12).seconds.is_finite());
+    }
+
+    #[test]
+    fn accelerator_power_anchor_is_the_nominal_layer_draw() {
+        let b = accel();
+        // The anchor is energy/seconds of a nominal-point run; layers
+        // are homogeneous, so 1 layer and 12 layers price identically.
+        let one = b.run_layers_nominal(1);
+        let twelve = b.run_layers_nominal(12);
+        let p1 = one.energy_j / one.seconds;
+        let p12 = twelve.energy_j / twelve.seconds;
+        assert!((b.nominal_power_w() - p1).abs() < 1e-12 * p1);
+        assert!((p12 - p1).abs() < 1e-9 * p1);
+        // A plausible 12 nm accelerator draw, and a floor well below it
+        // (the grid's (V/V_nom)²·(f/f_nom) at the 0.50 V point).
+        assert!(
+            (0.005..5.0).contains(&b.nominal_power_w()),
+            "nominal draw {} W",
+            b.nominal_power_w()
+        );
+        let floor = b.floor();
+        let expected_floor =
+            b.nominal_power_w() * b.dvfs().relative_power(floor.voltage, floor.freq_hz);
+        assert!((b.floor_power_w() - expected_floor).abs() < 1e-12);
+        assert!(b.floor_power_w() < 0.25 * b.nominal_power_w());
+        assert!(b.floor_power_w() > 0.0);
+    }
+
+    #[test]
+    fn accelerator_decide_capped_clamps_and_judges_honestly() {
+        let b = accel();
+        // Near-deadline demand that wants nominal: a 50% envelope must
+        // clamp the point below nominal and judge feasibility at the
+        // clamped clock, not silently pass the uncapped verdict.
+        let cycles = 900_000_000u64;
+        let uncapped = b.decide(cycles, 1.0, 0.0);
+        assert!(uncapped.feasible);
+        let cap_w = 0.5 * b.nominal_power_w();
+        let capped = b.decide_capped(cycles, 1.0, 0.0, cap_w);
+        assert!(capped.freq_hz < uncapped.freq_hz);
+        assert!(
+            b.dvfs().relative_power(capped.voltage, capped.freq_hz) <= 0.5 + 1e-12,
+            "capped point must fit the envelope"
+        );
+        assert_eq!(
+            capped.feasible,
+            cycles as f64 / capped.freq_hz <= 1.0 * (1.0 + 1e-9)
+        );
+        // A generous envelope is bit-identical to the uncapped path.
+        for cap in [
+            b.nominal_power_w(),
+            10.0 * b.nominal_power_w(),
+            f64::INFINITY,
+        ] {
+            let c = b.decide_capped(cycles, 1.0, 12e-3, cap);
+            assert_eq!(c, b.decide(cycles, 1.0, 12e-3));
+        }
+        // Queueing delay burns the window before the cap applies, same
+        // as the uncapped elapsed-aware path.
+        let queued = b.decide_capped(cycles, 1.0, 0.4, cap_w);
+        let direct = b
+            .dvfs()
+            .decide_power_capped(cycles, 1.0 - 0.4, cap_w / b.nominal_power_w());
+        assert_eq!(
+            (queued.voltage, queued.freq_hz),
+            (direct.voltage, direct.freq_hz)
+        );
+    }
+
+    #[test]
+    fn accelerator_envelope_service_scale_prices_the_slowdown() {
+        let b = accel();
+        // Unconstrained envelopes cost nothing.
+        assert_eq!(b.envelope_service_scale(f64::INFINITY), 1.0);
+        assert_eq!(b.envelope_service_scale(b.nominal_power_w()), 1.0);
+        // A constraining envelope slows service by f_nom / f_cap.
+        let half = b.envelope_service_scale(0.5 * b.nominal_power_w());
+        assert!(half > 1.0 && half.is_finite());
+        // Even a zero envelope prices the floor clock, never a stall.
+        let starved = b.envelope_service_scale(0.0);
+        let floor = b.floor();
+        let expected = b.nominal().freq_hz / floor.freq_hz;
+        assert!((starved - expected).abs() < 1e-12);
+        assert!(starved >= half);
+    }
+
+    #[test]
+    fn mgpu_power_is_fixed_and_envelopes_are_inert() {
+        let b = MobileGpuBackend::with_flop_scale(MobileGpu::default(), 1.0);
+        assert_eq!(b.nominal_power_w(), b.gpu().effective_power_w());
+        // Fixed rail: floor draw equals nominal draw (trait default).
+        assert_eq!(b.floor_power_w(), b.nominal_power_w());
+        assert_eq!(b.envelope_service_scale(0.1), 1.0);
+        // No point below the fixed draw exists: decide_capped delegates
+        // to decide bit-for-bit, even under a starving cap.
+        for cap in [0.0, 0.5 * b.nominal_power_w(), f64::INFINITY] {
+            let c = b.decide_capped(b.layer_cycles() * 4, 30e-3, 1e-3, cap);
+            assert_eq!(c, b.decide(b.layer_cycles() * 4, 30e-3, 1e-3));
+        }
     }
 
     #[test]

@@ -184,6 +184,16 @@ pub struct InferenceRequest {
     /// bit-identical to pre-overload behavior, whatever the ladder
     /// does.
     pub max_degradation: u8,
+    /// Power envelope this request's DVFS decisions must fit under,
+    /// watts of sustained compute draw (`None` → unconstrained, the
+    /// default). A serving front-end running fleet energy budgeting
+    /// ([`crate::energy`]) stamps the lane's per-shard allowance here
+    /// at pop time. The envelope bounds only the *operating point*
+    /// (via [`InferenceBackend::decide_capped`](crate::backend::InferenceBackend::decide_capped));
+    /// the deadline verdict still judges the request's own target, so
+    /// an envelope that forbids the deadline-meeting point surfaces as
+    /// deadline risk rather than a silently re-priced budget.
+    pub envelope_w: Option<f64>,
 }
 
 // Hand-written (not derived) so the queue stamp and stretch cap stay
@@ -210,6 +220,10 @@ impl serde::Deserialize for InferenceRequest {
                 Ok(floor) => serde::Deserialize::from_value(floor)?,
                 Err(_) => 0,
             },
+            envelope_w: match value.field("envelope_w") {
+                Ok(envelope) => serde::Deserialize::from_value(envelope)?,
+                Err(_) => None,
+            },
         })
     }
 }
@@ -225,6 +239,7 @@ impl InferenceRequest {
             elapsed_queue_s: 0.0,
             stretch_cap_s: None,
             max_degradation: 0,
+            envelope_w: None,
         }
     }
 
@@ -272,6 +287,15 @@ impl InferenceRequest {
         self
     }
 
+    /// Caps this request's DVFS power draw at `watts` (see
+    /// [`envelope_w`](Self::envelope_w)). Serving front-ends running
+    /// fleet energy budgeting stamp the lane's per-shard allowance here
+    /// at pop time.
+    pub fn with_envelope_w(mut self, watts: f64) -> Self {
+        self.envelope_w = Some(watts);
+        self
+    }
+
     /// The queueing delay as the engine will account it: non-finite or
     /// negative stamps sanitize to zero rather than poisoning the DVFS
     /// budget (requests arrive from the wire).
@@ -290,6 +314,17 @@ impl InferenceRequest {
     pub fn effective_stretch_cap_s(&self) -> Option<f64> {
         match self.stretch_cap_s {
             Some(cap) if cap.is_finite() => Some(cap.max(0.0)),
+            _ => None,
+        }
+    }
+
+    /// The power envelope as the engine will apply it: non-finite
+    /// envelopes sanitize to `None` (unconstrained); a negative
+    /// envelope clamps to zero watts (the backend's floor point — the
+    /// clock never stalls). Requests arrive from the wire.
+    pub fn effective_envelope_w(&self) -> Option<f64> {
+        match self.envelope_w {
+            Some(w) if w.is_finite() => Some(w.max(0.0)),
             _ => None,
         }
     }
@@ -757,6 +792,7 @@ impl EdgeBertEngine {
             drop,
             elapsed_s,
             cap_s,
+            request.effective_envelope_w(),
             degradation,
         )
     }
@@ -903,6 +939,7 @@ impl EdgeBertEngine {
             latency_target_s,
             drop,
             elapsed_queue_s,
+            None,
             None,
             Degradation::NONE,
         )

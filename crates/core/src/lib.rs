@@ -38,6 +38,21 @@
 //!   fixed-V/F TX2 comparison baseline, priced on the *same* wired
 //!   workload) ship; a cycle-accurate sim or real hardware slots in via
 //!   [`EngineBuilder::backend`] without touching the serving layers;
+//! * [`energy`] — fleet-level energy budgeting, default-off: a
+//!   [`FleetCoordinator`] tracks per-lane measured power (EWMA of the
+//!   per-step [`SegmentCost`](backend::SegmentCost) energy accounting)
+//!   and periodically waterfills the configured fleet cap
+//!   ([`EnergyConfig`]) into per-lane power envelopes — floors
+//!   guaranteed, headroom following queue pressure. Envelopes bind at
+//!   the DVFS seam
+//!   ([`InferenceBackend::decide_capped`](backend::InferenceBackend::decide_capped)):
+//!   a segment's operating point may not outdraw its lane's envelope,
+//!   with feasibility judged honestly at the clamped clock — deadline
+//!   risk surfaces in stats, never a silent re-price. The elastic
+//!   autoscaler declines attaches the envelope cannot power and the
+//!   overload shed rung prices the envelope's slowdown into its
+//!   feasibility estimate, so a lane cannot win its deadline race by
+//!   exceeding the fleet cap;
 //! * [`overload`] — the overload control plane: a per-lane hysteresis
 //!   admission ladder ([`OverloadController`]) that trades calibrated
 //!   accuracy for survival under flash crowds. Under pressure (queued
@@ -125,6 +140,7 @@
 
 pub mod backend;
 pub mod calibrate;
+pub mod energy;
 pub mod engine;
 pub mod experiments;
 pub mod overload;
@@ -142,6 +158,7 @@ pub use backend::{
     SegmentCost,
 };
 pub use calibrate::{calibrate_conventional, calibrate_latency_aware, Calibration};
+pub use energy::{EnergyConfig, EnergyEnvelope, FleetCoordinator, LaneAllocation, LaneDemand};
 pub use engine::{
     deadline_met, AggregateResult, DropTarget, EdgeBertEngine, EngineBuilder, EntropyThresholds,
     InferenceMode, InferenceRequest, InferenceResponse, SentenceResult,

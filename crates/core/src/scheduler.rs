@@ -38,6 +38,7 @@
 //! against the request's target with the one
 //! [`deadline_met`](crate::engine::deadline_met) rule.
 
+use crate::energy::{allocate, EnergyConfig, LaneDemand};
 use crate::engine::{deadline_met, EdgeBertEngine, InferenceRequest, InferenceResponse};
 use crate::overload::{pressure, Degradation, OverloadConfig, OverloadController};
 use crate::serving::MultiTaskRuntime;
@@ -130,6 +131,22 @@ pub struct SchedulerConfig {
     /// only: responses are unchanged. `None` (default) records
     /// nothing.
     pub telemetry: Option<TelemetryConfig>,
+    /// Virtual-timeline parity mode for fleet energy budgeting (see
+    /// [`crate::energy`] and
+    /// [`ServerConfig::energy`](crate::server::ServerConfig::energy)):
+    /// at each dispatch point the fleet cap is re-allocated across the
+    /// task engines from their arrived, undispatched backlog pressure
+    /// (the same waterfilling as the wall-clock coordinator, minus its
+    /// EWMA power feedback — a virtual timeline has no wall-clock
+    /// power measurement to difference), and the dispatched sentence's
+    /// DVFS is clamped under its engine's per-worker share via
+    /// [`InferenceRequest::with_envelope_w`]. Deadline verdicts keep
+    /// judging the real target. Like the other dispatch-time knobs
+    /// this makes compute depend on the timeline, so the drain
+    /// computes sentences at their dispatch points (sequential,
+    /// deterministic). `None` (the default) stamps nothing — the PR 2
+    /// bit-identity contract holds.
+    pub energy: Option<EnergyConfig>,
 }
 
 impl Default for SchedulerConfig {
@@ -146,6 +163,7 @@ impl Default for SchedulerConfig {
             pressure_stretch: false,
             overload: OverloadConfig::default(),
             telemetry: None,
+            energy: None,
         }
     }
 }
@@ -228,6 +246,9 @@ impl DeadlineScheduler {
     pub fn new(runtime: &MultiTaskRuntime, cfg: SchedulerConfig) -> Self {
         if cfg.overload.enabled {
             cfg.overload.validate();
+        }
+        if let Some(ecfg) = &cfg.energy {
+            ecfg.validate();
         }
         let engines: Vec<(Task, EdgeBertEngine)> = runtime
             .tasks()
@@ -325,8 +346,10 @@ impl DeadlineScheduler {
         // request copies). Skipped under queue-aware slack or pressure
         // stretch, where compute depends on dispatch time and happens
         // in the replay.
-        let compute_at_dispatch =
-            self.cfg.queue_aware_slack || self.cfg.pressure_stretch || self.cfg.overload.enabled;
+        let compute_at_dispatch = self.cfg.queue_aware_slack
+            || self.cfg.pressure_stretch
+            || self.cfg.overload.enabled
+            || self.cfg.energy.is_some();
         let mut responses: Vec<Option<InferenceResponse>> = vec![None; pending.len()];
         if !compute_at_dispatch {
             for (task, engine) in &self.engines {
@@ -513,6 +536,47 @@ impl DeadlineScheduler {
                                 .degradation_for(step, sub.request.max_degradation);
                             notches[i] = degradation.tier_notches;
                         }
+                        if let Some(ecfg) = &self.cfg.energy {
+                            // Energy parity: waterfill the fleet cap
+                            // across engines from their arrived,
+                            // undispatched backlog pressure at this
+                            // dispatch point (the wall-clock
+                            // coordinator's allocation, minus its EWMA
+                            // feedback — a virtual timeline measures no
+                            // wall-clock power), then clamp this
+                            // sentence under its engine's per-worker
+                            // share.
+                            let demands: Vec<LaneDemand> = self
+                                .engines
+                                .iter()
+                                .enumerate()
+                                .map(|(e, (task, eng))| {
+                                    let backlog = served
+                                        .iter()
+                                        .filter(|s| {
+                                            s.index != i
+                                                && !dispatched[s.index]
+                                                && s.arrival_s <= start
+                                                && engine_of[s.index] == Some(e)
+                                        })
+                                        .count();
+                                    LaneDemand {
+                                        task: *task,
+                                        pressure: pressure(
+                                            backlog,
+                                            workers,
+                                            eng.nominal_service_estimate_s(),
+                                            eng.default_latency_target_s(),
+                                        ),
+                                    }
+                                })
+                                .collect();
+                            let envelopes = allocate(ecfg.fleet_cap_w, ecfg.floor_w, &demands);
+                            let mine = self.engines[engine_idx].0;
+                            if let Some(share) = envelopes.iter().find(|e| e.task == mine) {
+                                request = request.with_envelope_w(share.watts / workers as f64);
+                            }
+                        }
                         let response = engine.serve_degraded(&request, degradation);
                         let latency_s = response.result.latency_s;
                         responses[i] = Some(response);
@@ -577,7 +641,10 @@ impl DeadlineScheduler {
                         completion_s,
                         s.task,
                         trace_id_base + s.index as u64,
-                        TraceEventKind::Completed { verdict: met },
+                        TraceEventKind::Completed {
+                            verdict: met,
+                            energy_j: response.result.energy_j,
+                        },
                     );
                     let engine_idx = engine_of[s.index].expect("served member");
                     self.lane_telemetry[engine_idx]

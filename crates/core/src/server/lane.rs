@@ -103,6 +103,12 @@ pub(super) struct Popped {
     /// [`LadderStep::Nominal`] with the ladder disabled). The shard
     /// sizes this work's degradation from it.
     pub ladder_step: LadderStep,
+    /// This work's per-shard power allowance at pop time: the lane's
+    /// energy envelope divided by its effective pool (home + attached
+    /// shards). `None` when fleet energy budgeting is off. Fresh work
+    /// is stamped with it; resumed sessions keep the envelope of the
+    /// lane that admitted them.
+    pub envelope_w: Option<f64>,
 }
 
 /// Queue state behind the lane mutex.
@@ -134,6 +140,17 @@ pub(super) struct LaneQueue {
     /// Times the lane's effective pool was resized (one per attach and
     /// one per detach). Always 0 with elasticity disabled.
     pub pool_resizes: u64,
+    /// Elastic attaches the energy coordinator declined because the
+    /// lane's envelope cannot power another shard at the backend's
+    /// floor draw. Always 0 with energy budgeting disabled.
+    pub attach_declined: u64,
+    /// The lane's current power envelope from the fleet energy
+    /// coordinator, watts (total across the lane's effective pool).
+    /// `None` — and every pop unstamped — with energy budgeting off.
+    pub envelope_w: Option<f64>,
+    /// The lane's EWMA measured power as of the coordinator's last
+    /// tick, watts. `None` with energy budgeting off.
+    pub measured_power_w: Option<f64>,
     /// The lane's overload ladder (inert when disabled), advanced under
     /// this lock at admission and pop time.
     pub controller: OverloadController,
@@ -172,6 +189,10 @@ pub(super) struct ServedTally {
     /// (counted on the origin lane; server-wide, migrated == stolen).
     /// Always 0 with elasticity disabled.
     pub migrated: u64,
+    /// Sum of served requests' modeled energy, joules — the fleet
+    /// energy coordinator differences this against wall time for the
+    /// lane's measured power, and stats report it per lane.
+    pub energy_j_total: f64,
 }
 
 /// One task's bounded admission lane.
@@ -238,6 +259,9 @@ impl Lane {
                 shed: 0,
                 extra_shards: 0,
                 pool_resizes: 0,
+                attach_declined: 0,
+                envelope_w: None,
+                measured_power_w: None,
                 controller: OverloadController::new(overload),
             }),
             available: Condvar::new(),
@@ -316,10 +340,17 @@ impl Lane {
                 Some(acc.map_or(d, |a: f64| a.min(d)))
             });
         let ladder_step = self.observe(queue);
+        // The lane-total envelope splits evenly across the effective
+        // pool: every concurrently-running shard gets an equal share,
+        // so the lane's aggregate draw stays under its allocation.
+        let envelope_w = queue
+            .envelope_w
+            .map(|w| w / (self.shards + queue.extra_shards).max(1) as f64);
         Popped {
             work,
             successor_deadline_s,
             ladder_step,
+            envelope_w,
         }
     }
 

@@ -108,6 +108,7 @@ mod stats;
 
 pub use stats::{LaneStats, ServerStats};
 
+use crate::energy::{EnergyConfig, FleetCoordinator, LaneObservation};
 use crate::engine::{deadline_met, EdgeBertEngine, InferenceRequest, InferenceResponse};
 use crate::overload::{LadderStep, OverloadConfig};
 use crate::scheduler::SchedulePolicy;
@@ -266,12 +267,25 @@ pub struct ServerConfig {
     /// — admission decisions, request numbering, and inference
     /// arithmetic are bit-identical either way.
     pub telemetry: Option<TelemetryConfig>,
+    /// Fleet energy budgeting (see [`crate::energy`]): a coordinator
+    /// thread tracks each lane's measured power draw and periodically
+    /// allocates per-lane energy envelopes (watts) from a configured
+    /// fleet cap, waterfilling headroom toward queue pressure.
+    /// Envelopes bound the DVFS *operating point* of popped work — a
+    /// sentence whose deadline needs a forbidden point runs at the
+    /// fastest allowed one and its verdict is judged honestly against
+    /// the real target (the miss surfaces in stats, never silently
+    /// re-priced). `None` (the default) spawns no coordinator and
+    /// stamps no envelopes: the server is bit-identical to a
+    /// pre-energy one.
+    pub energy: Option<EnergyConfig>,
 }
 
 impl Default for ServerConfig {
     /// One shard per task, 1024-deep lanes, EDF, queue-aware slack on
     /// with a 1 ms noise floor, no service-time emulation, no
-    /// preemption, no pressure stretch, no elasticity.
+    /// preemption, no pressure stretch, no elasticity, no energy
+    /// budgeting.
     fn default() -> Self {
         Self {
             shards_per_task: 1,
@@ -285,6 +299,7 @@ impl Default for ServerConfig {
             overload: OverloadConfig::default(),
             elastic: ElasticConfig::default(),
             telemetry: None,
+            energy: None,
         }
     }
 }
@@ -419,6 +434,12 @@ pub struct ServerResponse {
     /// inner `response.result.deadline_met` is the engine's own
     /// verdict on the slack it was told about.
     pub deadline_met: bool,
+    /// Modeled energy this sentence's compute drew, joules — a copy of
+    /// `response.result.energy_j` hoisted to the serving record so
+    /// fleet-level accounting (energy per request, measured lane
+    /// power) never digs through the engine response. Includes any
+    /// DVFS clamping an energy envelope imposed.
+    pub energy_j: f64,
 }
 
 /// The worker thread serving a submission died before delivering its
@@ -505,6 +526,10 @@ struct LaneEntry {
     /// The lane engine's default latency target, for EDF deadlines of
     /// requests that carry none.
     default_target_s: f64,
+    /// The lane's engine (an `Arc` clone on the shared weights), for
+    /// admission-time envelope pricing: the backend knows how much an
+    /// energy envelope slows its fastest allowed operating point.
+    engine: EdgeBertEngine,
 }
 
 /// One lane plus the engine that serves it — the unit an elastic shard
@@ -527,6 +552,9 @@ pub struct Server {
     /// The lane time-series sampler thread (telemetry only).
     sampler: Option<JoinHandle<()>>,
     sampler_stop: Arc<AtomicBool>,
+    /// The fleet energy coordinator thread (energy budgeting only).
+    coordinator: Option<JoinHandle<()>>,
+    coordinator_stop: Arc<AtomicBool>,
 }
 
 impl Server {
@@ -563,6 +591,18 @@ impl Server {
                 "elastic idle poll must be finite and positive"
             );
         }
+        if let Some(ecfg) = &cfg.energy {
+            ecfg.validate();
+            let n_lanes = runtime.tasks().len() as f64;
+            assert!(
+                ecfg.floor_w * n_lanes <= ecfg.fleet_cap_w * (1.0 + 1e-9),
+                "the per-lane energy floor times the lane count must fit \
+                 the fleet cap: {} lanes x {} W > {} W",
+                n_lanes,
+                ecfg.floor_w,
+                ecfg.fleet_cap_w
+            );
+        }
         let epoch = Instant::now();
         let telemetry = cfg
             .telemetry
@@ -585,6 +625,7 @@ impl Server {
             lanes.push(LaneEntry {
                 default_target_s: engine.default_latency_target_s(),
                 lane: Arc::clone(&lane),
+                engine: engine.clone(),
             });
             pool.push(PoolEntry { lane, engine });
         }
@@ -613,6 +654,15 @@ impl Server {
                 .spawn(move || sampler_loop(&lanes, &hub, &stop, period))
                 .expect("spawn telemetry sampler")
         });
+        let coordinator_stop = Arc::new(AtomicBool::new(false));
+        let coordinator = cfg.energy.map(|ecfg| {
+            let stop = Arc::clone(&coordinator_stop);
+            let lanes: Vec<Arc<Lane>> = registry.iter().map(|e| Arc::clone(&e.lane)).collect();
+            std::thread::Builder::new()
+                .name("edgebert-energy-coordinator".into())
+                .spawn(move || coordinator_loop(&lanes, ecfg, &stop))
+                .expect("spawn energy coordinator")
+        });
         Self {
             cfg,
             epoch,
@@ -621,6 +671,8 @@ impl Server {
             telemetry,
             sampler,
             sampler_stop,
+            coordinator,
+            coordinator_stop,
         }
     }
 
@@ -718,7 +770,17 @@ impl Server {
                 // Degrade rung has bought real throughput (clamped by
                 // the nominal estimate, so it only ever sheds less).
                 // analyzer: allow(nested-lock) reason="queue -> tally is the one sanctioned lock order: the tally mutex is a leaf lock held for a few loads inside shed_service_estimate_s and never taken around any other lock"
-                let shed_slot_s = lane.shed_service_estimate_s() / effective_shards;
+                let mut shed_slot_s = lane.shed_service_estimate_s() / effective_shards;
+                // An energy envelope slows every slot: the feasibility
+                // test must price the lane's *allowed* speed, not the
+                // nominal one, or the shed rung under-sheds and queued
+                // work dies at the capped clock. A no-op (scale 1.0)
+                // when the envelope admits the nominal point or the
+                // backend doesn't model power.
+                if let Some(w) = queue.envelope_w {
+                    let per_shard_w = w / effective_shards;
+                    shed_slot_s *= entry.engine.backend().envelope_service_scale(per_shard_w);
+                }
                 let backlog_s = (ahead + 1) as f64 * shed_slot_s;
                 // Per-class preference: on the shed rung, arrivals
                 // with a loose remaining budget (≥ ratio × the lane's
@@ -824,6 +886,8 @@ impl Server {
                     stolen: tally.stolen,
                     migrated: tally.migrated,
                     pool_resizes: queue.pool_resizes,
+                    attach_declined: queue.attach_declined,
+                    energy_j: tally.energy_j_total,
                     queued: queue.jobs.len(),
                     parked: queue.parked.len(),
                     queue_high_water: queue.high_water,
@@ -900,12 +964,19 @@ impl Server {
         if let Some(sampler) = self.sampler.take() {
             sampler.join().expect("telemetry sampler exits cleanly");
         }
+        self.coordinator_stop.store(true, Ordering::Relaxed);
+        if let Some(coordinator) = self.coordinator.take() {
+            coordinator
+                .join()
+                .expect("energy coordinator exits cleanly");
+        }
     }
 }
 
 /// The lane time-series sampler: every `period`, snapshot each lane's
-/// control state `(pressure, rung, queued, parked, extra_shards)` into
-/// the hub's series ring. One short queue-lock hold per lane per tick;
+/// control state `(pressure, rung, queued, parked, extra_shards)` —
+/// plus its energy envelope and measured power draw when the fleet
+/// coordinator is running — into the hub's series ring. One short queue-lock hold per lane per tick;
 /// shutdown latency is bounded by sleeping in small slices.
 // analyzer: worker-loop
 fn sampler_loop(
@@ -927,6 +998,8 @@ fn sampler_loop(
                 queued: queue.jobs.len(),
                 parked: queue.parked.len(),
                 extra_shards: queue.extra_shards,
+                envelope_w: queue.envelope_w,
+                power_w: queue.measured_power_w,
             };
             drop(queue);
             hub.sample(sample);
@@ -936,6 +1009,61 @@ fn sampler_loop(
             let nap = slice.min(period - slept);
             std::thread::sleep(nap);
             slept += nap;
+        }
+    }
+}
+
+/// The fleet energy coordinator: allocate envelopes immediately at
+/// startup (no power measured yet → an even pressure-free split, so
+/// pop-time stamping and attach feasibility never see a budgeted lane
+/// without an envelope), then every update period difference each
+/// lane's cumulative served energy into its measured-power EWMA and
+/// re-waterfill the cap toward queue pressure. Each tick holds one
+/// short tally copy and one short queue-lock write per lane; shutdown
+/// latency is bounded by sleeping in small slices.
+// analyzer: worker-loop
+fn coordinator_loop(lanes: &[Arc<Lane>], ecfg: EnergyConfig, stop: &Arc<AtomicBool>) {
+    let period = Duration::from_secs_f64(ecfg.update_period_s);
+    let slice = period.min(Duration::from_millis(20));
+    let tasks: Vec<Task> = lanes.iter().map(|lane| lane.task).collect();
+    let mut coordinator = FleetCoordinator::new(ecfg, &tasks);
+    let mut last_tick = Instant::now();
+    loop {
+        let dt_s = last_tick.elapsed().as_secs_f64();
+        last_tick = Instant::now();
+        let observed: Vec<LaneObservation> = lanes
+            .iter()
+            .map(|lane| {
+                // The tally mutex is a leaf lock: copy the cumulative
+                // energy and release before touching the queue lock.
+                let energy_j_total = lane.tally_lock().energy_j_total;
+                // analyzer: allow(lock-unwrap-in-loop) reason="queue mutex keeps panic-on-poison by policy: a torn LaneQueue can break one-response-per-submission, so the coordinator must not publish envelopes derived from it"
+                let queue = lane.queue.lock().expect("lane mutex");
+                LaneObservation {
+                    task: lane.task,
+                    energy_j_total,
+                    pressure: lane.pressure_of(&queue),
+                }
+            })
+            .collect();
+        let allocations = coordinator.tick(dt_s, &observed);
+        for alloc in &allocations {
+            let Some(lane) = lanes.iter().find(|lane| lane.task == alloc.task) else {
+                continue;
+            };
+            // analyzer: allow(lock-unwrap-in-loop) reason="queue mutex keeps panic-on-poison by policy: a torn LaneQueue can break one-response-per-submission, so the coordinator must not write envelopes into it"
+            let mut queue = lane.queue.lock().expect("lane mutex");
+            queue.envelope_w = Some(alloc.envelope_w);
+            queue.measured_power_w = Some(alloc.measured_w);
+        }
+        let mut slept = Duration::ZERO;
+        while slept < period && !stop.load(Ordering::Relaxed) {
+            let nap = slice.min(period - slept);
+            std::thread::sleep(nap);
+            slept += nap;
+        }
+        if stop.load(Ordering::Relaxed) {
+            return;
         }
     }
 }
@@ -1166,24 +1294,48 @@ fn steal_tightest_parked(registry: &[PoolEntry], home: usize) -> Option<(usize, 
 /// pressure clears the grow threshold, attaches to it, and pops its
 /// next unit of work (fresh or parked, in the lane's own policy
 /// order). Same two-pass, one-lock-at-a-time discipline as stealing.
+///
+/// Energy envelopes gate the growth: an extra shard is one more
+/// accelerator that must draw at least the backend's floor power, so a
+/// lane whose envelope cannot fund `shards + extras + 1` floor-power
+/// draws *declines* the attach (counted in
+/// [`LaneStats::attach_declined`]) rather than blowing through the
+/// fleet cap — the lane stays pressured and drains at its funded
+/// width. Lanes without an envelope, and backends that don't model
+/// power (an infinite floor means "unmodeled", not "unaffordable"),
+/// attach exactly as before.
 // analyzer: worker-loop
 fn attach_to_pressured_lane(
     registry: &[PoolEntry],
     home: usize,
     grow_pressure: f64,
 ) -> Option<(usize, Popped)> {
+    let envelope_funds_another_shard = |entry: &PoolEntry, queue: &lane::LaneQueue| {
+        let Some(w) = queue.envelope_w else {
+            return true;
+        };
+        let floor_w = entry.engine.backend().floor_power_w();
+        !floor_w.is_finite() || w >= (entry.lane.shards + queue.extra_shards + 1) as f64 * floor_w
+    };
     let mut best: Option<(usize, f64)> = None;
     for (idx, entry) in registry.iter().enumerate() {
         if idx == home {
             continue;
         }
         // analyzer: allow(lock-unwrap-in-loop) reason="queue mutex keeps panic-on-poison by policy: a torn LaneQueue can break one-response-per-submission, so the worker must not drain past it"
-        let queue = entry.lane.queue.lock().expect("lane mutex");
+        let mut queue = entry.lane.queue.lock().expect("lane mutex");
         if queue.jobs.is_empty() && queue.parked.is_empty() {
             continue;
         }
         let p = entry.lane.pressure_of(&queue);
-        if p >= grow_pressure && best.is_none_or(|(_, bp)| p > bp) {
+        if p < grow_pressure {
+            continue;
+        }
+        if !envelope_funds_another_shard(entry, &queue) {
+            queue.attach_declined += 1;
+            continue;
+        }
+        if best.is_none_or(|(_, bp)| p > bp) {
             best = Some((idx, p));
         }
     }
@@ -1191,6 +1343,12 @@ fn attach_to_pressured_lane(
     let entry = &registry[idx];
     // analyzer: allow(lock-unwrap-in-loop) reason="queue mutex keeps panic-on-poison by policy: a torn LaneQueue can break one-response-per-submission, so the worker must not drain past it"
     let mut queue = entry.lane.queue.lock().expect("lane mutex");
+    // The envelope may have shrunk between the scan and the claim:
+    // re-judge under the lock that commits the attach.
+    if !envelope_funds_another_shard(entry, &queue) {
+        queue.attach_declined += 1;
+        return None;
+    }
     let work = entry.lane.take_work(&mut queue)?;
     entry.lane.attach(&mut queue);
     let popped = entry.lane.finish_foreign_pop(&mut queue, work);
@@ -1252,6 +1410,14 @@ fn materialize(
                         request = request.with_stretch_cap_s(cap_s.max(0.0));
                     }
                 }
+            }
+            // The lane's per-shard energy allowance at pop time rides
+            // the request into the engine: every DVFS decision this
+            // sentence makes is clamped under it, while the deadline
+            // verdict keeps judging the real target (`None` without a
+            // coordinator — the exact pre-energy path).
+            if let Some(w) = popped.envelope_w {
+                request = request.with_envelope_w(w);
             }
             // The verdict charges exactly the elapsed time the
             // server accounted for. In queue-aware mode a
@@ -1406,8 +1572,12 @@ fn drive(
         ctx.charged_elapsed_s + parked_s + response.result.latency_s,
         response.latency_target_s,
     );
+    let energy_j = response.result.energy_j;
     if let Some(recorder) = session.trace() {
-        recorder.emit(TraceEventKind::Completed { verdict: met });
+        recorder.emit(TraceEventKind::Completed {
+            verdict: met,
+            energy_j,
+        });
     }
     if let Some(lt) = &lane.telemetry {
         lt.observe_completion(sojourn_s, response.result.energy_j);
@@ -1418,6 +1588,9 @@ fn drive(
         if !met {
             tally.violations += 1;
         }
+        // The cumulative energy ledger the fleet coordinator
+        // differences into this lane's measured power draw.
+        tally.energy_j_total += energy_j;
         tally.queue_delay_total_s += ctx.queue_delay_s;
         tally.queue_delay_max_s = tally.queue_delay_max_s.max(ctx.queue_delay_s);
         tally.slack_deducted_total_s += ctx.slack_deducted_s;
@@ -1443,6 +1616,7 @@ fn drive(
         degraded_notches,
         sojourn_s,
         deadline_met: met,
+        energy_j,
     });
     None
 }

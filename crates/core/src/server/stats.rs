@@ -46,6 +46,20 @@ pub struct LaneStats {
     /// autoscaling — one per foreign-shard attach and one per detach
     /// (0 with elasticity disabled).
     pub pool_resizes: u64,
+    /// Elastic attach opportunities declined because the lane's energy
+    /// envelope could not fund one more shard at the backend's
+    /// floor-power draw (0 without energy budgeting, or when the
+    /// backend doesn't model power). Counted per declined scan, so a
+    /// persistently under-funded pressured lane accumulates quickly —
+    /// the signal that the fleet cap, not the pool, is the binding
+    /// constraint.
+    pub attach_declined: u64,
+    /// Cumulative modeled energy served requests drew on this lane,
+    /// joules — the ledger the fleet coordinator differences into the
+    /// lane's measured power. Grows whether or not energy budgeting is
+    /// enabled (measurement is free; only *enforcement* needs the
+    /// coordinator).
+    pub energy_j: f64,
     /// Requests admitted but not yet served.
     pub queued: usize,
     /// Sessions currently parked at a layer boundary.
@@ -180,6 +194,16 @@ impl ServerStats {
         self.lanes.iter().map(|l| l.pool_resizes).sum()
     }
 
+    /// Elastic attaches declined by energy envelopes across all lanes.
+    pub fn attach_declined(&self) -> u64 {
+        self.lanes.iter().map(|l| l.attach_declined).sum()
+    }
+
+    /// Cumulative modeled energy served across all lanes, joules.
+    pub fn energy_j(&self) -> f64 {
+        self.lanes.iter().map(|l| l.energy_j).sum()
+    }
+
     /// The deepest any lane's parked-session pool has been.
     pub fn max_parked_depth(&self) -> usize {
         self.lanes
@@ -220,6 +244,8 @@ mod tests {
             stolen,
             migrated,
             pool_resizes: 0,
+            attach_declined: 0,
+            energy_j: 0.0,
             queued: 0,
             parked: 0,
             queue_high_water: 0,

@@ -57,7 +57,7 @@ use serde::Serialize;
 /// Bumped when the envelope's field set or semantics change; a reader
 /// rejects versions it does not understand instead of resuming a
 /// session it would mis-account.
-pub const SESSION_CHECKPOINT_VERSION: u32 = 1;
+pub const SESSION_CHECKPOINT_VERSION: u32 = 2;
 
 /// What one [`InferenceSession::step`] did.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -120,6 +120,10 @@ pub struct InferenceSession {
     /// dispatch), `None` when uncapped. See
     /// [`InferenceRequest::with_stretch_cap_s`](crate::engine::InferenceRequest::with_stretch_cap_s).
     stretch_cap_s: Option<f64>,
+    /// Power envelope on every DVFS decision (watts of sustained
+    /// draw), `None` when unconstrained. See
+    /// [`InferenceRequest::with_envelope_w`](crate::engine::InferenceRequest::with_envelope_w).
+    envelope_w: Option<f64>,
     /// Software forward state (the hidden-state checkpoint).
     fwd: ForwardSession,
     num_layers: usize,
@@ -175,6 +179,7 @@ impl InferenceSession {
         drop: DropTarget,
         elapsed_queue_s: f64,
         stretch_cap_s: Option<f64>,
+        envelope_w: Option<f64>,
         degradation: Degradation,
     ) -> Self {
         assert!(
@@ -210,6 +215,7 @@ impl InferenceSession {
             drop,
             elapsed_queue_s,
             stretch_cap_s,
+            envelope_w,
             fwd,
             num_layers,
             et,
@@ -297,6 +303,15 @@ impl InferenceSession {
     /// calibration.
     pub fn degraded_notches(&self) -> u8 {
         self.degraded_notches
+    }
+
+    /// The power envelope this session's DVFS decisions are clamped
+    /// under, watts (`None` when fleet energy budgeting is off or the
+    /// lane is unconstrained). Stamped at begin from the request and
+    /// carried through park/steal/checkpoint — a migrated session keeps
+    /// the allowance of the lane that admitted it.
+    pub fn envelope_w(&self) -> Option<f64> {
+        self.envelope_w
     }
 
     /// Total wall time charged as parked, seconds.
@@ -423,6 +438,7 @@ impl InferenceSession {
             drop: self.drop,
             elapsed_queue_s: self.elapsed_queue_s,
             stretch_cap_s: self.stretch_cap_s,
+            envelope_w: self.envelope_w,
             fwd: self.fwd.clone(),
             num_layers: self.num_layers,
             et: self.et,
@@ -466,6 +482,7 @@ impl InferenceSession {
             drop: checkpoint.drop,
             elapsed_queue_s: checkpoint.elapsed_queue_s,
             stretch_cap_s: checkpoint.stretch_cap_s,
+            envelope_w: checkpoint.envelope_w,
             fwd: checkpoint.fwd,
             num_layers: checkpoint.num_layers,
             et: checkpoint.et,
@@ -638,7 +655,13 @@ impl InferenceSession {
     /// worst-case nominal→floor transition reserve) deducted. With a
     /// queue-pressure stretch cap, the compute window is additionally
     /// clamped to the cap, while feasibility for the deadline verdict
-    /// is still judged against the request's own budget.
+    /// is still judged against the request's own budget. With a power
+    /// envelope, every decision additionally clamps its operating
+    /// point under the lane's allowance
+    /// ([`InferenceBackend::decide_capped`](crate::backend::InferenceBackend::decide_capped)),
+    /// and feasibility is judged *honestly at the clamped clock* — an
+    /// envelope that forbids the deadline-meeting point marks the
+    /// decision infeasible instead of silently re-pricing the budget.
     fn open_segment(&mut self, predicted: usize) {
         let backend = self.engine.backend();
         let remaining_cycles =
@@ -646,9 +669,16 @@ impl InferenceSession {
         let elapsed = self.elapsed_charged_s();
         let remaining_budget =
             self.latency_target_s - self.committed_latency_s - backend.floor_transition_s();
+        // The envelope applies to every decision below identically; the
+        // `None` path makes exactly the pre-energy calls, bit for bit.
+        let envelope = self.envelope_w;
+        let decide = |cycles: u64, window: f64, burned: f64| match envelope {
+            None => backend.decide(cycles, window, burned),
+            Some(w) => backend.decide_capped(cycles, window, burned, w),
+        };
         let (decision, feasible) = match self.stretch_cap_s {
             None => {
-                let d = backend.decide(remaining_cycles, remaining_budget, elapsed);
+                let d = decide(remaining_cycles, remaining_budget, elapsed);
                 let feasible = d.feasible;
                 (d, feasible)
             }
@@ -663,13 +693,13 @@ impl InferenceSession {
                 let window = (self.latency_target_s - elapsed).min(cap - self.parked_s)
                     - self.committed_latency_s
                     - backend.floor_transition_s();
-                let d = backend.decide(remaining_cycles, window, 0.0);
+                let d = decide(remaining_cycles, window, 0.0);
                 // Feasibility (and thus the deadline verdict) is the
                 // request's own: a cap that forces nominal must not
-                // mark an otherwise-met deadline as missed.
-                let feasible = backend
-                    .decide(remaining_cycles, remaining_budget, elapsed)
-                    .feasible;
+                // mark an otherwise-met deadline as missed. (Under an
+                // envelope the judgment stays at the *clamped* clock
+                // against that same real budget.)
+                let feasible = decide(remaining_cycles, remaining_budget, elapsed).feasible;
                 (d, feasible)
             }
         };
@@ -791,6 +821,7 @@ pub struct SessionCheckpoint {
     drop: DropTarget,
     elapsed_queue_s: f64,
     stretch_cap_s: Option<f64>,
+    envelope_w: Option<f64>,
     fwd: ForwardSession,
     num_layers: usize,
     et: f32,
@@ -849,6 +880,7 @@ impl serde::Deserialize for SessionCheckpoint {
             drop: serde::Deserialize::from_value(value.field("drop")?)?,
             elapsed_queue_s: serde::Deserialize::from_value(value.field("elapsed_queue_s")?)?,
             stretch_cap_s: serde::Deserialize::from_value(value.field("stretch_cap_s")?)?,
+            envelope_w: serde::Deserialize::from_value(value.field("envelope_w")?)?,
             fwd: serde::Deserialize::from_value(value.field("fwd")?)?,
             num_layers: serde::Deserialize::from_value(value.field("num_layers")?)?,
             et: serde::Deserialize::from_value(value.field("et")?)?,

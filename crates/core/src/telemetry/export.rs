@@ -120,6 +120,15 @@ pub fn render_prometheus(snapshot: &TelemetrySnapshot) -> String {
                 "edgebert_lane_extra_shards{{task=\"{task}\"}} {}",
                 s.extra_shards
             );
+            // Energy gauges exist only when the fleet coordinator is
+            // running — absent rows, not zero rows, so dashboards can
+            // tell "unbudgeted" from "budgeted at zero".
+            if let Some(w) = s.envelope_w {
+                let _ = writeln!(out, "edgebert_lane_envelope_watts{{task=\"{task}\"}} {w}");
+            }
+            if let Some(w) = s.power_w {
+                let _ = writeln!(out, "edgebert_lane_power_watts{{task=\"{task}\"}} {w}");
+            }
         }
     }
     out
@@ -269,7 +278,14 @@ mod tests {
                 },
             ),
             ev(0.4, 1, TraceEventKind::EntropyExit { layer: 3 }),
-            ev(0.4, 1, TraceEventKind::Completed { verdict: true }),
+            ev(
+                0.4,
+                1,
+                TraceEventKind::Completed {
+                    verdict: true,
+                    energy_j: 2e-3,
+                },
+            ),
         ]
     }
 
@@ -342,6 +358,8 @@ mod tests {
                 queued: 2,
                 parked: 0,
                 extra_shards: 1,
+                envelope_w: Some(0.125),
+                power_w: Some(0.08),
             }],
             dropped_samples: 0,
         };
@@ -351,6 +369,39 @@ mod tests {
         assert!(text.contains("edgebert_trace_events_dropped_total 3"));
         assert!(text.contains("edgebert_lane_pressure{task=\"sst-2\"} 0.5"));
         assert!(text.contains("edgebert_lane_extra_shards{task=\"sst-2\"} 1"));
+        assert!(text.contains("edgebert_lane_envelope_watts{task=\"sst-2\"} 0.125"));
+        assert!(text.contains("edgebert_lane_power_watts{task=\"sst-2\"} 0.08"));
+    }
+
+    /// Without a fleet coordinator the energy gauges are absent rows,
+    /// not zero rows — "unbudgeted" must stay distinguishable from
+    /// "budgeted at zero".
+    #[test]
+    fn prometheus_energy_gauges_absent_without_budgeting() {
+        let snapshot = TelemetrySnapshot {
+            events: vec![],
+            dropped_events: 0,
+            lanes: vec![LaneTelemetrySnapshot {
+                task: Task::Sst2,
+                histograms: LaneHistograms::default(),
+            }],
+            samples: vec![super::super::LaneSample {
+                t_s: 1.0,
+                task: Task::Sst2,
+                pressure: 0.0,
+                rung: crate::overload::LadderStep::Nominal,
+                queued: 0,
+                parked: 0,
+                extra_shards: 0,
+                envelope_w: None,
+                power_w: None,
+            }],
+            dropped_samples: 0,
+        };
+        let text = render_prometheus(&snapshot);
+        assert!(text.contains("edgebert_lane_pressure{task=\"sst-2\"}"));
+        assert!(!text.contains("edgebert_lane_envelope_watts"));
+        assert!(!text.contains("edgebert_lane_power_watts"));
     }
 
     #[test]

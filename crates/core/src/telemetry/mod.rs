@@ -278,7 +278,10 @@ mod tests {
             2.0,
             Task::Qnli,
             12,
-            TraceEventKind::Completed { verdict: false },
+            TraceEventKind::Completed {
+                verdict: false,
+                energy_j: 0.0,
+            },
         );
         let (events, dropped) = hub.trace_snapshot();
         assert_eq!(events.len(), 2);

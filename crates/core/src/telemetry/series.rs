@@ -30,6 +30,12 @@ pub struct LaneSample {
     pub parked: usize,
     /// Autoscaled shards attached beyond the nominal pool.
     pub extra_shards: usize,
+    /// Lane-total energy envelope allocated by the fleet coordinator,
+    /// watts (`None` without energy budgeting).
+    pub envelope_w: Option<f64>,
+    /// Lane power draw measured by the coordinator's EWMA, watts
+    /// (`None` without energy budgeting).
+    pub power_w: Option<f64>,
 }
 
 /// Bounded overwrite-oldest ring of [`LaneSample`]s.
@@ -77,6 +83,8 @@ mod tests {
             queued: 4,
             parked: 1,
             extra_shards: 2,
+            envelope_w: Some(0.125),
+            power_w: Some(0.08),
         };
         let json = serde::json::to_string(&s);
         let back: LaneSample = serde::json::from_str(&json).expect("round trip");
@@ -95,6 +103,8 @@ mod tests {
                 queued: i,
                 parked: 0,
                 extra_shards: 0,
+                envelope_w: None,
+                power_w: None,
             });
         }
         let (samples, dropped) = ring.snapshot();

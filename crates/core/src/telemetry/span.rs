@@ -67,6 +67,10 @@ pub enum TraceEventKind {
     Completed {
         /// Whether the deadline was met.
         verdict: bool,
+        /// Modeled energy the sentence's compute drew, joules (after
+        /// any envelope clamping — the span shows what was actually
+        /// spent, matching the lane's cumulative energy ledger).
+        energy_j: f64,
     },
 }
 
@@ -120,8 +124,9 @@ impl Serialize for TraceEventKind {
             TraceEventKind::Degraded { notches } => {
                 fields.push(("notches".into(), Value::U64(notches as u64)));
             }
-            TraceEventKind::Completed { verdict } => {
+            TraceEventKind::Completed { verdict, energy_j } => {
                 fields.push(("verdict".into(), Value::Bool(verdict)));
+                fields.push(("energy_j".into(), energy_j.to_value()));
             }
         }
         Value::Map(fields)
@@ -375,7 +380,10 @@ mod tests {
         let ring = Arc::new(TraceRing::new(8));
         let rec = SpanRecorder::new(ring.clone(), Task::Qnli, 7, Instant::now());
         rec.emit(TraceEventKind::Admitted);
-        rec.emit(TraceEventKind::Completed { verdict: true });
+        rec.emit(TraceEventKind::Completed {
+            verdict: true,
+            energy_j: 1e-3,
+        });
         let (events, _) = ring.snapshot();
         assert_eq!(events.len(), 2);
         assert!(events[0].t_s <= events[1].t_s);

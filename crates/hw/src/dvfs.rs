@@ -167,6 +167,71 @@ impl DvfsController {
             feasible: true,
         }
     }
+
+    /// Power draw of grid point `(voltage, freq_hz)` relative to the
+    /// nominal point: `(V/V_nom)² · (f/f_nom)` — the dynamic-power
+    /// scaling a fleet power budget divides operating points by. The
+    /// nominal point is 1.0; the floor point is well under 0.2 on the
+    /// energy-optimal grid.
+    pub fn relative_power(&self, voltage: f32, freq_hz: f64) -> f64 {
+        let vr = voltage as f64 / self.cfg.vdd_nominal as f64;
+        vr * vr * (freq_hz / self.cfg.freq_max_hz)
+    }
+
+    /// The fastest V/F grid point whose relative power (see
+    /// [`relative_power`](Self::relative_power)) stays within
+    /// `rel_cap`. Degenerate caps never stall the clock: a NaN, zero,
+    /// or negative cap — and any cap below even the floor point's draw
+    /// — returns the floor point (`vdd_min` at its grid frequency),
+    /// the least power the accelerator can run at.
+    pub fn power_capped_point(&self, rel_cap: f64) -> (f32, f64) {
+        let floor = (self.cfg.vdd_min, self.vf.freq_at_voltage(self.cfg.vdd_min));
+        // NaN, zero, and negative caps all fall back to the floor.
+        if rel_cap.is_nan() || rel_cap <= 0.0 {
+            return floor;
+        }
+        let mut best = floor;
+        for p in self.vf.points() {
+            if self.relative_power(p.voltage, p.freq_max_hz) <= rel_cap && p.freq_max_hz > best.1 {
+                best = (p.voltage, p.freq_max_hz);
+            }
+        }
+        best
+    }
+
+    /// [`decide`](Self::decide) under a relative power cap: the chosen
+    /// operating point may not draw more than `rel_cap` of nominal
+    /// power. When the unconstrained decision fits under the cap (or
+    /// no work remains — zero cycles draw no sustained power), it is
+    /// returned unchanged, bit for bit; otherwise the decision clamps
+    /// to the fastest grid point within the cap and feasibility is
+    /// recomputed *honestly* against the clamped frequency — a cap
+    /// that forbids the deadline-meeting point yields an infeasible
+    /// decision, never a silently re-priced one. A cap at or above
+    /// 1.0 is unconstrained; degenerate caps fall back to the floor
+    /// point (see [`power_capped_point`](Self::power_capped_point)),
+    /// never a stalled clock.
+    pub fn decide_power_capped(
+        &self,
+        remaining_cycles: u64,
+        remaining_seconds: f64,
+        rel_cap: f64,
+    ) -> DvfsDecision {
+        if rel_cap >= 1.0 {
+            return self.decide(remaining_cycles, remaining_seconds);
+        }
+        let uncapped = self.decide(remaining_cycles, remaining_seconds);
+        let (v_cap, f_cap) = self.power_capped_point(rel_cap);
+        if remaining_cycles == 0 || uncapped.freq_hz <= f_cap * (1.0 + 1e-9) {
+            return uncapped;
+        }
+        let need_s = remaining_cycles as f64 / f_cap;
+        DvfsDecision {
+            voltage: v_cap,
+            freq_hz: f_cap,
+            feasible: remaining_seconds > 0.0 && need_s <= remaining_seconds * (1.0 + 1e-9),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -367,5 +432,108 @@ mod tests {
         assert!(!d.feasible);
         let d = ctl.decide(1000, -1.0);
         assert!(!d.feasible);
+    }
+
+    #[test]
+    fn relative_power_is_anchored_at_nominal() {
+        let ctl = controller();
+        let cfg = AcceleratorConfig::energy_optimal();
+        let nominal = ctl.relative_power(cfg.vdd_nominal, cfg.freq_max_hz);
+        assert!((nominal - 1.0).abs() < 1e-12);
+        let floor = ctl.relative_power(cfg.vdd_min, ctl.vf_table().freq_at_voltage(cfg.vdd_min));
+        assert!(floor > 0.0 && floor < 0.2, "floor draw {floor}");
+        // Monotone along the grid: every step up in voltage draws more.
+        let mut last = 0.0;
+        for p in ctl.vf_table().points() {
+            let rp = ctl.relative_power(p.voltage, p.freq_max_hz);
+            assert!(rp > last, "{rp} at {} V", p.voltage);
+            last = rp;
+        }
+    }
+
+    #[test]
+    fn power_cap_clamps_the_point_and_judges_feasibility_honestly() {
+        let ctl = controller();
+        let cfg = AcceleratorConfig::energy_optimal();
+        // A 0.99 GHz demand needs nominal; a 50% power cap forbids it.
+        let uncapped = ctl.decide(990_000_000, 1.0);
+        assert!(uncapped.feasible);
+        assert_eq!(uncapped.voltage, cfg.vdd_nominal);
+        let capped = ctl.decide_power_capped(990_000_000, 1.0, 0.5);
+        assert!(capped.voltage < uncapped.voltage);
+        assert!(capped.freq_hz < uncapped.freq_hz);
+        assert!(
+            ctl.relative_power(capped.voltage, capped.freq_hz) <= 0.5 + 1e-12,
+            "capped point must respect the cap"
+        );
+        // The clamped clock cannot finish 0.99 G cycles in 1 s iff it
+        // runs under 0.99 GHz — feasibility is recomputed, not copied.
+        assert_eq!(
+            capped.feasible,
+            990_000_000.0 / capped.freq_hz <= 1.0 + 1e-9
+        );
+        assert!(!capped.feasible, "the cap forbids the deadline here");
+
+        // A demand the capped point *can* still meet stays feasible.
+        let (_, f_cap) = ctl.power_capped_point(0.5);
+        let cycles = (f_cap * 0.5) as u64;
+        let ok = ctl.decide_power_capped(cycles, 1.0, 0.5);
+        assert!(ok.feasible);
+        assert!(cycles as f64 / ok.freq_hz <= 1.0 + 1e-9);
+    }
+
+    #[test]
+    fn generous_power_cap_is_bit_identical_to_uncapped() {
+        let ctl = controller();
+        for &(cycles, secs) in &[
+            (0u64, 10e-3f64),
+            (1_000_000, 100e-3),
+            (40_000_000, 50e-3),
+            (990_000_000, 1.0),
+            (2_000_000_000, 1.0),
+            (1000, 0.0),
+        ] {
+            for cap in [1.0, 2.5, f64::INFINITY] {
+                assert_eq!(
+                    ctl.decide_power_capped(cycles, secs, cap),
+                    ctl.decide(cycles, secs),
+                    "{cycles} cycles in {secs}s under cap {cap}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn slow_decisions_under_the_cap_are_untouched() {
+        let ctl = controller();
+        // A loose budget already rests far below the cap point: the
+        // cap must not perturb it.
+        let uncapped = ctl.decide(1_000_000, 100e-3);
+        assert_eq!(uncapped.voltage, 0.50);
+        assert_eq!(ctl.decide_power_capped(1_000_000, 100e-3, 0.5), uncapped);
+    }
+
+    #[test]
+    fn degenerate_power_caps_fall_back_to_the_floor_not_a_stalled_clock() {
+        // The envelope arrives from a coordinator thread and, on custom
+        // backends, from arbitrary arithmetic: zero, negative, NaN, and
+        // below-floor caps must land on the floor point — a running
+        // clock — never 0 Hz (the accelerator simulator panics on a
+        // stopped clock) and never a voltage below the grid.
+        let ctl = controller();
+        let cfg = AcceleratorConfig::energy_optimal();
+        let f_floor = ctl.vf_table().freq_at_voltage(cfg.vdd_min);
+        let floor_draw = ctl.relative_power(cfg.vdd_min, f_floor);
+        for cap in [0.0, -1.0, f64::NAN, floor_draw * 0.5, f64::MIN_POSITIVE] {
+            let (v, f) = ctl.power_capped_point(cap);
+            assert_eq!(v, cfg.vdd_min, "cap {cap}");
+            assert_eq!(f, f_floor, "cap {cap}");
+            assert!(f > 0.0);
+            let d = ctl.decide_power_capped(40_000_000, 50e-3, cap);
+            assert_eq!(d.voltage, cfg.vdd_min, "cap {cap}");
+            assert_eq!(d.freq_hz, f_floor, "cap {cap}");
+            // Honest verdict: feasible iff the floor clock fits.
+            assert_eq!(d.feasible, 40_000_000.0 / f_floor <= 50e-3 * (1.0 + 1e-9));
+        }
     }
 }

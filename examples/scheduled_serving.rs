@@ -74,6 +74,7 @@ fn main() {
         pressure_stretch: false,
         overload: Default::default(),
         telemetry: None,
+        energy: None,
     };
     let fifo = drain_load(&runtime, &load, cfg(SchedulePolicy::Fifo));
     let edf = drain_load(&runtime, &load, cfg(SchedulePolicy::EarliestDeadline));

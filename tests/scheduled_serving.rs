@@ -43,6 +43,7 @@ fn cfg(policy: SchedulePolicy) -> SchedulerConfig {
         pressure_stretch: false,
         overload: Default::default(),
         telemetry: None,
+        energy: None,
     }
 }
 

@@ -147,10 +147,10 @@ fn unsupported_versions_are_refused_not_misread() {
     let session = parked_session(&f.engine, &request, 1);
     let wire = serde::json::to_string(&session.checkpoint().expect("parked"));
     assert!(
-        wire.contains("\"version\":1"),
+        wire.contains("\"version\":2"),
         "version leads the envelope: {wire}"
     );
-    let tampered = wire.replacen("\"version\":1", "\"version\":99", 1);
+    let tampered = wire.replacen("\"version\":2", "\"version\":99", 1);
     let err = serde::json::from_str::<edgebert::SessionCheckpoint>(&tampered)
         .expect_err("a future version must not be silently misread");
     assert!(

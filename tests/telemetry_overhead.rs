@@ -86,7 +86,13 @@ fn telemetry_hot_paths_do_not_allocate() {
                 voltage: 0.55,
                 freq_hz: 20e6,
             });
-            recorder.emit_at(i as f64, TraceEventKind::Completed { verdict: true });
+            recorder.emit_at(
+                i as f64,
+                TraceEventKind::Completed {
+                    verdict: true,
+                    energy_j: 3e-4,
+                },
+            );
         }
     });
     assert_eq!(n, 0, "enabled ring record/emit must not allocate");
